@@ -1,0 +1,207 @@
+// Benchmarks regenerating the paper's evaluation artifacts. Each benchmark
+// corresponds to one figure, table, or reported study (see the experiment
+// index in DESIGN.md):
+//
+//   - BenchmarkMechanism*          — Section 1's claim that the turn-based
+//     mechanism itself has little-to-no overhead (host wall time per op).
+//   - BenchmarkFigure8            — Figure 8: per-program execution under the
+//     evaluation configurations; the "vunits" metric is the virtual makespan
+//     each configuration achieves (normalize to non-det for the bar heights).
+//     A representative program per suite runs by default; set
+//     QITHREAD_BENCH_ALL=1 to run all 108.
+//   - BenchmarkPolicySteps        — Section 5.2: pbzip2 under the cumulative
+//     policy configurations, showing WakeAMAP's jump.
+//   - BenchmarkScalability        — Section 5.3: thread-count sweep.
+//
+// Run with: go test -bench=. -benchmem
+package qithread_test
+
+import (
+	"fmt"
+	"os"
+	"testing"
+
+	"qithread"
+	"qithread/internal/harness"
+	"qithread/internal/programs"
+	"qithread/internal/workload"
+)
+
+// benchParams keeps bench iterations fast; shapes are scale-invariant.
+var benchParams = workload.Params{Scale: 0.1, InputSeed: 42}
+
+// BenchmarkMechanismLockUnlock measures the host-time cost of one
+// uncontended lock/unlock pair under the turn mechanism versus native
+// synchronization — the paper's "the mechanism is standard and itself has
+// little-to-none overhead" (Section 1).
+func BenchmarkMechanismLockUnlock(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		c    qithread.Config
+	}{
+		{"nondet", qithread.Config{Mode: qithread.Nondet}},
+		{"turn", qithread.Config{Mode: qithread.RoundRobin}},
+		{"turn-all-policies", qithread.Config{Mode: qithread.RoundRobin, Policies: qithread.AllPolicies}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			rt := qithread.New(cfg.c)
+			done := make(chan struct{})
+			go rt.Run(func(main *qithread.Thread) {
+				m := rt.NewMutex(main, "m")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Lock(main)
+					m.Unlock(main)
+				}
+				b.StopTimer()
+				close(done)
+			})
+			<-done
+		})
+	}
+}
+
+// BenchmarkMechanismSignalWait measures a signal/wait ping-pong between two
+// threads under the turn mechanism.
+func BenchmarkMechanismSignalWait(b *testing.B) {
+	rt := qithread.New(qithread.Config{Mode: qithread.RoundRobin})
+	done := make(chan struct{})
+	go rt.Run(func(main *qithread.Thread) {
+		m := rt.NewMutex(main, "m")
+		cv := rt.NewCond(main, "cv")
+		stop := false
+		turn := 0 // 0: ponger's move to wait
+		ponger := main.Create("ponger", func(w *qithread.Thread) {
+			m.Lock(w)
+			for {
+				for turn != 1 && !stop {
+					cv.Wait(w, m)
+				}
+				if stop {
+					m.Unlock(w)
+					return
+				}
+				turn = 0
+				cv.Broadcast(w)
+			}
+		})
+		b.ResetTimer()
+		m.Lock(main)
+		for i := 0; i < b.N; i++ {
+			turn = 1
+			cv.Broadcast(main)
+			for turn != 0 && !stop {
+				cv.Wait(main, m)
+			}
+		}
+		stop = true
+		cv.Broadcast(main)
+		m.Unlock(main)
+		b.StopTimer()
+		main.Join(ponger)
+		close(done)
+	})
+	<-done
+}
+
+// figure8Modes are the bar groups of Figure 8.
+func figure8Modes(spec programs.Spec) []harness.Mode {
+	modes := []harness.Mode{harness.Nondet(), harness.VanillaRR(), harness.ParrotSoft()}
+	if spec.Hints.PCS {
+		modes = append(modes, harness.ParrotPCS())
+	}
+	return append(modes, harness.QiThread())
+}
+
+// BenchmarkFigure8 regenerates Figure 8 rows. Each iteration is one full
+// program execution; the reported "vunits" metric is the virtual makespan
+// (the figure's bar height is vunits(mode)/vunits(non-det)).
+func BenchmarkFigure8(b *testing.B) {
+	var specs []programs.Spec
+	if os.Getenv("QITHREAD_BENCH_ALL") != "" {
+		specs = programs.All()
+	} else {
+		for _, name := range []string{
+			"barnes",          // splash2x
+			"ep-l",            // npb
+			"ferret",          // parsec
+			"word_count",      // phoenix (map-reduce library)
+			"pbzip2_compress", // realworld
+			"convert_blur",    // imagemagick
+			"stl_sort",        // stl
+		} {
+			s, ok := programs.Find(name)
+			if !ok {
+				b.Fatalf("missing %s", name)
+			}
+			specs = append(specs, s)
+		}
+	}
+	for _, spec := range specs {
+		for _, mode := range figure8Modes(spec) {
+			b.Run(fmt.Sprintf("%s/%s/%s", spec.Suite, spec.Name, mode.Name), func(b *testing.B) {
+				app := spec.Build(benchParams)
+				var makespan int64
+				for i := 0; i < b.N; i++ {
+					rt := qithread.New(mode.Cfg)
+					app(rt)
+					makespan = rt.VirtualMakespan()
+				}
+				b.ReportMetric(float64(makespan), "vunits")
+			})
+		}
+	}
+}
+
+// BenchmarkPolicySteps regenerates the Section 5.2 signature result: pbzip2
+// under the cumulative policy order. The vunits metric drops sharply at the
+// WakeAMAP step.
+func BenchmarkPolicySteps(b *testing.B) {
+	spec, _ := programs.Find("pbzip2_compress")
+	cfgs := []struct {
+		name string
+		pol  qithread.Policy
+	}{
+		{"0-vanilla", qithread.NoPolicies},
+		{"1-BoostBlocked", qithread.BoostBlocked},
+		{"2-CreateAll", qithread.BoostBlocked | qithread.CreateAll},
+		{"3-CSWhole", qithread.BoostBlocked | qithread.CreateAll | qithread.CSWhole},
+		{"4-WakeAMAP", qithread.BoostBlocked | qithread.CreateAll | qithread.CSWhole | qithread.WakeAMAP},
+		{"5-BranchedWake", qithread.AllPolicies},
+	}
+	for _, c := range cfgs {
+		b.Run(c.name, func(b *testing.B) {
+			app := spec.Build(benchParams)
+			cfg := qithread.Config{Mode: qithread.RoundRobin, Policies: c.pol}
+			var makespan int64
+			for i := 0; i < b.N; i++ {
+				rt := qithread.New(cfg)
+				app(rt)
+				makespan = rt.VirtualMakespan()
+			}
+			b.ReportMetric(float64(makespan), "vunits")
+		})
+	}
+}
+
+// BenchmarkScalability regenerates the Section 5.3 sweep for one program
+// (pbzip2 decompression, one of the paper's five scalability programs).
+func BenchmarkScalability(b *testing.B) {
+	spec, _ := programs.Find("pbzip2_decompress")
+	for _, threads := range []int{4, 8, 16, 32} {
+		for _, mode := range []harness.Mode{harness.Nondet(), harness.ParrotSoft(), harness.QiThread()} {
+			b.Run(fmt.Sprintf("threads=%d/%s", threads, mode.Name), func(b *testing.B) {
+				p := benchParams
+				p.Threads = threads
+				app := spec.Build(p)
+				var makespan int64
+				for i := 0; i < b.N; i++ {
+					rt := qithread.New(mode.Cfg)
+					app(rt)
+					makespan = rt.VirtualMakespan()
+				}
+				b.ReportMetric(float64(makespan), "vunits")
+			})
+		}
+	}
+}

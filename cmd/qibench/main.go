@@ -1,0 +1,266 @@
+// Command qibench regenerates the paper's evaluation (Section 5): Figure 8
+// normalized execution times over all 108 programs, the Section 5.1
+// aggregates, the Section 5.2 per-policy effectiveness study, the Section 5.3
+// scalability study, the schedule-stability comparison of Section 2, and the
+// x264 policy-configuration case study.
+//
+// Usage:
+//
+//	qibench -experiment fig8 [-suite phoenix] [-scale 0.25] [-o results.csv]
+//	qibench -experiment policies
+//	qibench -experiment scalability
+//	qibench -experiment stability
+//	qibench -experiment x264
+//	qibench -experiment all
+//
+// All measurements are virtual makespans (critical-path model, see DESIGN.md)
+// and therefore deterministic: the same invocation prints the same numbers.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"qithread"
+	"qithread/internal/harness"
+	"qithread/internal/programs"
+	"qithread/internal/stats"
+	"qithread/internal/workload"
+)
+
+func main() {
+	var (
+		experiment = flag.String("experiment", "fig8", "fig8 | policies | scalability | stability | x264 | all")
+		suite      = flag.String("suite", "", "restrict to one suite (splash2x npb parsec phoenix realworld imagemagick stl)")
+		program    = flag.String("program", "", "restrict to one program (Figure 8 label)")
+		scale      = flag.Float64("scale", 0.25, "workload scale factor (1.0 = paper-sized)")
+		threads    = flag.Int("threads", 0, "override worker thread count (0 = per-program default)")
+		repeats    = flag.Int("repeats", 1, "timed runs per (program, mode); measurements are deterministic so 1 suffices")
+		out        = flag.String("o", "", "write results.csv to this path")
+		chart      = flag.Bool("chart", false, "render Figure 8 as ASCII bars")
+		verbose    = flag.Bool("v", false, "log every measurement")
+		list       = flag.Bool("list", false, "list catalog programs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range programs.All() {
+			hints := ""
+			if s.Hints.SoftBarrier {
+				hints += "+"
+			}
+			if s.Hints.PCS {
+				hints += "*"
+			}
+			fmt.Printf("%-28s %-12s %2d threads %s\n", s.Name, s.Suite, s.Threads, hints)
+		}
+		return
+	}
+
+	specs := selectSpecs(*suite, *program)
+	if len(specs) == 0 {
+		fmt.Fprintln(os.Stderr, "qibench: no programs selected")
+		os.Exit(1)
+	}
+
+	r := &harness.Runner{
+		Params:  workload.Params{Scale: *scale, Threads: *threads, InputSeed: 42},
+		Repeats: *repeats,
+	}
+	if *verbose {
+		r.Log = os.Stderr
+	}
+
+	switch *experiment {
+	case "fig8":
+		rows := runFig8(r, specs, *out)
+		if *chart {
+			harness.FprintChart(os.Stdout, rows, []harness.Mode{harness.VanillaRR(), harness.ParrotSoft(), harness.QiThread()}, 16)
+		}
+	case "policies":
+		runPolicies(r, specs)
+	case "scalability":
+		runScalability(r)
+	case "stability":
+		runStability(r, *scale)
+	case "x264":
+		runX264(r)
+	case "ablation":
+		runAblation(r, specs)
+	case "all":
+		runFig8(r, specs, *out)
+		fmt.Println()
+		runPolicies(r, specs)
+		fmt.Println()
+		runScalability(r)
+		fmt.Println()
+		runStability(r, *scale)
+		fmt.Println()
+		runX264(r)
+		fmt.Println()
+		runAblation(r, ablationDefaults())
+	default:
+		fmt.Fprintf(os.Stderr, "qibench: unknown experiment %q\n", *experiment)
+		os.Exit(1)
+	}
+}
+
+func selectSpecs(suite, program string) []programs.Spec {
+	if program != "" {
+		s, ok := programs.Find(program)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "qibench: unknown program %q\n", program)
+			os.Exit(1)
+		}
+		return []programs.Spec{s}
+	}
+	if suite != "" {
+		return programs.BySuite(suite)
+	}
+	return programs.All()
+}
+
+func runFig8(r *harness.Runner, specs []programs.Spec, out string) []harness.Row {
+	fmt.Printf("=== Figure 8: normalized execution times (%d programs, scale %.2f) ===\n", len(specs), r.Params.Scale)
+	rows := r.Figure8(specs)
+
+	var csv io.Writer
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qibench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csv = f
+	}
+	modes := []harness.Mode{harness.VanillaRR(), harness.ParrotSoft(), harness.ParrotPCS(), harness.QiThread()}
+	if csv != nil {
+		harness.WriteCSVHeader(csv, modes)
+	}
+	fmt.Printf("%-28s %-12s %8s %8s %8s %8s\n", "program", "suite", "no-hint", "parrot", "par-pcs", "qithread")
+	for _, row := range rows {
+		pcs := "-"
+		if v, ok := row.Norm[harness.ParrotPCS().Name]; ok {
+			pcs = fmt.Sprintf("%.2f", v)
+		}
+		fmt.Printf("%-28s %-12s %8.2f %8.2f %8s %8.2f\n",
+			row.Program, row.Suite,
+			row.Norm[harness.VanillaRR().Name],
+			row.Norm[harness.ParrotSoft().Name],
+			pcs,
+			row.Norm[harness.QiThread().Name])
+		if csv != nil {
+			harness.WriteCSVRow(csv, row, modes)
+		}
+	}
+	fmt.Println()
+	harness.FprintSummary(os.Stdout, harness.Summarize51(rows))
+	return rows
+}
+
+func runPolicies(r *harness.Runner, specs []programs.Spec) {
+	fmt.Printf("=== Section 5.2: per-policy effectiveness (%d programs) ===\n", len(specs))
+	steps := r.PolicyEffectiveness(specs)
+	for _, st := range steps {
+		fmt.Printf("+%-13s benefited %3d programs, hurt %d\n", st.Name, len(st.Benefited), len(st.Hurt))
+		if len(st.Benefited) > 0 {
+			fmt.Printf("    benefited: %s\n", strings.Join(st.Benefited, " "))
+		}
+		if len(st.Hurt) > 0 {
+			fmt.Printf("    hurt:      %s\n", strings.Join(st.Hurt, " "))
+		}
+	}
+}
+
+// scalabilityPrograms are the five randomly selected programs of Section 5.3.
+var scalabilityPrograms = []string{"barnes", "bodytrack", "histogram", "convert_shear", "pbzip2_decompress"}
+
+func runScalability(r *harness.Runner) {
+	threadCounts := []int{4, 8, 16, 32}
+	fmt.Printf("=== Section 5.3: scalability (%v threads) ===\n", threadCounts)
+	res := r.Scalability(scalabilityPrograms, threadCounts)
+	for _, re := range res {
+		fmt.Printf("%-24s", re.Program)
+		for mode, norms := range map[string][]float64{
+			harness.ParrotSoft().Name: re.Norm[harness.ParrotSoft().Name],
+			harness.QiThread().Name:   re.Norm[harness.QiThread().Name],
+		} {
+			fmt.Printf("  %s:", mode)
+			for _, n := range norms {
+				fmt.Printf(" %.2f", n)
+			}
+			fmt.Printf(" (dev %.0f%%)", re.MaxDeviationPct[mode])
+		}
+		fmt.Println()
+	}
+	var qiDev, parrotDev []float64
+	for _, re := range res {
+		qiDev = append(qiDev, re.MaxDeviationPct[harness.QiThread().Name])
+		parrotDev = append(parrotDev, re.MaxDeviationPct[harness.ParrotSoft().Name])
+	}
+	fmt.Printf("max variation from mean overhead: qithread %.0f%%, parrot %.0f%%\n",
+		maxOf(qiDev), maxOf(parrotDev))
+}
+
+func maxOf(xs []float64) float64 {
+	m := 0.0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func runStability(r *harness.Runner, scale float64) {
+	fmt.Println("=== Section 2: schedule stability across 8 inputs (pbzip2) ===")
+	spec, _ := programs.Find("pbzip2_compress")
+	inputs := harness.StabilityInputs(workload.Params{Scale: scale, InputSeed: 7, Threads: r.Params.Threads}, 8)
+	for _, mode := range []harness.Mode{harness.VanillaRR(), harness.QiThread(), harness.Kendo()} {
+		res := r.Stability(spec, mode, inputs)
+		fmt.Printf("%-22s distinct schedules: %d of %d inputs (prefix agreement vs input 0: %v)\n",
+			mode.Name, res.Distinct, res.Inputs, res.PrefixLen)
+	}
+}
+
+// ablationDefaults are one representative program per policy target: a
+// producer-consumer (WakeAMAP), a create loop (CreateAll), a lock-heavy task
+// queue (CSWhole), an OpenMP program (BranchedWake/BoostBlocked), and the
+// vips pathology (nothing helps).
+func ablationDefaults() []programs.Spec {
+	var out []programs.Spec
+	for _, name := range []string{"pbzip2_compress", "histogram-pthread", "pfscan", "convert_blur", "vips"} {
+		if s, ok := programs.Find(name); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func runAblation(r *harness.Runner, specs []programs.Spec) {
+	if len(specs) > 8 {
+		specs = ablationDefaults()
+	}
+	fmt.Printf("=== Ablation: single-policy and leave-one-out configurations (%d programs) ===\n", len(specs))
+	fmt.Println("(each cell: normalized time with ONLY that policy / with all policies EXCEPT it)")
+	harness.FprintAblation(os.Stdout, r.Ablation(specs))
+}
+
+func runX264(r *harness.Runner) {
+	fmt.Println("=== Section 5.2: x264 with BoostBlocked toggled ===")
+	spec, _ := programs.Find("x264")
+	base := r.Measure(spec, harness.Nondet())
+	for _, mode := range []harness.Mode{
+		harness.ParrotSoft(),
+		harness.QiThread(),
+		harness.QiThreadWith(qithread.AllPolicies &^ qithread.BoostBlocked),
+	} {
+		tm := r.Measure(spec, mode)
+		fmt.Printf("%-40s %.2fx (overhead %+.0f%%)\n", mode.Name,
+			stats.Normalized(tm, base), stats.OverheadPct(stats.Normalized(tm, base)))
+	}
+}

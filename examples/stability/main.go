@@ -1,0 +1,52 @@
+// stability: the schedule-stability experiment of Section 2.
+//
+// CoreDet — a logical-clock DMT system — was reported to use five different
+// schedules to process eight different pbzip2 input files, so testing one
+// input says little about the others. Round-robin-based systems (Parrot,
+// QiThread) use ONE schedule for all of them. This example reproduces that
+// comparison on the pbzip2 model with eight input variants.
+package main
+
+import (
+	"fmt"
+
+	"qithread"
+	"qithread/internal/core"
+	"qithread/internal/harness"
+	"qithread/internal/programs"
+	"qithread/internal/trace"
+	"qithread/internal/workload"
+)
+
+func main() {
+	spec, _ := programs.Find("pbzip2_compress")
+	inputs := harness.StabilityInputs(workload.Params{Scale: 0.1, InputSeed: 7}, 8)
+	r := &harness.Runner{Params: workload.Params{}, Repeats: 1}
+
+	for _, mode := range []harness.Mode{
+		harness.VanillaRR(),
+		harness.QiThread(),
+		harness.Kendo(),
+	} {
+		res := r.Stability(spec, mode, inputs)
+		fmt.Printf("%-22s -> %d distinct schedule(s) across %d inputs\n", mode.Name, res.Distinct, res.Inputs)
+	}
+
+	fmt.Println()
+	fmt.Println("Where do the logical-clock schedules diverge? (common prefix with input 0)")
+	cfg := harness.Kendo().Cfg
+	cfg.Record = true
+	var ref []core.Event
+	for i, in := range inputs {
+		rt := qithread.New(cfg)
+		spec.Build(in)(rt)
+		tr := rt.Trace()
+		if i == 0 {
+			ref = tr
+			fmt.Printf("input 0: %d events (reference)\n", len(tr))
+			continue
+		}
+		fmt.Printf("input %d: %d events, diverges from input 0 at event %d\n",
+			i, len(tr), trace.CommonPrefix(ref, tr))
+	}
+}

@@ -1,0 +1,3 @@
+module qithread
+
+go 1.22

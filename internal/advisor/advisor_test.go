@@ -1,0 +1,130 @@
+package advisor
+
+import (
+	"testing"
+
+	"qithread"
+	"qithread/internal/core"
+	"qithread/internal/programs"
+	"qithread/internal/workload"
+)
+
+// vanillaTrace records a catalog program under vanilla round robin.
+func vanillaTrace(t *testing.T, name string, p workload.Params) []core.Event {
+	t.Helper()
+	spec, ok := programs.Find(name)
+	if !ok {
+		t.Fatalf("unknown program %s", name)
+	}
+	rt := qithread.New(qithread.Config{Mode: qithread.RoundRobin, Record: true})
+	spec.Build(p)(rt)
+	return rt.Trace()
+}
+
+func hasPolicy(recs []Recommendation, p qithread.Policy) bool {
+	for _, r := range recs {
+		if r.Policy == p {
+			return true
+		}
+	}
+	return false
+}
+
+var advisorParams = workload.Params{Threads: 6, Scale: 0.15, InputSeed: 5}
+
+// TestAdvisorRecognizesFigure1 recommends WakeAMAP for pbzip2's
+// producer-consumer serialization.
+func TestAdvisorRecognizesFigure1(t *testing.T) {
+	recs := Analyze(vanillaTrace(t, "pbzip2_compress", advisorParams))
+	if !hasPolicy(recs, qithread.WakeAMAP) {
+		t.Fatalf("WakeAMAP not recommended for pbzip2:\n%v", recs)
+	}
+}
+
+// TestAdvisorRecognizesFigure2 recommends CreateAll for the create-loop
+// programs.
+func TestAdvisorRecognizesFigure2(t *testing.T) {
+	recs := Analyze(vanillaTrace(t, "histogram-pthread", advisorParams))
+	if !hasPolicy(recs, qithread.CreateAll) {
+		t.Fatalf("CreateAll not recommended for histogram-pthread:\n%v", recs)
+	}
+}
+
+// TestAdvisorRecognizesLockConvoy recommends CSWhole for the task-queue
+// programs whose lock blocks dominate.
+func TestAdvisorRecognizesLockConvoy(t *testing.T) {
+	recs := Analyze(vanillaTrace(t, "pfscan", advisorParams))
+	if !hasPolicy(recs, qithread.CSWhole) {
+		t.Fatalf("CSWhole not recommended for pfscan:\n%v", recs)
+	}
+}
+
+// TestAdvisorRecognizesFigure3 recommends BranchedWake for OpenMP programs
+// (the gomp dock of Figure 3).
+func TestAdvisorRecognizesFigure3(t *testing.T) {
+	recs := Analyze(vanillaTrace(t, "convert_blur", advisorParams))
+	if !hasPolicy(recs, qithread.BranchedWake) {
+		t.Fatalf("BranchedWake not recommended for convert_blur:\n%v", recs)
+	}
+}
+
+// TestAdvisorQuietOnBalancedProgram: a balanced fork-join program with no
+// contention triggers no recommendations.
+func TestAdvisorQuietOnBalancedProgram(t *testing.T) {
+	app := workload.ForkJoin(workload.ForkJoinConfig{Threads: 4, Rounds: 4, Work: 200}, advisorParams)
+	rt := qithread.New(qithread.Config{Mode: qithread.RoundRobin, Record: true})
+	app(rt)
+	recs := Analyze(rt.Trace())
+	for _, r := range recs {
+		if r.Policy == qithread.WakeAMAP || r.Policy == qithread.BranchedWake {
+			t.Errorf("spurious recommendation on balanced program: %v", r)
+		}
+	}
+}
+
+// TestPoliciesAggregation: the policy set always includes BoostBlocked when
+// any recommendation fires, and is empty otherwise.
+func TestPoliciesAggregation(t *testing.T) {
+	if got := Policies(nil); got != qithread.NoPolicies {
+		t.Fatalf("Policies(nil) = %v", got)
+	}
+	got := Policies([]Recommendation{{Policy: qithread.WakeAMAP}})
+	if !got.Has(qithread.WakeAMAP) || !got.Has(qithread.BoostBlocked) {
+		t.Fatalf("Policies = %v", got)
+	}
+}
+
+// TestAutoTuneFixesPbzip2: the end-to-end pipeline recovers most of pbzip2's
+// serialization without any human input.
+func TestAutoTuneFixesPbzip2(t *testing.T) {
+	spec, _ := programs.Find("pbzip2_compress")
+	app := spec.Build(workload.Params{Threads: 8, Scale: 0.3, InputSeed: 5})
+	recs, res := AutoTune(app)
+	if len(recs) == 0 {
+		t.Fatal("no recommendations for pbzip2")
+	}
+	if !res.Helped() {
+		t.Fatalf("auto-tuning did not help: vanilla %d, tuned %d (policies %v)",
+			res.VanillaMakespan, res.TunedMakespan, res.Recommended)
+	}
+	if res.Improvement() < 2 {
+		t.Errorf("expected a large improvement on pbzip2, got %.2fx", res.Improvement())
+	}
+}
+
+// TestAutoTuneHonestOnVips: vips resists tuning, and for the paper's exact
+// reason — each consumer waits on its OWN condition variable, so no single
+// object ever shows multiple distinct waiters and the advisor cannot justify
+// WakeAMAP (Section 5.2: "the wrappers cannot keep track of the number of
+// consumers to wake").
+func TestAutoTuneHonestOnVips(t *testing.T) {
+	spec, _ := programs.Find("vips")
+	app := spec.Build(workload.Params{Threads: 8, Scale: 0.3, InputSeed: 5})
+	recs, res := AutoTune(app)
+	if hasPolicy(recs, qithread.WakeAMAP) {
+		t.Errorf("WakeAMAP should not be recommendable for vips' per-consumer condvars:\n%v", recs)
+	}
+	if res.Improvement() > 3 {
+		t.Errorf("vips should resist tuning, got %.2fx improvement", res.Improvement())
+	}
+}

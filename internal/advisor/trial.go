@@ -1,0 +1,48 @@
+package advisor
+
+import (
+	"qithread"
+	"qithread/internal/workload"
+)
+
+// TrialResult reports the empirical validation of a recommendation set —
+// Pegasus's trial step: recommendations are only advice until a measurement
+// confirms them.
+type TrialResult struct {
+	// Recommended is the policy set under trial.
+	Recommended qithread.Policy
+	// VanillaMakespan and TunedMakespan are virtual makespans without and
+	// with the recommended policies.
+	VanillaMakespan int64
+	TunedMakespan   int64
+}
+
+// Improvement returns the speedup factor of the tuned configuration
+// (>1 means the recommendations helped).
+func (t TrialResult) Improvement() float64 {
+	if t.TunedMakespan == 0 {
+		return 0
+	}
+	return float64(t.VanillaMakespan) / float64(t.TunedMakespan)
+}
+
+// Helped reports whether the tuned configuration beat vanilla round robin by
+// more than 10%, the paper's significance threshold.
+func (t TrialResult) Helped() bool {
+	return float64(t.TunedMakespan) < 0.9*float64(t.VanillaMakespan)
+}
+
+// AutoTune runs the full advisor pipeline on a program: record a vanilla
+// round-robin schedule, analyze it, and trial the recommended policies.
+func AutoTune(app workload.App) (recs []Recommendation, result TrialResult) {
+	rec := qithread.New(qithread.Config{Mode: qithread.RoundRobin, Record: true})
+	app(rec)
+	recs = Analyze(rec.Trace())
+	result.Recommended = Policies(recs)
+	result.VanillaMakespan = rec.VirtualMakespan()
+
+	tuned := qithread.New(qithread.Config{Mode: qithread.RoundRobin, Policies: result.Recommended})
+	app(tuned)
+	result.TunedMakespan = tuned.VirtualMakespan()
+	return recs, result
+}

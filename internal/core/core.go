@@ -1,0 +1,185 @@
+// Package core implements the deterministic user-space scheduler that is the
+// primary contribution of "Semantics-Aware Scheduling Policies for
+// Synchronization Determinism" (QiThread, PPoPP 2019).
+//
+// The scheduler enforces the turn-based mechanism common to all DMT systems:
+// at any time at most one registered thread holds the turn, and a
+// synchronization operation may execute only while its thread holds the turn.
+// Which thread gets the next turn is decided by a scheduling policy:
+//
+//   - Round robin (the Parrot and QiThread base policy): the head of the run
+//     queue is eligible. With the BoostBlocked policy, threads that were just
+//     woken from the wait queue sit in a higher-priority wake-up queue and
+//     run before the run queue.
+//   - Logical clock (the Kendo / CoreDet baseline): the runnable thread with
+//     the globally minimal instruction clock is eligible, ties broken by
+//     thread ID.
+//
+// The package exposes exactly the primitives of Table 1 of the paper
+// (GetTurn, PutTurn, Wait, Signal, Broadcast) plus registration, turn
+// retention (used by the CreateAll / CSWhole / WakeAMAP wrapper policies),
+// logical-clock accounting, deterministic logical timeouts, and schedule
+// tracing. The higher-level pthreads-style wrappers live in the root
+// qithread package.
+package core
+
+import "fmt"
+
+// Mode selects the base scheduling policy of a Scheduler.
+type Mode uint8
+
+const (
+	// RoundRobin passes the turn around the run queue in FIFO order. It is
+	// the base policy of both Parrot and QiThread and provides schedule
+	// stability: the schedule depends only on the synchronization structure
+	// of the program, not on input sizes or compute durations.
+	RoundRobin Mode = iota
+	// LogicalClock grants the turn to the runnable thread with the smallest
+	// instruction clock (see AddWork), ties broken by thread ID. This is the
+	// Kendo / CoreDet baseline. It balances imbalanced synchronization
+	// without annotations but is not stable: input changes perturb clocks
+	// and therefore schedules.
+	LogicalClock
+	// VirtualParallel simulates an UNCONSTRAINED parallel execution: the
+	// runnable thread with the smallest virtual clock acts next (greedy
+	// list scheduling on unbounded cores) and synchronization operations do
+	// NOT serialize through a global turn in virtual time — only real
+	// per-object dependencies (who holds the lock, who signals whom) order
+	// threads. Its virtual makespan models the nondeterministic pthreads
+	// baseline the paper normalizes against, while remaining deterministic
+	// and noise-free. It is a measurement baseline, not a DMT policy.
+	VirtualParallel
+)
+
+// String returns the conventional name of the mode.
+func (m Mode) String() string {
+	switch m {
+	case RoundRobin:
+		return "round-robin"
+	case LogicalClock:
+		return "logical-clock"
+	case VirtualParallel:
+		return "virtual-parallel"
+	default:
+		return fmt.Sprintf("mode(%d)", uint8(m))
+	}
+}
+
+// Policy is a bitmask of the five semantics-aware scheduling policies of the
+// paper (Section 3). Only BoostBlocked changes Scheduler internals; the other
+// four are implemented in the qithread wrappers on top of turn retention, but
+// are declared here so that a single policy set describes a configuration.
+type Policy uint8
+
+const (
+	// BoostBlocked prioritizes threads that were just woken from the wait
+	// queue by placing them on the wake-up queue, which is scheduled before
+	// the run queue (Section 3.1).
+	BoostBlocked Policy = 1 << iota
+	// CreateAll lets a thread keep the turn across a pthread_create loop so
+	// all children are created back to back (Section 3.2).
+	CreateAll
+	// CSWhole schedules a critical section (lock ... unlock) as a single
+	// turn (Section 3.3).
+	CSWhole
+	// WakeAMAP lets a thread executing unblocking operations keep the turn
+	// while more threads are waiting on the same condition variable or
+	// semaphore (Section 3.4).
+	WakeAMAP
+	// BranchedWake aligns threads that skip an unblocking operation on a
+	// branch by issuing a dummy synchronization operation (Section 3.5).
+	BranchedWake
+
+	// NoPolicies is the vanilla round-robin configuration used by Parrot.
+	NoPolicies Policy = 0
+	// AllPolicies is the QiThread default configuration (Section 5.1).
+	AllPolicies Policy = BoostBlocked | CreateAll | CSWhole | WakeAMAP | BranchedWake
+)
+
+// Has reports whether the set contains policy p.
+func (ps Policy) Has(p Policy) bool { return ps&p != 0 }
+
+// String lists the enabled policies, or "none".
+func (ps Policy) String() string {
+	if ps == 0 {
+		return "none"
+	}
+	names := []struct {
+		p Policy
+		s string
+	}{
+		{BoostBlocked, "BoostBlocked"},
+		{CreateAll, "CreateAll"},
+		{CSWhole, "CSWhole"},
+		{WakeAMAP, "WakeAMAP"},
+		{BranchedWake, "BranchedWake"},
+	}
+	out := ""
+	for _, n := range names {
+		if ps.Has(n.p) {
+			if out != "" {
+				out += "+"
+			}
+			out += n.s
+		}
+	}
+	return out
+}
+
+// Config configures a Scheduler.
+type Config struct {
+	// Mode selects the base policy. The zero value is RoundRobin.
+	Mode Mode
+	// Policies is the set of semantics-aware policies. The scheduler itself
+	// only consults BoostBlocked; wrappers consult the rest.
+	Policies Policy
+	// Record enables schedule tracing. Each completed synchronization
+	// operation appends one Event to the trace.
+	Record bool
+	// SyncClockTick is the amount added to a thread's logical clock per
+	// executed synchronization operation in LogicalClock mode. Zero means 1.
+	// Round-robin mode ignores clocks entirely.
+	SyncClockTick int64
+	// VSyncCost is the virtual-time cost, in work units, of one
+	// synchronization operation under the turn mechanism (wrapper +
+	// scheduler queue manipulation). Zero means 12. See the virtual-time
+	// model below.
+	VSyncCost int64
+}
+
+// Virtual time. The scheduler maintains a critical-path ("virtual time")
+// model of the execution: compute between synchronization operations advances
+// only the executing thread's virtual clock (threads compute in parallel),
+// while synchronization operations serialize through the turn — operation k
+// of the deterministic total order cannot start before operation k−1 has
+// finished, nor before its own thread has reached it. The maximum final
+// virtual clock over all threads is the virtual makespan, an estimate of the
+// program's parallel wall-clock time on an unloaded multiprocessor.
+//
+// The harness measures virtual makespans rather than host wall time so that
+// the paper's results — which are all about lost parallelism under
+// deterministic scheduling — reproduce faithfully on any host, including
+// single-core CI machines where every mode would otherwise serialize
+// identically.
+
+// WaitStatus reports how a Wait call completed.
+type WaitStatus uint8
+
+const (
+	// WaitSignaled means the thread was woken by Signal or Broadcast.
+	WaitSignaled WaitStatus = iota
+	// WaitTimeout means the logical timeout expired before any wake-up.
+	WaitTimeout
+)
+
+// String returns "signaled" or "timeout".
+func (w WaitStatus) String() string {
+	if w == WaitTimeout {
+		return "timeout"
+	}
+	return "signaled"
+}
+
+// NoTimeout is the timeout value for Wait calls that never time out,
+// mirroring Parrot's wait(addr, 0).
+const NoTimeout int64 = 0

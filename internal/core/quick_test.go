@@ -1,0 +1,279 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// script is a randomized mini-program: nThreads threads each perform a
+// deterministic sequence of operations derived from a seed. Operations are
+// drawn from {plain turn, signal obj, wait obj with timeout, work}. The
+// waits always carry timeouts so random programs cannot deadlock.
+type script struct {
+	Seed     uint64
+	NThreads uint8
+	NOps     uint8
+}
+
+func (sc script) threads() int { return int(sc.NThreads)%5 + 2 }
+func (sc script) ops() int     { return int(sc.NOps)%12 + 3 }
+
+// runScript executes the script under cfg and returns the recorded trace.
+func runScript(sc script, cfg Config) []Event {
+	cfg.Record = true
+	s := New(cfg)
+	n := sc.threads()
+	ths := make([]*Thread, n)
+	for i := range ths {
+		ths[i] = s.Register(fmt.Sprintf("t%d", i))
+	}
+	var wg sync.WaitGroup
+	for i, th := range ths {
+		wg.Add(1)
+		go func(i int, th *Thread) {
+			defer wg.Done()
+			x := sc.Seed + uint64(i)*0x9e3779b97f4a7c15
+			for op := 0; op < sc.ops(); op++ {
+				x ^= x << 13
+				x ^= x >> 7
+				x ^= x << 17
+				switch x % 4 {
+				case 0:
+					s.GetTurn(th)
+					s.TraceOp(th, OpYield, 0, StatusOK)
+					s.PutTurn(th)
+				case 1:
+					obj := x%3 + 1
+					s.GetTurn(th)
+					s.TraceOp(th, OpCondSignal, obj, StatusOK)
+					s.Signal(th, obj)
+					s.PutTurn(th)
+				case 2:
+					obj := x%3 + 1
+					s.GetTurn(th)
+					s.TraceOp(th, OpCondWait, obj, StatusBlocked)
+					s.Wait(th, obj, int64(x%7)+3)
+					s.TraceOp(th, OpCondWait, obj, StatusReturn)
+					s.PutTurn(th)
+				case 3:
+					s.AddWork(th, int64(x%64))
+				}
+			}
+			s.GetTurn(th)
+			s.TraceOp(th, OpThreadEnd, 0, StatusOK)
+			s.Exit(th)
+		}(i, th)
+	}
+	wg.Wait()
+	return s.Trace()
+}
+
+func tracesEqual(a, b []Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestQuickScheduleDeterminism: any random script produces the identical
+// trace on repeated runs, under every deterministic mode and policy setting.
+func TestQuickScheduleDeterminism(t *testing.T) {
+	for _, cfg := range []Config{
+		{Mode: RoundRobin},
+		{Mode: RoundRobin, Policies: BoostBlocked},
+		{Mode: LogicalClock},
+		{Mode: VirtualParallel},
+	} {
+		cfg := cfg
+		t.Run(cfg.Mode.String()+"/"+cfg.Policies.String(), func(t *testing.T) {
+			f := func(sc script) bool {
+				return tracesEqual(runScript(sc, cfg), runScript(sc, cfg))
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestQuickTraceWellFormed: every trace is a total order with contiguous
+// sequence numbers, exactly one thread_end per thread, and every wait-return
+// preceded by a matching wait-block from the same thread.
+func TestQuickTraceWellFormed(t *testing.T) {
+	f := func(sc script) bool {
+		tr := runScript(sc, Config{Mode: RoundRobin, Policies: BoostBlocked})
+		ends := map[int]int{}
+		pendingWait := map[int]int{}
+		for i, e := range tr {
+			if e.Seq != int64(i) {
+				return false
+			}
+			switch {
+			case e.Op == OpThreadEnd:
+				ends[e.TID]++
+			case e.Op == OpCondWait && e.Status == StatusBlocked:
+				pendingWait[e.TID]++
+			case e.Op == OpCondWait && e.Status == StatusReturn:
+				pendingWait[e.TID]--
+				if pendingWait[e.TID] < 0 {
+					return false
+				}
+			}
+		}
+		for _, c := range ends {
+			if c != 1 {
+				return false
+			}
+		}
+		return len(ends) == sc.threads()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickVirtualMakespanSane: virtual makespans are positive, and the
+// round-robin makespan is never smaller than the virtual-parallel (ideal)
+// makespan for the same script — determinism can only cost parallelism.
+func TestQuickVirtualMakespanSane(t *testing.T) {
+	run := func(sc script, cfg Config) int64 {
+		cfg.Record = false
+		s := New(cfg)
+		n := sc.threads()
+		ths := make([]*Thread, n)
+		for i := range ths {
+			ths[i] = s.Register(fmt.Sprintf("t%d", i))
+		}
+		var wg sync.WaitGroup
+		for i, th := range ths {
+			wg.Add(1)
+			go func(i int, th *Thread) {
+				defer wg.Done()
+				x := sc.Seed + uint64(i)
+				for op := 0; op < sc.ops(); op++ {
+					x ^= x<<13 ^ x>>7
+					s.AddWork(th, int64(x%128)+1)
+					s.GetTurn(th)
+					s.TraceOp(th, OpYield, 0, StatusOK)
+					s.PutTurn(th)
+				}
+				s.GetTurn(th)
+				s.Exit(th)
+			}(i, th)
+		}
+		wg.Wait()
+		return s.VirtualMakespan()
+	}
+	f := func(sc script) bool {
+		rr := run(sc, Config{Mode: RoundRobin})
+		vp := run(sc, Config{Mode: VirtualParallel, VSyncCost: 12})
+		return rr > 0 && vp > 0 && rr >= vp
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVirtualParallelOrdersByVTime: under VirtualParallel the thread with
+// the smaller virtual clock executes its operation first.
+func TestVirtualParallelOrdersByVTime(t *testing.T) {
+	s := New(Config{Mode: VirtualParallel, Record: true})
+	var wg sync.WaitGroup
+	ths := []*Thread{s.Register("a"), s.Register("b")}
+	for i, th := range ths {
+		wg.Add(1)
+		go func(i int, th *Thread) {
+			defer wg.Done()
+			if i == 0 {
+				s.AddWork(th, 1000) // thread a is "later" in virtual time
+			}
+			s.GetTurn(th)
+			s.TraceOp(th, OpYield, 0, StatusOK)
+			s.Exit(th)
+		}(i, th)
+	}
+	wg.Wait()
+	tr := s.Trace()
+	if len(tr) != 2 || tr[0].TID != 1 {
+		t.Fatalf("expected thread b (vtime 0) first, got %v", tr)
+	}
+}
+
+// TestWakeEdgeRaisesVTime: a woken thread resumes no earlier (in virtual
+// time) than its waker's wake-up operation.
+func TestWakeEdgeRaisesVTime(t *testing.T) {
+	s := New(Config{Mode: RoundRobin})
+	var waiterV int64
+	var wg sync.WaitGroup
+	waiter := s.Register("waiter")
+	signaler := s.Register("signaler")
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		s.GetTurn(waiter)
+		s.Wait(waiter, 9, NoTimeout)
+		waiterV = waiter.VTime()
+		s.Exit(waiter)
+	}()
+	go func() {
+		defer wg.Done()
+		s.GetTurn(signaler)
+		s.PutTurn(signaler) // let the waiter park first
+		s.AddWork(signaler, 5000)
+		s.GetTurn(signaler)
+		s.Signal(signaler, 9)
+		s.Exit(signaler)
+	}()
+	wg.Wait()
+	if waiterV < 5000 {
+		t.Fatalf("woken thread's vtime %d should be >= signaler's 5000", waiterV)
+	}
+}
+
+// TestExitedThreadMisuse: using a thread after Exit panics with a clear
+// diagnostic instead of corrupting the queues.
+func TestExitedThreadMisuse(t *testing.T) {
+	s := New(Config{Mode: RoundRobin})
+	th := s.Register("t")
+	done := make(chan struct{})
+	go func() {
+		s.GetTurn(th)
+		s.Exit(th)
+		close(done)
+	}()
+	<-done
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on GetTurn after Exit")
+		}
+	}()
+	s.GetTurn(th)
+}
+
+// TestSignalNoWaitersIsNoop: signaling an object nobody waits on neither
+// blocks nor corrupts state (pthread_cond_signal semantics).
+func TestSignalNoWaitersIsNoop(t *testing.T) {
+	s := New(Config{Mode: RoundRobin})
+	th := s.Register("t")
+	done := make(chan struct{})
+	go func() {
+		s.GetTurn(th)
+		s.Signal(th, 77)
+		s.Broadcast(th, 77)
+		s.PutTurn(th)
+		s.GetTurn(th)
+		s.Exit(th)
+		close(done)
+	}()
+	<-done
+	if s.Live() != 0 {
+		t.Fatal("thread leaked")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import "fmt"
+
+// Schedule replay. DMT systems make record/replay nearly free: because the
+// schedule is a deterministic function of the program and input, replaying an
+// execution only requires re-running it under the same policy. Replay mode
+// goes one step further — it enforces a PREVIOUSLY RECORDED schedule
+// directly, so an execution recorded under any policy configuration can be
+// reproduced under a scheduler that knows nothing about the policies that
+// produced it (the schedule itself embeds their effects), and divergence
+// (a different binary or input) is detected at the first mismatching
+// operation rather than silently producing a different interleaving.
+
+// ErrReplayDivergence is the panic value prefix used when a replayed
+// execution departs from its recorded schedule.
+const ErrReplayDivergence = "core: replay divergence"
+
+// SetReplay installs a recorded schedule to enforce. It must be called
+// before any thread is registered. While a replay schedule is active, the
+// thread eligible for the turn is the one that performed the next recorded
+// operation, regardless of base policy; each TraceOp is verified against the
+// recording. After the recording is exhausted the base policy resumes (a
+// correct same-input replay ends exactly at the recording's end).
+func (s *Scheduler) SetReplay(schedule []Event) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.nextTID != 0 {
+		panic("core: SetReplay after threads were registered")
+	}
+	s.replay = append([]Event(nil), schedule...)
+	s.replayPos = 0
+}
+
+// ReplayPos returns how many recorded operations have been consumed.
+func (s *Scheduler) ReplayPos() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replayPos
+}
+
+// replayEligibleLocked returns the thread that must act next according to
+// the recording, or nil when the expected thread exists but is not yet
+// runnable-and-requesting (the scheduler then waits for it). It panics with
+// a divergence diagnostic if the expected thread cannot ever act (blocked in
+// the wait queue or already exited) — the program being replayed is not the
+// program that was recorded.
+func (s *Scheduler) replayEligibleLocked() *Thread {
+	want := s.replay[s.replayPos].TID
+	for _, t := range s.runQ {
+		if t.id == want {
+			return t
+		}
+	}
+	for _, t := range s.wakeQ {
+		if t.id == want {
+			return t
+		}
+	}
+	// Not runnable. If it is blocked or gone, no future action can make it
+	// eligible: the executions have diverged.
+	for _, w := range s.waitQ {
+		if w.t.id == want {
+			panic(fmt.Sprintf("%s at op %d: expected T%d to run %v but it is blocked on %s#%d\n%s",
+				ErrReplayDivergence, s.replayPos, want, s.replay[s.replayPos].Op,
+				s.objName[w.obj], w.obj, s.dumpLocked()))
+		}
+	}
+	if want >= s.nextTID {
+		// Thread not created yet: its creator's ops come first in any
+		// consistent schedule, so this is fine only if the creator can run;
+		// report divergence if nothing is runnable at all (handled by the
+		// caller's deadlock path).
+		return nil
+	}
+	// The thread exists and is neither runnable nor waiting: it exited.
+	panic(fmt.Sprintf("%s at op %d: expected T%d to run %v but it has exited\n%s",
+		ErrReplayDivergence, s.replayPos, want, s.replay[s.replayPos].Op, s.dumpLocked()))
+}
+
+// verifyReplayLocked checks one executed operation against the recording and
+// advances the cursor.
+func (s *Scheduler) verifyReplayLocked(t *Thread, op OpKind, obj uint64, st EventStatus) {
+	if s.replay == nil || s.replayPos >= len(s.replay) {
+		return
+	}
+	e := s.replay[s.replayPos]
+	if e.TID != t.id || e.Op != op || e.Obj != obj || e.Status != st {
+		panic(fmt.Sprintf("%s at op %d: recorded %v, executed {T%d %v obj=%d %v}",
+			ErrReplayDivergence, s.replayPos, e, t.id, op, obj, st))
+	}
+	s.replayPos++
+}

@@ -1,0 +1,521 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Scheduler is the deterministic user-space scheduler. It maintains the three
+// queues of Section 3.1 (run, wake-up, wait) and grants the turn according to
+// the configured base policy. Everything outside synchronization operations is
+// delegated to the Go runtime scheduler, mirroring how Parrot and QiThread
+// delegate non-synchronization execution to the OS scheduler (Figure 4).
+type Scheduler struct {
+	mu  sync.Mutex
+	cfg Config
+
+	holder *Thread // current turn holder, nil if the turn is free
+
+	runQ  []*Thread // FIFO runnable queue
+	wakeQ []*Thread // FIFO just-woken queue (used when BoostBlocked is on)
+	waitQ []*waiter // FIFO blocked queue, each entry keyed by object
+
+	turn    int64 // logical time: completed scheduling turns
+	nextTID int
+	nextObj uint64
+	objName map[uint64]string
+
+	// Virtual-time model (see core.go): vLastOp is the virtual end time of
+	// the most recent synchronization operation (guarded by the turn, i.e.
+	// only the holder updates it); vMakespan is the maximum final virtual
+	// clock of exited threads.
+	vLastOp   int64
+	vMakespan int64
+
+	live int // registered, not yet exited threads
+
+	trace []Event
+
+	// Replay state (see replay.go).
+	replay    []Event
+	replayPos int
+
+	stats Stats
+
+	// onDeadlock, if non-nil, is invoked instead of panicking when the
+	// scheduler detects that no thread can ever run again. Tests use it.
+	onDeadlock func(msg string)
+}
+
+type waiter struct {
+	t        *Thread
+	obj      uint64
+	deadline int64 // absolute turn count; 0 means no timeout
+}
+
+// New creates a scheduler with the given configuration.
+func New(cfg Config) *Scheduler {
+	if cfg.SyncClockTick == 0 {
+		cfg.SyncClockTick = 1
+	}
+	if cfg.VSyncCost == 0 {
+		cfg.VSyncCost = 12
+	}
+	return &Scheduler{cfg: cfg, objName: make(map[uint64]string)}
+}
+
+// VirtualMakespan returns the maximum final virtual clock over all exited
+// threads — the critical-path estimate of parallel execution time. Call it
+// after the program has finished.
+func (s *Scheduler) VirtualMakespan() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.vMakespan
+}
+
+// Config returns the scheduler configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// SetDeadlockHandler installs a handler called when the scheduler detects a
+// deterministic deadlock (no runnable thread, no timed waiter). If no handler
+// is installed the scheduler panics with a queue dump, which is the most
+// useful behaviour for debugging workloads.
+func (s *Scheduler) SetDeadlockHandler(fn func(msg string)) {
+	s.mu.Lock()
+	s.onDeadlock = fn
+	s.mu.Unlock()
+}
+
+// Register adds a new thread to the tail of the run queue and returns its
+// handle. Registration order determines thread IDs, so callers must register
+// deterministically: the main thread before any concurrency starts, children
+// from the create wrapper while holding the turn.
+func (s *Scheduler) Register(name string) *Thread {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := &Thread{
+		id:    s.nextTID,
+		name:  name,
+		sched: s,
+		grant: make(chan struct{}, 1),
+		queue: qRun,
+	}
+	s.nextTID++
+	s.live++
+	if s.live > s.stats.MaxLiveThreads {
+		s.stats.MaxLiveThreads = s.live
+	}
+	s.runQ = append(s.runQ, t)
+	return t
+}
+
+// NewObject allocates a deterministic ID for a synchronization object.
+// Callers must allocate deterministically (under the turn, or before any
+// concurrency), which the qithread wrappers guarantee.
+func (s *Scheduler) NewObject(name string) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextObj++
+	id := s.nextObj
+	s.objName[id] = name
+	return id
+}
+
+// ObjectName returns the debugging name of an object ID.
+func (s *Scheduler) ObjectName(id uint64) string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.objName[id]
+}
+
+// TurnCount returns the number of completed scheduling turns, the logical
+// time base used for deterministic timeouts.
+func (s *Scheduler) TurnCount() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.turn
+}
+
+// Live returns the number of registered, not yet exited threads.
+func (s *Scheduler) Live() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.live
+}
+
+// HasTurn reports whether t currently holds the turn.
+func (s *Scheduler) HasTurn(t *Thread) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.holder == t
+}
+
+// GetTurn blocks until t holds the turn. If t already holds the turn the call
+// returns immediately, which is what makes turn retention by the CSWhole,
+// WakeAMAP and CreateAll wrapper policies work: a retained turn simply makes
+// the next wrapper's GetTurn a no-op.
+func (s *Scheduler) GetTurn(t *Thread) {
+	s.mu.Lock()
+	if s.holder == t {
+		s.mu.Unlock()
+		return
+	}
+	if t.exited {
+		s.mu.Unlock()
+		panic("core: GetTurn on exited thread " + t.String())
+	}
+	t.wantTurn = true
+	s.kickLocked()
+	for s.holder != t {
+		s.mu.Unlock()
+		<-t.grant
+		s.mu.Lock()
+	}
+	s.mu.Unlock()
+}
+
+// PutTurn releases the turn held by t: t moves to the tail of the run queue
+// and the next eligible thread is granted the turn.
+func (s *Scheduler) PutTurn(t *Thread) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requireTurnLocked(t, "PutTurn")
+	s.advanceTimeLocked(t)
+	s.removeRunnableLocked(t)
+	t.queue = qRun
+	s.runQ = append(s.runQ, t)
+	s.holder = nil
+	s.kickLocked()
+}
+
+// Wait atomically releases the turn and blocks t on the wait queue keyed by
+// obj, mirroring the wait primitive of Table 1. timeout, when positive, is a
+// relative logical time in turns; NoTimeout (0) never expires. Wait returns
+// once t has been woken (by Signal, Broadcast, or timeout) AND has re-acquired
+// the turn, and reports how it was woken.
+func (s *Scheduler) Wait(t *Thread, obj uint64, timeout int64) WaitStatus {
+	s.mu.Lock()
+	s.requireTurnLocked(t, "Wait")
+	s.advanceTimeLocked(t)
+	s.removeRunnableLocked(t)
+	t.queue = qWait
+	var deadline int64
+	if timeout > 0 {
+		deadline = s.turn + timeout
+	}
+	s.waitQ = append(s.waitQ, &waiter{t: t, obj: obj, deadline: deadline})
+	s.stats.Waits++
+	t.wantTurn = true
+	s.holder = nil
+	s.kickLocked()
+	for s.holder != t {
+		s.mu.Unlock()
+		<-t.grant
+		s.mu.Lock()
+	}
+	st := t.waitStatus
+	s.mu.Unlock()
+	return st
+}
+
+// Signal wakes the first thread waiting on obj, if any. The woken thread is
+// appended to the wake-up queue when BoostBlocked is enabled, otherwise to
+// the tail of the run queue (the vanilla Parrot behaviour). The caller keeps
+// the turn.
+func (s *Scheduler) Signal(t *Thread, obj uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requireTurnLocked(t, "Signal")
+	s.stats.Signals++
+	for i, w := range s.waitQ {
+		if w.obj == obj {
+			s.waitQ = append(s.waitQ[:i], s.waitQ[i+1:]...)
+			s.wakeLocked(w.t, WaitSignaled, t.vtime.Load())
+			return
+		}
+	}
+}
+
+// Broadcast wakes all threads waiting on obj in wait-queue (FIFO) order.
+// The caller keeps the turn.
+func (s *Scheduler) Broadcast(t *Thread, obj uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requireTurnLocked(t, "Broadcast")
+	s.stats.Broadcasts++
+	rest := s.waitQ[:0]
+	for _, w := range s.waitQ {
+		if w.obj == obj {
+			s.wakeLocked(w.t, WaitSignaled, t.vtime.Load())
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	s.waitQ = rest
+}
+
+// Waiters returns the number of threads currently blocked on obj. The caller
+// must hold the turn; wrappers use this for diagnostics and tests.
+func (s *Scheduler) Waiters(t *Thread, obj uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requireTurnLocked(t, "Waiters")
+	n := 0
+	for _, w := range s.waitQ {
+		if w.obj == obj {
+			n++
+		}
+	}
+	return n
+}
+
+// Exit removes t from the scheduler. t must hold the turn. After Exit the
+// thread may never call scheduler primitives again.
+func (s *Scheduler) Exit(t *Thread) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requireTurnLocked(t, "Exit")
+	s.advanceTimeLocked(t)
+	if v := t.vtime.Load(); v > s.vMakespan {
+		s.vMakespan = v
+	}
+	s.removeRunnableLocked(t)
+	t.queue = qNone
+	t.exited = true
+	s.live--
+	s.holder = nil
+	s.kickLocked()
+}
+
+// AddWork advances t's logical instruction clock by n. In LogicalClock mode
+// clock changes can make a previously ineligible thread eligible, so the
+// scheduler is re-kicked; RoundRobin mode never consults clocks and takes a
+// lock-free fast path.
+func (s *Scheduler) AddWork(t *Thread, n int64) {
+	t.vtime.Add(n)
+	switch s.cfg.Mode {
+	case LogicalClock:
+		// Clock changes can make a previously ineligible thread eligible.
+		s.mu.Lock()
+		t.clock.Add(n)
+		s.kickLocked()
+		s.mu.Unlock()
+	case VirtualParallel:
+		// Virtual-clock changes drive eligibility here.
+		s.mu.Lock()
+		s.kickLocked()
+		s.mu.Unlock()
+	default:
+		t.clock.Add(n)
+	}
+}
+
+// --- internals ---
+
+func (s *Scheduler) requireTurnLocked(t *Thread, op string) {
+	if s.holder != t {
+		panic(fmt.Sprintf("core: %s by %v which does not hold the turn (holder=%v)", op, t, s.holder))
+	}
+}
+
+// advanceTimeLocked completes a scheduling turn: logical time advances, the
+// logical clock of the departing holder ticks (LogicalClock mode), and
+// expired timed waiters are woken in FIFO order.
+func (s *Scheduler) advanceTimeLocked(t *Thread) {
+	s.turn++
+	if s.cfg.Mode == LogicalClock {
+		t.clock.Add(s.cfg.SyncClockTick)
+	}
+	s.expireLocked()
+}
+
+// expireLocked wakes every timed waiter whose deadline has passed.
+func (s *Scheduler) expireLocked() {
+	if len(s.waitQ) == 0 {
+		return
+	}
+	rest := s.waitQ[:0]
+	for _, w := range s.waitQ {
+		if w.deadline > 0 && w.deadline <= s.turn {
+			s.wakeLocked(w.t, WaitTimeout, 0)
+		} else {
+			rest = append(rest, w)
+		}
+	}
+	s.waitQ = rest
+}
+
+// wakeLocked moves a thread out of the wait queue into the runnable set.
+// wakerVTime, when positive, records the happens-before edge from the waking
+// operation: the woken thread cannot resume before its waker reached the
+// wake-up in virtual time.
+func (s *Scheduler) wakeLocked(t *Thread, st WaitStatus, wakerVTime int64) {
+	t.waitStatus = st
+	if st == WaitTimeout {
+		s.stats.WokenByTimeout++
+	} else {
+		s.stats.WokenBySignal++
+	}
+	if wakerVTime > 0 {
+		t.MeetVTime(wakerVTime)
+	}
+	if s.cfg.Mode == RoundRobin && s.cfg.Policies.Has(BoostBlocked) {
+		t.queue = qWake
+		s.wakeQ = append(s.wakeQ, t)
+	} else {
+		t.queue = qRun
+		s.runQ = append(s.runQ, t)
+	}
+}
+
+// removeRunnableLocked removes t from the run or wake-up queue.
+func (s *Scheduler) removeRunnableLocked(t *Thread) {
+	var q *[]*Thread
+	switch t.queue {
+	case qRun:
+		q = &s.runQ
+	case qWake:
+		q = &s.wakeQ
+	default:
+		panic(fmt.Sprintf("core: thread %v not runnable (queue=%v)", t, t.queue))
+	}
+	for i, x := range *q {
+		if x == t {
+			*q = append((*q)[:i], (*q)[i+1:]...)
+			return
+		}
+	}
+	panic(fmt.Sprintf("core: thread %v missing from %v queue", t, t.queue))
+}
+
+// eligibleLocked returns the thread that should hold the turn next, or nil if
+// no thread is runnable.
+func (s *Scheduler) eligibleLocked() *Thread {
+	if s.replay != nil && s.replayPos < len(s.replay) {
+		return s.replayEligibleLocked()
+	}
+	switch s.cfg.Mode {
+	case LogicalClock, VirtualParallel:
+		// The runnable thread with the globally minimal clock runs next,
+		// but only once its clock is a minimum over ALL live threads:
+		// a computing thread with a smaller clock may still issue an
+		// earlier-ordered synchronization operation (Kendo's rule).
+		var best *Thread
+		bestKey := int64(1<<63 - 1)
+		key := func(t *Thread) int64 {
+			if s.cfg.Mode == VirtualParallel {
+				return t.vtime.Load()
+			}
+			return t.clock.Load()
+		}
+		consider := func(t *Thread) {
+			c := key(t)
+			if c < bestKey || (c == bestKey && best != nil && t.id < best.id) {
+				bestKey, best = c, t
+			}
+		}
+		for _, t := range s.runQ {
+			consider(t)
+		}
+		for _, t := range s.wakeQ {
+			consider(t)
+		}
+		if best == nil {
+			return nil
+		}
+		// A blocked waiter cannot issue operations, so it does not gate.
+		// Only runnable threads with smaller (clock, id) gate 'best', and
+		// by construction best already minimizes over runnable threads.
+		return best
+	default: // RoundRobin
+		if s.cfg.Policies.Has(BoostBlocked) && len(s.wakeQ) > 0 {
+			return s.wakeQ[0]
+		}
+		if len(s.runQ) > 0 {
+			return s.runQ[0]
+		}
+		return nil
+	}
+}
+
+// kickLocked grants the free turn to the next eligible thread if that thread
+// is currently parked waiting for it. If no thread is runnable but timed
+// waiters exist, logical time jumps forward deterministically to the earliest
+// deadline (this is how a "logical sleep" in an otherwise idle program makes
+// progress). If nothing can ever run, the deadlock handler fires.
+func (s *Scheduler) kickLocked() {
+	for {
+		if s.holder != nil {
+			return
+		}
+		if e := s.eligibleLocked(); e != nil {
+			if e.wantTurn {
+				e.wantTurn = false
+				s.holder = e
+				select {
+				case e.grant <- struct{}{}:
+				default:
+				}
+			}
+			return
+		}
+		if len(s.waitQ) == 0 {
+			return // no threads at all: program finished or not started
+		}
+		// No runnable thread. Advance logical time to the earliest timed
+		// deadline; if none exists the program is deadlocked.
+		min := int64(0)
+		for _, w := range s.waitQ {
+			if w.deadline > 0 && (min == 0 || w.deadline < min) {
+				min = w.deadline
+			}
+		}
+		if min == 0 {
+			msg := "core: deterministic deadlock: all threads blocked without timeout\n" + s.dumpLocked()
+			if s.onDeadlock != nil {
+				fn := s.onDeadlock
+				s.mu.Unlock()
+				fn(msg)
+				s.mu.Lock()
+				return
+			}
+			panic(msg)
+		}
+		s.turn = min
+		s.expireLocked()
+	}
+}
+
+// dumpLocked renders the scheduler state for deadlock diagnostics.
+func (s *Scheduler) dumpLocked() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  turn=%d holder=%v\n", s.turn, s.holder)
+	fmt.Fprintf(&b, "  runQ: %s\n", threadNames(s.runQ))
+	fmt.Fprintf(&b, "  wakeQ: %s\n", threadNames(s.wakeQ))
+	objs := make(map[uint64][]string)
+	var keys []uint64
+	for _, w := range s.waitQ {
+		if _, ok := objs[w.obj]; !ok {
+			keys = append(keys, w.obj)
+		}
+		objs[w.obj] = append(objs[w.obj], w.t.String())
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	for _, k := range keys {
+		fmt.Fprintf(&b, "  waitQ[%s#%d]: %s\n", s.objName[k], k, strings.Join(objs[k], " "))
+	}
+	return b.String()
+}
+
+func threadNames(ts []*Thread) string {
+	if len(ts) == 0 {
+		return "(empty)"
+	}
+	names := make([]string, len(ts))
+	for i, t := range ts {
+		names[i] = t.String()
+	}
+	return strings.Join(names, " ")
+}

@@ -1,0 +1,40 @@
+package core
+
+import "fmt"
+
+// Stats aggregates scheduling activity for analysis and tooling. All
+// counters are monotone over one execution.
+type Stats struct {
+	// Ops is the number of completed synchronization operations (TraceOp
+	// calls), whether or not recording was enabled.
+	Ops int64
+	// Turns is the number of completed scheduling turns (releases + parks).
+	Turns int64
+	// Waits is the number of times a thread parked on the wait queue.
+	Waits int64
+	// Signals and Broadcasts count wake-up operations issued.
+	Signals    int64
+	Broadcasts int64
+	// Woken counts threads moved from the wait queue to the runnable set,
+	// split by cause.
+	WokenBySignal  int64
+	WokenByTimeout int64
+	// MaxLiveThreads is the high-water mark of registered live threads.
+	MaxLiveThreads int
+}
+
+// String summarizes the stats on one line.
+func (st Stats) String() string {
+	return fmt.Sprintf("ops=%d turns=%d waits=%d signals=%d broadcasts=%d woken(signal=%d timeout=%d) maxThreads=%d",
+		st.Ops, st.Turns, st.Waits, st.Signals, st.Broadcasts,
+		st.WokenBySignal, st.WokenByTimeout, st.MaxLiveThreads)
+}
+
+// Stats returns a snapshot of the scheduler's activity counters.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.stats
+	st.Turns = s.turn
+	return st
+}

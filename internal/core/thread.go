@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// queueKind identifies which scheduler queue a thread currently occupies.
+type queueKind uint8
+
+const (
+	qNone queueKind = iota // not yet registered or already exited
+	qRun                   // run queue: runnable threads, FIFO
+	qWake                  // wake-up queue: just-woken threads (BoostBlocked)
+	qWait                  // wait queue: blocked in Wait
+)
+
+func (q queueKind) String() string {
+	switch q {
+	case qRun:
+		return "run"
+	case qWake:
+		return "wake"
+	case qWait:
+		return "wait"
+	default:
+		return "none"
+	}
+}
+
+// Thread is a participant registered with a Scheduler. In the QiThread
+// architecture a Thread corresponds to one pthread; in this Go reproduction
+// it corresponds to one goroutine gated by the turn mechanism. All fields
+// other than the atomic clock are guarded by the Scheduler mutex.
+type Thread struct {
+	id    int
+	name  string
+	sched *Scheduler
+
+	// grant carries the turn from the scheduler to a parked thread. It is
+	// buffered so the scheduler never blocks while handing over the turn.
+	grant chan struct{}
+
+	// wantTurn is set while the thread is blocked in GetTurn or Wait and
+	// should receive the turn as soon as it becomes eligible.
+	wantTurn bool
+
+	// queue is the queue currently containing the thread.
+	queue queueKind
+
+	// waitStatus records how the most recent Wait completed.
+	waitStatus WaitStatus
+
+	// clock is the logical instruction clock used by LogicalClock mode.
+	// It is atomic so compute code can advance it without taking the
+	// scheduler lock in RoundRobin mode.
+	clock atomic.Int64
+
+	// vtime is the thread's virtual clock in work units (see the
+	// virtual-time model in core.go). It is atomic because compute code
+	// advances it without the scheduler lock.
+	vtime atomic.Int64
+
+	exited bool
+}
+
+// VTime returns the thread's current virtual clock.
+func (t *Thread) VTime() int64 { return t.vtime.Load() }
+
+// SetVTime initializes the thread's virtual clock. The create wrapper uses it
+// so a child thread starts at its creator's current virtual time.
+func (t *Thread) SetVTime(v int64) { t.vtime.Store(v) }
+
+// MeetVTime raises the thread's virtual clock to at least v, modeling a
+// happens-before edge from an event at virtual time v (used by the PCS
+// bypass path, which synchronizes outside the turn).
+func (t *Thread) MeetVTime(v int64) {
+	for {
+		cur := t.vtime.Load()
+		if v <= cur || t.vtime.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// AddVTime advances the thread's virtual clock by n without touching the
+// logical instruction clock (sync-operation cost accounting outside the
+// turn).
+func (t *Thread) AddVTime(n int64) { t.vtime.Add(n) }
+
+// ID returns the deterministic registration index of the thread (the main
+// thread of a runtime is 0, the first created child 1, and so on).
+func (t *Thread) ID() int { return t.id }
+
+// Name returns the debugging name given at registration.
+func (t *Thread) Name() string { return t.name }
+
+// Clock returns the thread's current logical instruction clock.
+func (t *Thread) Clock() int64 { return t.clock.Load() }
+
+func (t *Thread) String() string {
+	return fmt.Sprintf("T%d(%s)", t.id, t.name)
+}

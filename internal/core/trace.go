@@ -1,0 +1,197 @@
+package core
+
+import "fmt"
+
+// OpKind identifies the synchronization operation recorded by a trace event.
+// The set mirrors the 38 wrappers of the QiThread runtime library grouped by
+// primitive.
+type OpKind uint8
+
+const (
+	OpNone OpKind = iota
+	OpThreadBegin
+	OpThreadEnd
+	OpCreate
+	OpJoin
+	OpMutexInit
+	OpMutexLock
+	OpMutexTryLock
+	OpMutexUnlock
+	OpMutexDestroy
+	OpRWInit
+	OpRLock
+	OpTryRLock
+	OpWLock
+	OpTryWLock
+	OpRWUnlock
+	OpRWDestroy
+	OpCondInit
+	OpCondWait
+	OpCondTimedWait
+	OpCondSignal
+	OpCondBroadcast
+	OpCondDestroy
+	OpSemInit
+	OpSemWait
+	OpSemTryWait
+	OpSemTimedWait
+	OpSemPost
+	OpSemGetValue
+	OpSemDestroy
+	OpBarrierInit
+	OpBarrierWait
+	OpBarrierDestroy
+	OpOnce
+	OpSleep
+	OpYield
+	OpKeepTurn
+	OpDummySync
+	OpSoftBarrier
+	OpSetBaseTime
+)
+
+var opNames = map[OpKind]string{
+	OpNone:           "none",
+	OpThreadBegin:    "thread_begin",
+	OpThreadEnd:      "thread_end",
+	OpCreate:         "create",
+	OpJoin:           "join",
+	OpMutexInit:      "mutex_init",
+	OpMutexLock:      "lock",
+	OpMutexTryLock:   "trylock",
+	OpMutexUnlock:    "unlock",
+	OpMutexDestroy:   "mutex_destroy",
+	OpRWInit:         "rwlock_init",
+	OpRLock:          "rdlock",
+	OpTryRLock:       "tryrdlock",
+	OpWLock:          "wrlock",
+	OpTryWLock:       "trywrlock",
+	OpRWUnlock:       "rwunlock",
+	OpRWDestroy:      "rwlock_destroy",
+	OpCondInit:       "cond_init",
+	OpCondWait:       "wait",
+	OpCondTimedWait:  "timedwait",
+	OpCondSignal:     "signal",
+	OpCondBroadcast:  "broadcast",
+	OpCondDestroy:    "cond_destroy",
+	OpSemInit:        "sem_init",
+	OpSemWait:        "sem_wait",
+	OpSemTryWait:     "sem_trywait",
+	OpSemTimedWait:   "sem_timedwait",
+	OpSemPost:        "sem_post",
+	OpSemGetValue:    "sem_getvalue",
+	OpSemDestroy:     "sem_destroy",
+	OpBarrierInit:    "barrier_init",
+	OpBarrierWait:    "barrier_wait",
+	OpBarrierDestroy: "barrier_destroy",
+	OpOnce:           "once",
+	OpSleep:          "sleep",
+	OpYield:          "yield",
+	OpKeepTurn:       "keep_turn",
+	OpDummySync:      "dummy_sync",
+	OpSoftBarrier:    "soft_barrier",
+	OpSetBaseTime:    "set_base_time",
+}
+
+// String returns the pthreads-style name of the operation.
+func (o OpKind) String() string {
+	if s, ok := opNames[o]; ok {
+		return s
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// EventStatus distinguishes the scheduling outcome of a traced operation,
+// matching the "blocks" / "returns" annotations of Figure 1b.
+type EventStatus uint8
+
+const (
+	// StatusOK is an operation that completed within one turn.
+	StatusOK EventStatus = iota
+	// StatusBlocked is an operation that blocked and gave up the turn.
+	StatusBlocked
+	// StatusReturn is a previously blocked operation returning after being
+	// woken and re-acquiring the turn.
+	StatusReturn
+)
+
+// String returns "", "blocks" or "returns".
+func (st EventStatus) String() string {
+	switch st {
+	case StatusBlocked:
+		return "blocks"
+	case StatusReturn:
+		return "returns"
+	default:
+		return ""
+	}
+}
+
+// Event is one synchronization operation in the deterministic total order.
+type Event struct {
+	Seq    int64       // position in the total order
+	TID    int         // thread ID (registration order)
+	Op     OpKind      // operation kind
+	Obj    uint64      // synchronization object ID, 0 when not applicable
+	Status EventStatus // blocks / returns annotation
+}
+
+// String renders the event like a row of Figure 1b.
+func (e Event) String() string {
+	s := fmt.Sprintf("%4d T%d %s", e.Seq, e.TID, e.Op)
+	if e.Obj != 0 {
+		s += fmt.Sprintf("(#%d)", e.Obj)
+	}
+	if st := e.Status.String(); st != "" {
+		s += " " + st
+	}
+	return s
+}
+
+// TraceOp appends an event to the schedule trace. The caller must hold the
+// turn so events form a total order. When tracing is disabled this is a
+// cheap no-op apart from the turn assertion.
+func (s *Scheduler) TraceOp(t *Thread, op OpKind, obj uint64, st EventStatus) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requireTurnLocked(t, "TraceOp")
+	s.verifyReplayLocked(t, op, obj, st)
+	s.stats.Ops++
+	// Virtual-time accounting. Under the turn mechanism (RoundRobin,
+	// LogicalClock) synchronization operations serialize: this operation
+	// starts when both the previous operation in the total order has ended
+	// and this thread has reached it. Under VirtualParallel — the ideal
+	// parallel baseline — operations cost only their own time; ordering
+	// constraints flow exclusively through wake-up edges and the
+	// min-virtual-clock simulation order.
+	if s.cfg.Mode == VirtualParallel {
+		t.vtime.Add(s.cfg.VSyncCost)
+	} else {
+		start := t.vtime.Load()
+		if s.vLastOp > start {
+			start = s.vLastOp
+		}
+		end := start + s.cfg.VSyncCost
+		t.vtime.Store(end)
+		s.vLastOp = end
+	}
+	if !s.cfg.Record {
+		return
+	}
+	s.trace = append(s.trace, Event{
+		Seq:    int64(len(s.trace)),
+		TID:    t.id,
+		Op:     op,
+		Obj:    obj,
+		Status: st,
+	})
+}
+
+// Trace returns a copy of the recorded schedule.
+func (s *Scheduler) Trace() []Event {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]Event, len(s.trace))
+	copy(out, s.trace)
+	return out
+}

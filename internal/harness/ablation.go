@@ -1,0 +1,92 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+
+	"qithread"
+	"qithread/internal/programs"
+	"qithread/internal/stats"
+)
+
+// AblationRow reports one program's normalized time under single-policy and
+// leave-one-out configurations, quantifying each policy's isolated
+// contribution and its marginal contribution to the default configuration —
+// the ablation the paper's Section 5.2 approximates with its cumulative
+// study.
+type AblationRow struct {
+	Program string
+	// Vanilla and AllPolicies are normalized times (baseline = 1.0).
+	Vanilla     float64
+	AllPolicies float64
+	// Only[p] is the normalized time with policy p alone.
+	Only map[string]float64
+	// Without[p] is the normalized time with every policy except p.
+	Without map[string]float64
+}
+
+var ablationPolicies = []struct {
+	Name string
+	P    qithread.Policy
+}{
+	{"BoostBlocked", qithread.BoostBlocked},
+	{"CreateAll", qithread.CreateAll},
+	{"CSWhole", qithread.CSWhole},
+	{"WakeAMAP", qithread.WakeAMAP},
+	{"BranchedWake", qithread.BranchedWake},
+}
+
+// Ablation measures each program under vanilla round robin, the all-policies
+// default, each policy alone, and each leave-one-out configuration.
+func (r *Runner) Ablation(specs []programs.Spec) []AblationRow {
+	rows := make([]AblationRow, 0, len(specs))
+	for _, spec := range specs {
+		base := r.Measure(spec, Nondet())
+		row := AblationRow{
+			Program:     spec.Name,
+			Vanilla:     stats.Normalized(r.Measure(spec, VanillaRR()), base),
+			AllPolicies: stats.Normalized(r.Measure(spec, QiThread()), base),
+			Only:        map[string]float64{},
+			Without:     map[string]float64{},
+		}
+		for _, ap := range ablationPolicies {
+			row.Only[ap.Name] = stats.Normalized(r.Measure(spec, QiThreadWith(ap.P)), base)
+			row.Without[ap.Name] = stats.Normalized(r.Measure(spec, QiThreadWith(qithread.AllPolicies&^ap.P)), base)
+			r.logf("ablation %-24s %-14s only %.2f without %.2f\n", spec.Name, ap.Name, row.Only[ap.Name], row.Without[ap.Name])
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// FprintAblation renders ablation rows as a table.
+func FprintAblation(w io.Writer, rows []AblationRow) {
+	fmt.Fprintf(w, "%-24s %8s %8s", "program", "vanilla", "all")
+	for _, ap := range ablationPolicies {
+		fmt.Fprintf(w, " %13s", "only/-"+abbrev(ap.Name))
+	}
+	fmt.Fprintln(w)
+	for _, row := range rows {
+		fmt.Fprintf(w, "%-24s %8.2f %8.2f", row.Program, row.Vanilla, row.AllPolicies)
+		for _, ap := range ablationPolicies {
+			fmt.Fprintf(w, " %6.2f/%6.2f", row.Only[ap.Name], row.Without[ap.Name])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func abbrev(name string) string {
+	switch name {
+	case "BoostBlocked":
+		return "BB"
+	case "CreateAll":
+		return "CA"
+	case "CSWhole":
+		return "CSW"
+	case "WakeAMAP":
+		return "WAM"
+	case "BranchedWake":
+		return "BW"
+	}
+	return name
+}

@@ -1,0 +1,67 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// FprintChart renders Figure 8 rows as horizontal ASCII bars, the
+// counterpart of the artifact's generate-figure notebook. Each program shows
+// one bar per configuration, normalized to the nondeterministic baseline;
+// the axis is clamped like the paper's broken axis (values beyond the clamp
+// print numerically).
+func FprintChart(w io.Writer, rows []Row, modes []Mode, clamp float64) {
+	if clamp <= 0 {
+		clamp = 16
+	}
+	const width = 48
+	scale := float64(width) / clamp
+	suite := ""
+	for _, row := range rows {
+		if row.Suite != suite {
+			suite = row.Suite
+			fmt.Fprintf(w, "\n== %s ==\n", suite)
+			fmt.Fprintf(w, "%28s  %-12s|%s|\n", "", "", axis(width, clamp))
+		}
+		for i, m := range modes {
+			v, ok := row.Norm[m.Name]
+			if !ok {
+				continue
+			}
+			name := ""
+			if i == 0 {
+				name = row.Program
+			}
+			bar := barOf(v, scale, width)
+			fmt.Fprintf(w, "%28s  %-12s|%s| %.2f\n", name, m.Name, bar, v)
+		}
+	}
+}
+
+func axis(width int, clamp float64) string {
+	a := []byte(strings.Repeat("-", width))
+	// tick at 1.0 (the baseline)
+	one := int(float64(width) / clamp)
+	if one >= 0 && one < width {
+		a[one] = '+'
+	}
+	return string(a)
+}
+
+func barOf(v, scale float64, width int) string {
+	n := int(v * scale)
+	overflow := false
+	if n > width {
+		n = width
+		overflow = true
+	}
+	if n < 1 {
+		n = 1
+	}
+	b := strings.Repeat("#", n) + strings.Repeat(" ", width-n)
+	if overflow {
+		b = b[:width-1] + ">"
+	}
+	return b
+}

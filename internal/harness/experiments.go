@@ -1,0 +1,227 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"qithread"
+	"qithread/internal/core"
+	"qithread/internal/programs"
+	"qithread/internal/stats"
+	"qithread/internal/trace"
+	"qithread/internal/workload"
+)
+
+// Figure8 measures every program in specs under the Figure 8 configurations:
+// Parrot without PCS hints (round robin + soft barriers), Parrot with PCS
+// hints where applicable, and QiThread with all policies, all normalized to
+// nondeterministic execution. It returns the rows in catalog order.
+func (r *Runner) Figure8(specs []programs.Spec) []Row {
+	rows := make([]Row, 0, len(specs))
+	for _, spec := range specs {
+		modes := []Mode{VanillaRR(), ParrotSoft()}
+		if spec.Hints.PCS {
+			modes = append(modes, ParrotPCS())
+		}
+		modes = append(modes, QiThread())
+		rows = append(rows, r.MeasureRow(spec, modes))
+	}
+	return rows
+}
+
+// Section51Summary aggregates Figure 8 rows into the headline comparisons of
+// Section 5.1: how many programs QiThread runs within 110% of Parrot w/o
+// PCS, how many enjoy non-negligible (>10%) speedups, which exceed 110%, and
+// which have more than 400% overhead under QiThread.
+type Section51Summary struct {
+	Counts     stats.Counts
+	Slower     []string // QiThread > 110% of Parrot w/o PCS
+	HighOverhd []string // QiThread normalized time > 5.0 (overhead > 400%)
+}
+
+// Summarize51 computes the Section 5.1 aggregates from Figure 8 rows.
+func Summarize51(rows []Row) Section51Summary {
+	var sum Section51Summary
+	var ratios []float64
+	for _, row := range rows {
+		parrot := row.Times[ParrotSoft().Name]
+		qi := row.Times[QiThread().Name]
+		if parrot == 0 {
+			continue
+		}
+		ratio := float64(qi) / float64(parrot)
+		ratios = append(ratios, ratio)
+		if ratio > 1.10 {
+			sum.Slower = append(sum.Slower, row.Program)
+		}
+		if row.Norm[QiThread().Name] > 5.0 {
+			sum.HighOverhd = append(sum.HighOverhd, row.Program)
+		}
+	}
+	sum.Counts = stats.Compare(ratios)
+	return sum
+}
+
+// PolicyStep is one entry of the Section 5.2 incremental study.
+type PolicyStep struct {
+	Name string
+	// Policies is the cumulative policy set of this step.
+	Policies qithread.Policy
+	// Benefited lists programs whose time dropped below 90% of the previous
+	// step's time.
+	Benefited []string
+	// Hurt lists programs whose time rose above 110% of the previous
+	// step's time (the paper reports three such instances).
+	Hurt []string
+}
+
+// PolicySteps returns the enablement order of Section 5.2.
+func PolicySteps() []PolicyStep {
+	return []PolicyStep{
+		{Name: "BoostBlocked", Policies: qithread.BoostBlocked},
+		{Name: "CreateAll", Policies: qithread.BoostBlocked | qithread.CreateAll},
+		{Name: "CSWhole", Policies: qithread.BoostBlocked | qithread.CreateAll | qithread.CSWhole},
+		{Name: "WakeAMAP", Policies: qithread.BoostBlocked | qithread.CreateAll | qithread.CSWhole | qithread.WakeAMAP},
+		{Name: "BranchedWake", Policies: qithread.AllPolicies},
+	}
+}
+
+// PolicyEffectiveness applies the five policies cumulatively in the paper's
+// order (BoostBlocked, CreateAll, CSWhole, WakeAMAP, BranchedWake), starting
+// from vanilla round robin, and records which programs each step benefits
+// (time < 90% of the previous configuration) and hurts (> 110%).
+func (r *Runner) PolicyEffectiveness(specs []programs.Spec) []PolicyStep {
+	steps := PolicySteps()
+	prev := make(map[string]float64, len(specs)) // previous step's time (ms)
+	for _, spec := range specs {
+		prev[spec.Name] = ms(r.Measure(spec, VanillaRR()))
+	}
+	for si := range steps {
+		mode := QiThreadWith(steps[si].Policies)
+		for _, spec := range specs {
+			t := ms(r.Measure(spec, mode))
+			p := prev[spec.Name]
+			if p > 0 {
+				switch {
+				case t < 0.90*p:
+					steps[si].Benefited = append(steps[si].Benefited, spec.Name)
+				case t > 1.10*p:
+					steps[si].Hurt = append(steps[si].Hurt, spec.Name)
+				}
+			}
+			prev[spec.Name] = t
+			r.logf("policy step %-14s %-28s %8.2fms (prev %8.2fms)\n", steps[si].Name, spec.Name, t, p)
+		}
+		sort.Strings(steps[si].Benefited)
+		sort.Strings(steps[si].Hurt)
+	}
+	return steps
+}
+
+// ScalabilityResult holds one program's overheads across thread counts
+// (Section 5.3).
+type ScalabilityResult struct {
+	Program string
+	Threads []int
+	// Norm[mode][k] is the normalized time at Threads[k].
+	Norm map[string][]float64
+	// MaxDeviationPct[mode] is the maximum deviation from the mean
+	// normalized overhead across thread counts, the paper's variation
+	// metric.
+	MaxDeviationPct map[string]float64
+}
+
+// Scalability measures the given programs at each thread count under Parrot
+// (w/o PCS) and QiThread, normalizing to nondeterministic execution at the
+// same thread count. The paper's five scalability programs are barnes,
+// bodytrack, histogram, convert_shear and pbzip2_decompress at 4–32 threads.
+func (r *Runner) Scalability(names []string, threadCounts []int) []ScalabilityResult {
+	modes := []Mode{ParrotSoft(), QiThread()}
+	var out []ScalabilityResult
+	for _, name := range names {
+		spec, ok := programs.Find(name)
+		if !ok {
+			panic("harness: unknown program " + name)
+		}
+		res := ScalabilityResult{
+			Program:         name,
+			Threads:         threadCounts,
+			Norm:            map[string][]float64{},
+			MaxDeviationPct: map[string]float64{},
+		}
+		for _, tc := range threadCounts {
+			sub := *r
+			sub.Params.Threads = tc
+			base := sub.Measure(spec, Nondet())
+			for _, m := range modes {
+				t := sub.Measure(spec, m)
+				res.Norm[m.Name] = append(res.Norm[m.Name], stats.Normalized(t, base))
+			}
+			r.logf("scalability %-24s %2d threads done\n", name, tc)
+		}
+		for _, m := range modes {
+			res.MaxDeviationPct[m.Name] = stats.MaxDeviationPct(res.Norm[m.Name])
+		}
+		out = append(out, res)
+	}
+	return out
+}
+
+// StabilityResult reports how many distinct schedules a policy produced
+// across a set of program inputs (Section 2: CoreDet uses five different
+// schedules to process eight different pbzip2 files; round robin uses one).
+type StabilityResult struct {
+	Mode      string
+	Inputs    int
+	Distinct  int
+	PrefixLen []int // common-prefix length of each input's schedule vs input 0
+}
+
+// Stability runs spec once per input under the given mode, recording
+// schedules, and counts prefix-distinct schedules.
+func (r *Runner) Stability(spec programs.Spec, mode Mode, inputs []workload.Params) StabilityResult {
+	cfg := mode.Cfg
+	cfg.Record = true
+	var schedules [][]core.Event
+	for _, in := range inputs {
+		app := spec.Build(in)
+		rt := qithread.New(cfg)
+		app(rt)
+		schedules = append(schedules, rt.Trace())
+	}
+	res := StabilityResult{Mode: mode.Name, Inputs: len(inputs), Distinct: trace.DistinctSchedules(schedules)}
+	for _, s := range schedules {
+		res.PrefixLen = append(res.PrefixLen, trace.CommonPrefix(schedules[0], s))
+	}
+	return res
+}
+
+// StabilityInputs builds n input variants with the same structure (block
+// count) but different content: per-block compute amounts are perturbed the
+// way different input files perturb instruction counts. Round-robin policies
+// schedule all variants identically — their schedules depend only on the
+// synchronization structure — while the logical-clock policy's schedules
+// follow the perturbed instruction counts (Section 2: "minor input or code
+// changes can perturb instruction counts and subsequently the schedules").
+// Inputs of different sizes additionally differ in schedule length for every
+// policy, so the controlled experiment varies content at fixed size.
+func StabilityInputs(base workload.Params, n int) []workload.Params {
+	out := make([]workload.Params, n)
+	for i := range out {
+		p := base
+		p.InputSeed = base.InputSeed + uint64(i*131)
+		p.InputSkew = int64(i)
+		out[i] = p
+	}
+	return out
+}
+
+// FprintSummary renders the Section 5.1 aggregates.
+func FprintSummary(w io.Writer, sum Section51Summary) {
+	fmt.Fprintf(w, "QiThread vs Parrot w/o PCS over %d programs:\n", sum.Counts.Total)
+	fmt.Fprintf(w, "  comparable (<=110%%): %d\n", sum.Counts.Comparable)
+	fmt.Fprintf(w, "  speedup    (<90%%):   %d\n", sum.Counts.Speedup)
+	fmt.Fprintf(w, "  slower     (>110%%):  %d  %v\n", sum.Counts.Slower, sum.Slower)
+	fmt.Fprintf(w, "  QiThread overhead >400%%: %d  %v\n", len(sum.HighOverhd), sum.HighOverhd)
+}

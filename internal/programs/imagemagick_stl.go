@@ -1,0 +1,120 @@
+package programs
+
+import (
+	"qithread/internal/workload"
+)
+
+// registerImageMagick adds the 14 ImageMagick utilities. ImageMagick
+// parallelizes pixel passes with OpenMP: each filter is a handful of
+// "#pragma omp parallel for" regions over image rows (the paper uses an 8K
+// image), executed by a persistent libgomp team whose region barriers are
+// the branched-post construct of Figure 3. All 14 carry soft-barrier hints
+// ('+'). convert_paint_effect is the program where WakeAMAP slightly hurts
+// (Section 5.2: −7.24% → +3.39%).
+func registerImageMagick() {
+	type im struct {
+		name    string
+		regions int
+		work    int64
+		master  int64
+	}
+	const threads = 16
+	const rows = 1024 // 8K image rows, bucketed
+	utils := []im{
+		{name: "compare", regions: 3, work: 120, master: 300},
+		{name: "compare_channel_red", regions: 3, work: 100, master: 260},
+		{name: "compare_compose", regions: 4, work: 130, master: 320},
+		{name: "convert_blur", regions: 4, work: 220, master: 380},
+		{name: "convert_charcoal_effect", regions: 9, work: 180, master: 420},
+		{name: "convert_draw", regions: 2, work: 150, master: 280},
+		{name: "convert_edge_detect", regions: 5, work: 200, master: 340},
+		{name: "convert_fft", regions: 6, work: 240, master: 400},
+		{name: "convert_paint_effect", regions: 5, work: 260, master: 360},
+		{name: "convert_sharpen", regions: 4, work: 210, master: 330},
+		{name: "convert_shear", regions: 4, work: 170, master: 310},
+		{name: "mogrify_resize", regions: 3, work: 190, master: 350},
+		{name: "mogrify_segment", regions: 7, work: 230, master: 430},
+		{name: "montage", regions: 6, work: 160, master: 520},
+	}
+	for _, u := range utils {
+		u := u
+		register(Spec{
+			Name: u.name, Suite: "imagemagick", Threads: threads,
+			Hints: workload.Hints{SoftBarrier: true},
+			Build: func(p workload.Params) workload.App {
+				return workload.OpenMPFor(workload.OpenMPForConfig{
+					Threads: threads, Regions: u.regions, Iters: rows,
+					WorkPerIter: u.work, MasterWork: u.master,
+					SoftBarrier: true,
+				}, p)
+			},
+		})
+	}
+}
+
+// registerSTL adds the 33 libstdc++-v3 parallel-mode STL algorithms. Each is
+// one or two OpenMP regions over the container; reductions (accumulate,
+// count, inner_product, ...) fold partial results under a lock, and the
+// multi-pass sorts run more regions. All carry soft-barrier hints ('+')
+// except transform, matching Figure 8. The paper notes CreateAll hurts
+// partial_sort (Section 5.2: −1.9% → +16.38%).
+func registerSTL() {
+	type stl struct {
+		name    string
+		regions int
+		work    int64
+		reduce  bool
+		noHint  bool
+	}
+	const threads = 16
+	const elems = 2048 // element buckets per region
+	algos := []stl{
+		{name: "accumulate", regions: 1, work: 60, reduce: true},
+		{name: "adjacent_difference", regions: 1, work: 70},
+		{name: "adjacent_find_notfound", regions: 1, work: 55},
+		{name: "count", regions: 1, work: 50, reduce: true},
+		{name: "count_if", regions: 1, work: 60, reduce: true},
+		{name: "equal", regions: 1, work: 55},
+		{name: "find_firstof_notfound", regions: 1, work: 80},
+		{name: "find_if_notfound", regions: 1, work: 65},
+		{name: "find_notfound", regions: 1, work: 55},
+		{name: "for_each", regions: 1, work: 75},
+		{name: "generate", regions: 1, work: 60},
+		{name: "inner_product", regions: 1, work: 70, reduce: true},
+		{name: "lexicographical_compare", regions: 1, work: 60},
+		{name: "max_element", regions: 1, work: 50, reduce: true},
+		{name: "merge", regions: 2, work: 80},
+		{name: "min_element", regions: 1, work: 50, reduce: true},
+		{name: "mismatch", regions: 1, work: 55},
+		{name: "nth_element", regions: 3, work: 90},
+		{name: "partial_sort", regions: 4, work: 95},
+		{name: "partial_sum", regions: 2, work: 70},
+		{name: "partition", regions: 2, work: 85},
+		{name: "random_shuffle", regions: 1, work: 65},
+		{name: "replace_if", regions: 1, work: 60},
+		{name: "search_n_notfound", regions: 1, work: 75},
+		{name: "search_notfound", regions: 1, work: 70},
+		{name: "set_difference", regions: 2, work: 80},
+		{name: "set_intersection", regions: 2, work: 75},
+		{name: "set_symmetric_difference", regions: 2, work: 85},
+		{name: "set_union", regions: 2, work: 80},
+		{name: "sort", regions: 5, work: 100},
+		{name: "stable_sort", regions: 6, work: 105},
+		{name: "transform", regions: 1, work: 65, noHint: true},
+		{name: "unique_copy", regions: 2, work: 70},
+	}
+	for _, a := range algos {
+		a := a
+		register(Spec{
+			Name: "stl_" + a.name, Suite: "stl", Threads: threads,
+			Hints: workload.Hints{SoftBarrier: !a.noHint},
+			Build: func(p workload.Params) workload.App {
+				return workload.OpenMPFor(workload.OpenMPForConfig{
+					Threads: threads, Regions: a.regions, Iters: elems,
+					WorkPerIter: a.work, MasterWork: 100,
+					ReduceLock: a.reduce, SoftBarrier: !a.noHint,
+				}, p)
+			},
+		})
+	}
+}

@@ -1,0 +1,195 @@
+package programs
+
+import (
+	"qithread/internal/workload"
+)
+
+// registerParsec adds the 15 PARSEC 2.0 benchmarks of Figure 8. PARSEC mixes
+// data-parallel kernels (blackscholes, swaptions), barrier-phase codes
+// (streamcluster, canneal, bodytrack, facesim, fluidanimate), pipelines
+// (dedup, ferret, x264) and the vips idle-queue dispatcher that defeats
+// WakeAMAP (Section 5.2).
+func registerParsec() {
+	const threads = 16
+
+	// blackscholes: one big data-parallel phase repeated a few times.
+	register(Spec{
+		Name: "blackscholes", Suite: "parsec", Threads: threads,
+		Build: func(p workload.Params) workload.App {
+			return workload.ForkJoin(workload.ForkJoinConfig{
+				Threads: threads, Rounds: 8, Work: 9000,
+			}, p)
+		},
+	})
+	register(Spec{
+		Name: "blackscholes-openmp", Suite: "parsec", Threads: threads,
+		Hints: workload.Hints{SoftBarrier: true},
+		Build: func(p workload.Params) workload.App {
+			return workload.OpenMPFor(workload.OpenMPForConfig{
+				Threads: threads, Regions: 8, Iters: 512, WorkPerIter: 280,
+				SoftBarrier: true,
+			}, p)
+		},
+	})
+
+	// bodytrack: per-frame particle-filter phases with imbalance ('+').
+	register(Spec{
+		Name: "bodytrack", Suite: "parsec", Threads: threads,
+		Hints: workload.Hints{SoftBarrier: true},
+		Build: func(p workload.Params) workload.App {
+			return workload.ForkJoin(workload.ForkJoinConfig{
+				Threads: threads, Rounds: 48, Work: 2600,
+				Imbalance: []int{100, 130, 75, 110, 90}, LockEvery: 3, CSWork: 80,
+				SoftBarrier: true,
+			}, p)
+		},
+	})
+	register(Spec{
+		Name: "bodytrack-openmp", Suite: "parsec", Threads: threads,
+		Hints: workload.Hints{SoftBarrier: true},
+		Build: func(p workload.Params) workload.App {
+			return workload.OpenMPFor(workload.OpenMPForConfig{
+				Threads: threads, Regions: 40, Iters: 320, WorkPerIter: 150,
+				MasterWork: 500, SoftBarrier: true,
+			}, p)
+		},
+	})
+
+	// canneal: annealing rounds synchronized with ad-hoc atomics (one of the
+	// busy-wait programs patched with sched_yield).
+	register(Spec{
+		Name: "canneal", Suite: "parsec", Threads: threads,
+		Build: func(p workload.Params) workload.App {
+			return workload.ForkJoin(workload.ForkJoinConfig{
+				Threads: threads, Rounds: 24, Work: 3600, AdHoc: true,
+			}, p)
+		},
+	})
+
+	// dedup: 3-stage compression pipeline over bounded queues.
+	register(Spec{
+		Name: "dedup", Suite: "parsec", Threads: threads,
+		Build: func(p workload.Params) workload.App {
+			return workload.Pipeline(workload.PipelineConfig{
+				Stages: []workload.StageConfig{
+					{Workers: 4, Work: 700},  // chunk
+					{Workers: 8, Work: 2400}, // compress
+					{Workers: 4, Work: 500},  // write
+				},
+				Items: 256, QueueCap: 16, SourceWork: 120,
+			}, p)
+		},
+	})
+
+	// facesim: physics phases with reductions ('+').
+	register(Spec{
+		Name: "facesim", Suite: "parsec", Threads: threads,
+		Hints: workload.Hints{SoftBarrier: true},
+		Build: func(p workload.Params) workload.App {
+			return workload.ForkJoin(workload.ForkJoinConfig{
+				Threads: threads, Rounds: 56, Work: 3000,
+				Imbalance: []int{100, 90, 115}, LockEvery: 2, CSWork: 70,
+				SoftBarrier: true,
+			}, p)
+		},
+	})
+
+	// ferret: 6-stage similarity-search pipeline; the ranking stage
+	// dominates. WakeAMAP gives ferret >150% speedup in the paper ('+').
+	register(Spec{
+		Name: "ferret", Suite: "parsec", Threads: threads,
+		Hints: workload.Hints{SoftBarrier: true},
+		Build: func(p workload.Params) workload.App {
+			return workload.Pipeline(workload.PipelineConfig{
+				Stages: []workload.StageConfig{
+					{Workers: 2, Work: 300},  // segment
+					{Workers: 2, Work: 500},  // extract
+					{Workers: 4, Work: 1200}, // index
+					{Workers: 8, Work: 4200}, // rank (dominant)
+				},
+				Items: 192, QueueCap: 12, SourceWork: 100, SoftBarrier: true,
+			}, p)
+		},
+	})
+
+	// fluidanimate: fine-grained cell locks every round ('*').
+	register(Spec{
+		Name: "fluidanimate", Suite: "parsec", Threads: threads,
+		Hints: workload.Hints{PCS: true},
+		Build: func(p workload.Params) workload.App {
+			return workload.ForkJoin(workload.ForkJoinConfig{
+				Threads: threads, Rounds: 40, Work: 1600,
+				LockEvery: 1, CSWork: 260, PCSLock: true,
+			}, p)
+		},
+	})
+
+	// freqmine-openmp: FP-growth mining passes ('+').
+	register(Spec{
+		Name: "freqmine-openmp", Suite: "parsec", Threads: threads,
+		Hints: workload.Hints{SoftBarrier: true},
+		Build: func(p workload.Params) workload.App {
+			return workload.OpenMPFor(workload.OpenMPForConfig{
+				Threads: threads, Regions: 20, Iters: 288, WorkPerIter: 320,
+				MasterWork: 600, ReduceLock: true, SoftBarrier: true,
+			}, p)
+		},
+	})
+
+	// rtview/raytrace: PARSEC's interactive raytracer, a tile task queue.
+	register(Spec{
+		Name: "rtview_raytrace", Suite: "parsec", Threads: threads,
+		Build: func(p workload.Params) workload.App {
+			return workload.TaskQueue(workload.TaskQueueConfig{
+				Workers: threads, Tasks: 512, TaskWorkMin: 300, TaskWorkMax: 1500,
+				ResultWork: 30,
+			}, p)
+		},
+	})
+
+	// streamcluster: the most barrier-intensive PARSEC program.
+	register(Spec{
+		Name: "streamcluster", Suite: "parsec", Threads: threads,
+		Build: func(p workload.Params) workload.App {
+			return workload.ForkJoin(workload.ForkJoinConfig{
+				Threads: threads, Rounds: 120, Work: 900,
+			}, p)
+		},
+	})
+
+	// swaptions: static partition of independent swaption simulations ('+').
+	register(Spec{
+		Name: "swaptions", Suite: "parsec", Threads: threads,
+		Hints: workload.Hints{SoftBarrier: true},
+		Build: func(p workload.Params) workload.App {
+			return workload.CreateJoin(workload.CreateJoinConfig{
+				Threads: threads, Work: 48000, SoftBarrier: true,
+			}, p)
+		},
+	})
+
+	// vips: idle queue with one condition variable per consumer — WakeAMAP
+	// cannot track the waiters and no policy helps (Section 5.2) ('+').
+	register(Spec{
+		Name: "vips", Suite: "parsec", Threads: threads,
+		Hints: workload.Hints{SoftBarrier: true},
+		Build: func(p workload.Params) workload.App {
+			return workload.Vips(workload.VipsConfig{
+				Consumers: threads, Items: 320, DispatchWork: 90, ItemWork: 1500,
+				SoftBarrier: true,
+			}, p)
+		},
+	})
+
+	// x264: sliding-window frame pipeline with ad-hoc row progress ('+').
+	register(Spec{
+		Name: "x264", Suite: "parsec", Threads: threads,
+		Hints: workload.Hints{SoftBarrier: true},
+		Build: func(p workload.Params) workload.App {
+			return workload.X264(workload.X264Config{
+				Workers: threads, Frames: 96, RowsPerFrame: 8, RowWork: 420,
+				Lag: 2, SoftBarrier: true,
+			}, p)
+		},
+	})
+}

@@ -1,0 +1,158 @@
+package programs
+
+import (
+	"qithread/internal/workload"
+)
+
+// registerPhoenix adds the 14 Phoenix 2 programs: seven algorithms, each in
+// two implementations — the map-reduce library version (task queue +
+// barriers) and the hand-written pthreads version (the static
+// create/compute/join structure of Figure 2). All Phoenix programs carry
+// soft-barrier hints ('+') in the paper.
+func registerPhoenix() {
+	type alg struct {
+		name       string
+		mapTasks   int
+		mapWork    int64
+		redTasks   int
+		redWork    int64
+		staticWork int64 // per-thread work of the pthread version
+	}
+	const threads = 16
+	algs := []alg{
+		{name: "histogram", mapTasks: 256, mapWork: 500, redTasks: 64, redWork: 120, staticWork: 9000},
+		{name: "kmeans", mapTasks: 320, mapWork: 650, redTasks: 96, redWork: 200, staticWork: 14000},
+		{name: "linear_regression", mapTasks: 224, mapWork: 420, redTasks: 32, redWork: 80, staticWork: 7000},
+		{name: "matrix_multiply", mapTasks: 256, mapWork: 1500, redTasks: 16, redWork: 60, staticWork: 26000},
+		{name: "pca", mapTasks: 288, mapWork: 900, redTasks: 64, redWork: 180, staticWork: 17000},
+		{name: "string_match", mapTasks: 240, mapWork: 380, redTasks: 16, redWork: 50, staticWork: 6500},
+		{name: "word_count", mapTasks: 288, mapWork: 520, redTasks: 128, redWork: 260, staticWork: 11000},
+	}
+	for _, a := range algs {
+		a := a
+		register(Spec{
+			Name: a.name, Suite: "phoenix", Threads: threads,
+			Hints: workload.Hints{SoftBarrier: true},
+			Build: func(p workload.Params) workload.App {
+				return workload.MapReduce(workload.MapReduceConfig{
+					Workers: threads, MapTasks: a.mapTasks, ReduceTasks: a.redTasks,
+					MapWork: a.mapWork, ReduceWork: a.redWork,
+					Dynamic: true, SoftBarrier: true,
+				}, p)
+			},
+		})
+		register(Spec{
+			Name: a.name + "-pthread", Suite: "phoenix", Threads: threads,
+			Hints: workload.Hints{SoftBarrier: true},
+			Build: func(p workload.Params) workload.App {
+				return workload.CreateJoin(workload.CreateJoinConfig{
+					Threads: threads, Work: a.staticWork, ParentWorks: false,
+					SoftBarrier: true,
+				}, p)
+			},
+		})
+	}
+}
+
+// registerRealWorld adds the eight real-world programs of Figure 8.
+func registerRealWorld() {
+	const threads = 16
+
+	// pbzip2 compression: Figure 1a verbatim — producer reads blocks,
+	// consumers compress. Compression is far more expensive than reading,
+	// the imbalance that serializes vanilla round robin. WakeAMAP gives
+	// pbzip2 compress an almost 1000% speedup in the paper ('+').
+	register(Spec{
+		Name: "pbzip2_compress", Suite: "realworld", Threads: threads,
+		Hints: workload.Hints{SoftBarrier: true},
+		Build: func(p workload.Params) workload.App {
+			return workload.ProdCons(workload.ProdConsConfig{
+				Producers: 1, Consumers: threads, Blocks: 128,
+				ProduceWork: 220, ConsumeWork: 16000,
+				QueueCap: 2 * threads, SoftBarrier: true,
+			}, p)
+		},
+	})
+	// pbzip2 decompression: same structure, ~3x lighter consumer work
+	// (decompression is cheaper), giving the smaller 300% speedup ('+').
+	register(Spec{
+		Name: "pbzip2_decompress", Suite: "realworld", Threads: threads,
+		Hints: workload.Hints{SoftBarrier: true},
+		Build: func(p workload.Params) workload.App {
+			return workload.ProdCons(workload.ProdConsConfig{
+				Producers: 1, Consumers: threads, Blocks: 128,
+				ProduceWork: 220, ConsumeWork: 5200,
+				QueueCap: 2 * threads, SoftBarrier: true,
+			}, p)
+		},
+	})
+	// aget: N segment downloaders created in a loop, each mixing "network"
+	// compute with brief progress-lock updates, then joined. The paper notes
+	// CreateAll slightly hurts aget (Section 5.2).
+	register(Spec{
+		Name: "aget", Suite: "realworld", Threads: threads,
+		Build: func(p workload.Params) workload.App {
+			return workload.CreateJoin(workload.CreateJoinConfig{
+				Threads: threads, Work: 10000,
+				ProgressLock: true, ProgressEach: 500,
+			}, p)
+		},
+	})
+	// pfscan: pre-filled file queue, highly variable file sizes, PCS hint on
+	// the result lock ('*').
+	register(Spec{
+		Name: "pfscan", Suite: "realworld", Threads: threads,
+		Hints: workload.Hints{PCS: true},
+		Build: func(p workload.Params) workload.App {
+			return workload.TaskQueue(workload.TaskQueueConfig{
+				Workers: threads, Tasks: 384, TaskWorkMin: 120, TaskWorkMax: 3600,
+				ResultWork: 45, PCSResult: true,
+			}, p)
+		},
+	})
+	// bdb_bench3n: Berkeley DB's read-mostly transaction benchmark.
+	register(Spec{
+		Name: "bdb_bench3n", Suite: "realworld", Threads: threads,
+		Build: func(p workload.Params) workload.App {
+			return workload.RWMix(workload.RWMixConfig{
+				Workers: threads, Ops: 160, ReadPct: 90,
+				ReadWork: 700, WriteWork: 1600, LogEvery: 4, LogWork: 90,
+			}, p)
+		},
+	})
+	// openldap: directory server with a worker pool serving a read-heavy
+	// query mix over rwlocked state.
+	register(Spec{
+		Name: "openldap", Suite: "realworld", Threads: threads,
+		Build: func(p workload.Params) workload.App {
+			return workload.RWMix(workload.RWMixConfig{
+				Workers: threads, Ops: 200, ReadPct: 95,
+				ReadWork: 520, WriteWork: 1200, LogEvery: 8, LogWork: 60,
+			}, p)
+		},
+	})
+	// mencoder: demux/encode producer-consumer with a heavy encode side
+	// ('+').
+	register(Spec{
+		Name: "mencoder", Suite: "realworld", Threads: threads,
+		Hints: workload.Hints{SoftBarrier: true},
+		Build: func(p workload.Params) workload.App {
+			return workload.ProdCons(workload.ProdConsConfig{
+				Producers: 1, Consumers: threads, Blocks: 160,
+				ProduceWork: 350, ConsumeWork: 6800,
+				QueueCap: threads, SoftBarrier: true,
+			}, p)
+		},
+	})
+	// redis: event-loop listener feeding a small worker pool that updates
+	// the shared dictionary under a mutex.
+	register(Spec{
+		Name: "redis", Suite: "realworld", Threads: 4,
+		Build: func(p workload.Params) workload.App {
+			return workload.Server(workload.ServerConfig{
+				Workers: 4, Requests: 512,
+				AcceptWork: 120, ParseWork: 420, StateWork: 110,
+			}, p)
+		},
+	})
+}

@@ -1,0 +1,151 @@
+package programs
+
+import (
+	"testing"
+
+	"qithread"
+	"qithread/internal/workload"
+)
+
+// shapeParams is large enough for scheduling shapes to be meaningful but
+// small enough for CI.
+var shapeParams = workload.Params{Scale: 0.3, InputSeed: 42}
+
+func makespan(spec Spec, cfg qithread.Config, p workload.Params) float64 {
+	rt := qithread.New(cfg)
+	spec.Build(p)(rt)
+	return float64(rt.VirtualMakespan())
+}
+
+func normOf(spec Spec, cfg qithread.Config, p workload.Params) float64 {
+	base := makespan(spec, qithread.Config{Mode: qithread.VirtualParallel}, p)
+	return makespan(spec, cfg, p) / base
+}
+
+var (
+	vanillaCfg = qithread.Config{Mode: qithread.RoundRobin}
+	parrotCfg  = qithread.Config{Mode: qithread.RoundRobin, SoftBarriers: true}
+	qiCfg      = qithread.Config{Mode: qithread.RoundRobin, Policies: qithread.AllPolicies}
+)
+
+// TestSoftBarrierHelpsHintedPrograms: for a sample of '+' programs from
+// different suites, Parrot's soft barriers must improve on vanilla round
+// robin — otherwise the hint wiring is broken.
+func TestSoftBarrierHelpsHintedPrograms(t *testing.T) {
+	for _, name := range []string{"pbzip2_compress", "radix", "bt-l", "histogram-pthread", "convert_blur", "stl_sort", "swaptions"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, ok := Find(name)
+			if !ok {
+				t.Fatalf("missing %s", name)
+			}
+			if !spec.Hints.SoftBarrier {
+				t.Fatalf("%s should carry a soft-barrier hint", name)
+			}
+			v := normOf(spec, vanillaCfg, shapeParams)
+			p := normOf(spec, parrotCfg, shapeParams)
+			if p >= v*0.9 {
+				t.Errorf("soft barrier did not help %s: vanilla %.2fx, parrot %.2fx", name, v, p)
+			}
+		})
+	}
+}
+
+// TestQiThreadMatchesParrotOnSample: the headline claim on a cross-suite
+// sample — QiThread without annotations is at least in Parrot's
+// neighbourhood (within 2x) and strictly better than vanilla on programs
+// vanilla serializes.
+func TestQiThreadMatchesParrotOnSample(t *testing.T) {
+	for _, name := range []string{"barnes", "ep-l", "blackscholes", "histogram-pthread", "aget", "convert_shear", "stl_for_each"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, _ := Find(name)
+			v := normOf(spec, vanillaCfg, shapeParams)
+			p := normOf(spec, parrotCfg, shapeParams)
+			q := normOf(spec, qiCfg, shapeParams)
+			if q > 2*p && q > 1.5 {
+				t.Errorf("%s: QiThread %.2fx far behind Parrot %.2fx", name, q, p)
+			}
+			if v > 5 && q > v*0.6 {
+				t.Errorf("%s: QiThread %.2fx did not fix serialization (vanilla %.2fx)", name, q, v)
+			}
+		})
+	}
+}
+
+// TestPCSProgramsCarryPCSHints: the '*' markers of Figure 8 must be wired to
+// the six programs the paper applies PCS hints to.
+func TestPCSProgramsCarryPCSHints(t *testing.T) {
+	want := map[string]bool{
+		"cholesky": true, "fmm": true, "raytrace": true,
+		"ua-l": true, "fluidanimate": true, "pfscan": true,
+	}
+	for _, s := range All() {
+		if s.Hints.PCS != want[s.Name] {
+			t.Errorf("%s: PCS hint = %v, want %v", s.Name, s.Hints.PCS, want[s.Name])
+		}
+	}
+}
+
+// TestSTLHintMarkers: all STL programs carry soft-barrier hints except
+// transform, matching Figure 8's markers.
+func TestSTLHintMarkers(t *testing.T) {
+	for _, s := range BySuite("stl") {
+		want := s.Name != "stl_transform"
+		if s.Hints.SoftBarrier != want {
+			t.Errorf("%s: soft-barrier hint = %v, want %v", s.Name, s.Hints.SoftBarrier, want)
+		}
+	}
+}
+
+// TestOpenMPSuitesRespondToBranchedWake: ImageMagick and NPB programs (the
+// gomp-structured suites) must improve when BranchedWake lands on top of the
+// other four policies, reproducing the paper's "all 20 BranchedWake
+// beneficiaries use OpenMP".
+func TestOpenMPSuitesRespondToBranchedWake(t *testing.T) {
+	pre := qithread.Config{Mode: qithread.RoundRobin,
+		Policies: qithread.BoostBlocked | qithread.CreateAll | qithread.CSWhole | qithread.WakeAMAP}
+	for _, name := range []string{"convert_sharpen", "mg-l", "stl_partition"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec, _ := Find(name)
+			p := workload.Params{Scale: 0.6, InputSeed: 42}
+			without := makespan(spec, pre, p)
+			with := makespan(spec, qiCfg, p)
+			if with >= without {
+				t.Errorf("%s: BranchedWake did not help: %v -> %v", name, without, with)
+			}
+		})
+	}
+}
+
+// TestNonOpenMPUnaffectedByBranchedWake: BranchedWake must not change
+// non-OpenMP programs at all (their traces contain no dummy ops).
+func TestNonOpenMPUnaffectedByBranchedWake(t *testing.T) {
+	pre := qithread.Config{Mode: qithread.RoundRobin,
+		Policies: qithread.BoostBlocked | qithread.CreateAll | qithread.CSWhole | qithread.WakeAMAP}
+	for _, name := range []string{"barnes", "pbzip2_compress", "aget", "redis"} {
+		spec, _ := Find(name)
+		without := makespan(spec, pre, shapeParams)
+		with := makespan(spec, qiCfg, shapeParams)
+		if with != without {
+			t.Errorf("%s: BranchedWake changed a non-OpenMP program: %v -> %v", name, without, with)
+		}
+	}
+}
+
+// TestThreadOverride: Params.Threads rescales every engine.
+func TestThreadOverride(t *testing.T) {
+	spec, _ := Find("streamcluster")
+	p := workload.Params{Scale: 0.05, InputSeed: 1, Threads: 3}
+	rt := qithread.New(qithread.Config{Mode: qithread.RoundRobin})
+	spec.Build(p)(rt)
+	// 3 workers including main participant -> at most 3 live simultaneously
+	// (plus main), far below the 16-thread default.
+	if got := rt.ThreadsCreated(); got > 4 {
+		t.Errorf("threads created = %d with override 3", got)
+	}
+}

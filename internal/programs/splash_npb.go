@@ -1,0 +1,141 @@
+package programs
+
+import (
+	"qithread/internal/workload"
+)
+
+// registerSplash adds the 14 SPLASH-2x benchmarks. SPLASH programs are
+// fork-join scientific kernels proceeding in barrier-separated phases; the
+// main thread participates as a worker. radiosity and raytrace distribute
+// tasks from contended queues, which is why the paper gives radiosity a soft
+// barrier and raytrace a PCS hint on its task lock; cholesky and fmm carry
+// PCS hints on their fine-grained locks.
+func registerSplash() {
+	type fj struct {
+		name      string
+		rounds    int
+		work      int64
+		imbalance []int
+		lockEvery int
+		csWork    int64
+		hints     workload.Hints
+		adHoc     bool
+	}
+	const threads = 16
+	fjs := []fj{
+		// barnes: octree phases, mildly imbalanced particle partitions.
+		{name: "barnes", rounds: 40, work: 5000, imbalance: []int{100, 115, 90, 105}},
+		// cholesky: supernodal factorization, contended task locks (PCS).
+		{name: "cholesky", rounds: 60, work: 1500, lockEvery: 1, csWork: 120,
+			imbalance: []int{100, 140, 70, 120, 85}, hints: workload.Hints{PCS: true}},
+		// fft: transpose phases separated by all-thread barriers.
+		{name: "fft", rounds: 12, work: 9000},
+		// fmm: adaptive multipole, heavy lock traffic (PCS).
+		{name: "fmm", rounds: 50, work: 2200, lockEvery: 1, csWork: 200,
+			imbalance: []int{100, 160, 60, 130}, hints: workload.Hints{PCS: true}},
+		// lu_cb / lu_ncb: blocked LU with diagonal-block imbalance.
+		{name: "lu_cb", rounds: 48, work: 3200, imbalance: []int{100, 80, 120, 95}},
+		{name: "lu_ncb", rounds: 48, work: 3600, imbalance: []int{100, 85, 115, 100}},
+		// ocean: stencil rounds, boundary threads do more work.
+		{name: "ocean_cp", rounds: 60, work: 2800, imbalance: []int{115, 100, 100, 115}},
+		{name: "ocean_ncp", rounds: 60, work: 3200, imbalance: []int{120, 100, 100, 120}},
+		// radix: rank/permute rounds with prefix-sum reduction locks.
+		{name: "radix", rounds: 24, work: 4200, lockEvery: 2, csWork: 90,
+			hints: workload.Hints{SoftBarrier: true}},
+		// volrend: ray casting over an octree with task imbalance.
+		{name: "volrend", rounds: 36, work: 2400, imbalance: []int{100, 70, 130, 95, 110}},
+		// water_nsquared / water_spatial: molecular dynamics rounds with
+		// reduction locks.
+		{name: "water_nsquared", rounds: 40, work: 3800, lockEvery: 4, csWork: 60},
+		{name: "water_spatial", rounds: 40, work: 3400, lockEvery: 4, csWork: 60},
+	}
+	for _, f := range fjs {
+		f := f
+		register(Spec{
+			Name: f.name, Suite: "splash2x", Threads: threads, Hints: f.hints,
+			Build: func(p workload.Params) workload.App {
+				return workload.ForkJoin(workload.ForkJoinConfig{
+					Threads: threads, Rounds: f.rounds, Work: f.work,
+					Imbalance: f.imbalance, LockEvery: f.lockEvery, CSWork: f.csWork,
+					PCSLock: f.hints.PCS, SoftBarrier: f.hints.SoftBarrier, AdHoc: f.adHoc,
+				}, p)
+			},
+		})
+	}
+	// radiosity: hierarchical task queue with per-task locks ('+').
+	register(Spec{
+		Name: "radiosity", Suite: "splash2x", Threads: threads,
+		Hints: workload.Hints{SoftBarrier: true},
+		Build: func(p workload.Params) workload.App {
+			return workload.TaskQueue(workload.TaskQueueConfig{
+				Workers: threads, Tasks: 480, TaskWorkMin: 400, TaskWorkMax: 2400,
+				ResultWork: 40, SoftBarrier: true,
+			}, p)
+		},
+	})
+	// raytrace: tile task queue with a contended task lock ('*').
+	register(Spec{
+		Name: "raytrace", Suite: "splash2x", Threads: threads,
+		Hints: workload.Hints{PCS: true},
+		Build: func(p workload.Params) workload.App {
+			return workload.TaskQueue(workload.TaskQueueConfig{
+				Workers: threads, Tasks: 640, TaskWorkMin: 200, TaskWorkMax: 1800,
+				ResultWork: 25, PCSResult: true,
+			}, p)
+		},
+	})
+}
+
+// registerNPB adds the 10 NPB 3.3.1 OpenMP benchmarks (bt-l ... ua-l in
+// Figure 8). They run under the libgomp team model: parallel-for regions
+// ending in the branched semaphore barrier of Figure 3, which is the
+// structure the BranchedWake policy was designed for — the paper reports all
+// 20 programs that BranchedWake benefits use OpenMP. All NPB programs carry
+// soft-barrier hints ('+'); ua-l additionally carries a PCS hint ('*').
+func registerNPB() {
+	type omp struct {
+		name    string
+		regions int
+		iters   int
+		work    int64
+		master  int64
+		reduce  bool
+		pcs     bool
+	}
+	const threads = 16
+	benches := []omp{
+		{name: "bt-l", regions: 40, iters: 384, work: 160, master: 300},
+		{name: "cg-l", regions: 50, iters: 256, work: 120, master: 150, reduce: true},
+		{name: "dc-l", regions: 16, iters: 192, work: 520, master: 800},
+		{name: "ep-l", regions: 2, iters: 512, work: 2600, reduce: true},
+		{name: "ft-l", regions: 24, iters: 320, work: 260, master: 400},
+		{name: "is-l", regions: 20, iters: 256, work: 140, master: 120, reduce: true},
+		{name: "lu-l", regions: 60, iters: 320, work: 110, master: 100},
+		{name: "mg-l", regions: 44, iters: 288, work: 130, master: 200},
+		{name: "sp-l", regions: 48, iters: 352, work: 140, master: 220},
+		{name: "ua-l", regions: 56, iters: 288, work: 150, master: 260, pcs: true},
+	}
+	for _, b := range benches {
+		b := b
+		hints := workload.Hints{SoftBarrier: true, PCS: b.pcs}
+		register(Spec{
+			Name: b.name, Suite: "npb", Threads: threads, Hints: hints,
+			Build: func(p workload.Params) workload.App {
+				if b.pcs {
+					// ua-l's PCS hint covers its contended update locks;
+					// model it with the fork-join engine's PCS reduction
+					// alongside the OpenMP-style phases.
+					return workload.ForkJoin(workload.ForkJoinConfig{
+						Threads: threads, Rounds: b.regions, Work: b.work * int64(b.iters) / int64(threads),
+						LockEvery: 1, CSWork: 180, PCSLock: true, SoftBarrier: true,
+					}, p)
+				}
+				return workload.OpenMPFor(workload.OpenMPForConfig{
+					Threads: threads, Regions: b.regions, Iters: b.iters,
+					WorkPerIter: b.work, MasterWork: b.master,
+					ReduceLock: b.reduce, SoftBarrier: true,
+				}, p)
+			},
+		})
+	}
+}

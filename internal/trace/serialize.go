@@ -1,0 +1,69 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"qithread/internal/core"
+)
+
+// Schedule files are plain text, one operation per line:
+//
+//	qithread-schedule v1
+//	<seq> <tid> <op-number> <obj> <status>
+//
+// The format is stable across runs and diff-friendly, so recorded schedules
+// can live next to bug reports and replay them later (the record/replay use
+// case of DMT systems).
+
+const scheduleHeader = "qithread-schedule v1"
+
+// Save writes a schedule in the text format.
+func Save(w io.Writer, events []core.Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, scheduleHeader); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d %d\n", e.Seq, e.TID, uint8(e.Op), e.Obj, uint8(e.Status)); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a schedule written by Save.
+func Load(r io.Reader) ([]core.Event, error) {
+	sc := bufio.NewScanner(r)
+	if !sc.Scan() {
+		return nil, fmt.Errorf("trace: empty schedule file")
+	}
+	if strings.TrimSpace(sc.Text()) != scheduleHeader {
+		return nil, fmt.Errorf("trace: bad header %q", sc.Text())
+	}
+	var out []core.Event
+	line := 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var seq int64
+		var tid int
+		var op, status uint8
+		var obj uint64
+		if _, err := fmt.Sscanf(text, "%d %d %d %d %d", &seq, &tid, &op, &obj, &status); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		if int64(len(out)) != seq {
+			return nil, fmt.Errorf("trace: line %d: sequence %d out of order", line, seq)
+		}
+		out = append(out, core.Event{
+			Seq: seq, TID: tid, Op: core.OpKind(op), Obj: obj, Status: core.EventStatus(status),
+		})
+	}
+	return out, sc.Err()
+}

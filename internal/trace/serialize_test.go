@@ -1,0 +1,56 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		s := genSchedule(seed, int(n)+1)
+		for i := range s {
+			s[i].Seq = int64(i)
+		}
+		var buf bytes.Buffer
+		if err := Save(&buf, s); err != nil {
+			return false
+		}
+		out, err := Load(&buf)
+		if err != nil || len(out) != len(s) {
+			return false
+		}
+		for i := range s {
+			if out[i] != s[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"",
+		"not a schedule\n1 2 3 4 5\n",
+		"qithread-schedule v1\nbogus line\n",
+		"qithread-schedule v1\n5 0 1 0 0\n", // out-of-order seq
+	}
+	for _, c := range cases {
+		if _, err := Load(strings.NewReader(c)); err == nil {
+			t.Errorf("Load accepted %q", c)
+		}
+	}
+}
+
+func TestLoadSkipsBlankLines(t *testing.T) {
+	in := "qithread-schedule v1\n0 1 2 3 0\n\n1 2 3 4 1\n"
+	out, err := Load(strings.NewReader(in))
+	if err != nil || len(out) != 2 {
+		t.Fatalf("Load = %v, %v", out, err)
+	}
+}

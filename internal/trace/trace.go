@@ -1,0 +1,104 @@
+// Package trace analyzes recorded synchronization schedules: hashing for
+// determinism checks, prefix comparison for the schedule-stability
+// experiments (Section 2 of the paper: round-robin policies give one stable
+// schedule across inputs, logical clocks give many).
+package trace
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"qithread/internal/core"
+)
+
+// Hash returns a hash of the complete schedule including blocking status.
+// Two runs of the same program under a deterministic scheduler must produce
+// equal hashes.
+func Hash(events []core.Event) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, e := range events {
+		put(uint64(e.TID))
+		put(uint64(e.Op))
+		put(e.Obj)
+		put(uint64(e.Status))
+	}
+	return h.Sum64()
+}
+
+// PrefixHash hashes only the first k events (the whole schedule if k exceeds
+// its length). Stability experiments compare prefix hashes across inputs of
+// different sizes: a stable policy schedules similar inputs identically up to
+// the point where the shorter input ends.
+func PrefixHash(events []core.Event, k int) uint64 {
+	if k > len(events) {
+		k = len(events)
+	}
+	return Hash(events[:k])
+}
+
+// CommonPrefix returns the length of the longest common prefix of two
+// schedules.
+func CommonPrefix(a, b []core.Event) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}
+
+// StablePrefix reports whether two schedules agree on their common length,
+// the paper's notion of schedule stability across similar inputs.
+func StablePrefix(a, b []core.Event) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	return CommonPrefix(a, b) == n
+}
+
+// DistinctSchedules groups a set of schedules by prefix-stability and returns
+// the number of equivalence classes — the "five different schedules for
+// eight different files" measurement reported for CoreDet on pbzip2.
+func DistinctSchedules(schedules [][]core.Event) int {
+	classes := 0
+	assigned := make([]bool, len(schedules))
+	for i := range schedules {
+		if assigned[i] {
+			continue
+		}
+		classes++
+		assigned[i] = true
+		for j := i + 1; j < len(schedules); j++ {
+			if !assigned[j] && StablePrefix(schedules[i], schedules[j]) {
+				assigned[j] = true
+			}
+		}
+	}
+	return classes
+}
+
+// Format renders a schedule like the rows of Figure 1b, up to limit events
+// (0 = all).
+func Format(events []core.Event, limit int) string {
+	if limit <= 0 || limit > len(events) {
+		limit = len(events)
+	}
+	var b strings.Builder
+	for _, e := range events[:limit] {
+		fmt.Fprintln(&b, e.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"qithread/internal/core"
+)
+
+func ev(tid int, op core.OpKind, obj uint64) core.Event {
+	return core.Event{TID: tid, Op: op, Obj: obj}
+}
+
+func genSchedule(seed int64, n int) []core.Event {
+	out := make([]core.Event, n)
+	x := uint64(seed)*2654435761 + 1
+	for i := range out {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		out[i] = core.Event{
+			Seq:    int64(i),
+			TID:    int(x % 7),
+			Op:     core.OpKind(1 + x%12),
+			Obj:    (x >> 8) % 5,
+			Status: core.EventStatus(x % 3),
+		}
+	}
+	return out
+}
+
+// TestHashDeterministic: equal schedules hash equal; a single perturbation
+// changes the hash.
+func TestHashDeterministic(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		s := genSchedule(seed, int(n)+2)
+		if Hash(s) != Hash(append([]core.Event(nil), s...)) {
+			return false
+		}
+		mut := append([]core.Event(nil), s...)
+		mut[len(mut)/2].TID++
+		return Hash(mut) != Hash(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrefixHashMatchesPrefix: PrefixHash(s, k) == Hash(s[:k]).
+func TestPrefixHashMatchesPrefix(t *testing.T) {
+	f := func(seed int64, n, k uint8) bool {
+		s := genSchedule(seed, int(n)+1)
+		kk := int(k) % (len(s) + 3)
+		want := kk
+		if want > len(s) {
+			want = len(s)
+		}
+		return PrefixHash(s, kk) == Hash(s[:want])
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommonPrefix(t *testing.T) {
+	a := []core.Event{ev(0, core.OpMutexLock, 1), ev(1, core.OpMutexLock, 1), ev(0, core.OpMutexUnlock, 1)}
+	b := []core.Event{a[0], a[1], ev(2, core.OpMutexLock, 1)}
+	if got := CommonPrefix(a, b); got != 2 {
+		t.Fatalf("CommonPrefix = %d", got)
+	}
+	if !StablePrefix(a, a[:2]) {
+		t.Fatal("a should be prefix-stable with its own prefix")
+	}
+	if StablePrefix(a, b) {
+		t.Fatal("a and b diverge at 2 of 3")
+	}
+}
+
+// TestCommonPrefixProperties: symmetric, bounded by min length, full on
+// self-prefix.
+func TestCommonPrefixProperties(t *testing.T) {
+	f := func(seed int64, n uint8, cut uint8) bool {
+		s := genSchedule(seed, int(n)+2)
+		k := int(cut) % len(s)
+		pre := s[:k]
+		if CommonPrefix(s, pre) != k || CommonPrefix(pre, s) != k {
+			return false
+		}
+		other := genSchedule(seed+1, len(s))
+		cp := CommonPrefix(s, other)
+		return cp >= 0 && cp <= len(s) && cp == CommonPrefix(other, s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDistinctSchedules(t *testing.T) {
+	a := genSchedule(1, 20)
+	b := genSchedule(2, 20)
+	if got := DistinctSchedules([][]core.Event{a, a, a}); got != 1 {
+		t.Fatalf("identical schedules: %d classes", got)
+	}
+	if got := DistinctSchedules([][]core.Event{a, b}); got != 2 {
+		t.Fatalf("different schedules: %d classes", got)
+	}
+	// A prefix counts as the same schedule (shorter input, same policy).
+	if got := DistinctSchedules([][]core.Event{a, a[:10], b}); got != 2 {
+		t.Fatalf("prefix grouping: %d classes", got)
+	}
+	if got := DistinctSchedules(nil); got != 0 {
+		t.Fatalf("empty: %d", got)
+	}
+}
+
+func TestFormat(t *testing.T) {
+	s := []core.Event{
+		{Seq: 0, TID: 0, Op: core.OpCreate, Obj: 4},
+		{Seq: 1, TID: 1, Op: core.OpThreadBegin},
+		{Seq: 2, TID: 0, Op: core.OpMutexLock, Obj: 1, Status: core.StatusBlocked},
+	}
+	out := Format(s, 0)
+	if !strings.Contains(out, "create") || !strings.Contains(out, "thread_begin") || !strings.Contains(out, "blocks") {
+		t.Fatalf("format output missing pieces:\n%s", out)
+	}
+	if lines := strings.Count(Format(s, 2), "\n"); lines != 2 {
+		t.Fatalf("limit ignored: %d lines", lines)
+	}
+}

@@ -1,0 +1,50 @@
+package workload
+
+import (
+	"sync/atomic"
+
+	"qithread"
+)
+
+// adHocBarrier is a sense-reversing busy-wait barrier built from atomics and
+// sched_yield, modeling the ad-hoc synchronization [Xiong et al., OSDI'10]
+// found in five evaluation programs. The paper makes such loops
+// scheduler-visible by adding a sched_yield call, which the deterministic
+// runtime turns into one scheduling turn per spin — exactly what Thread.Yield
+// does here.
+type adHocBarrier struct {
+	n     int32
+	count atomic.Int32
+	gen   atomic.Int32
+}
+
+func newAdHocBarrier(n int) *adHocBarrier {
+	return &adHocBarrier{n: int32(n)}
+}
+
+func (b *adHocBarrier) wait(t *qithread.Thread) {
+	g := b.gen.Load()
+	if b.count.Add(1) == b.n {
+		b.count.Store(0)
+		b.gen.Add(1)
+		return
+	}
+	for b.gen.Load() == g {
+		t.Yield()
+	}
+}
+
+// adHocFlag is a busy-wait "data ready" flag with the same yield treatment,
+// used by the x264-style pipeline model where a frame worker waits for rows
+// of its reference frame.
+type adHocFlag struct {
+	v atomic.Int64
+}
+
+func (f *adHocFlag) set(v int64) { f.v.Store(v) }
+
+func (f *adHocFlag) waitAtLeast(t *qithread.Thread, v int64) {
+	for f.v.Load() < v {
+		t.Yield()
+	}
+}

@@ -1,0 +1,104 @@
+package workload
+
+import (
+	"qithread"
+)
+
+// ForkJoinConfig describes a fork-join data-parallel program that proceeds in
+// barrier-separated rounds, the dominant structure of the SPLASH-2x and NPB
+// suites: N threads each compute a partition, meet at a barrier, optionally
+// update a shared reduction under a mutex, and repeat.
+type ForkJoinConfig struct {
+	Threads int
+	Rounds  int
+	// Work is the per-thread, per-round compute grain.
+	Work int64
+	// Imbalance multiplies Work per thread index (percent, 100 = balanced);
+	// cycled when shorter than Threads. Models load imbalance such as
+	// particle clustering in barnes or boundary rows in ocean.
+	Imbalance []int
+	// LockEvery makes every round whose index is a multiple acquire the
+	// shared reduction mutex; 0 disables locking.
+	LockEvery int
+	// CSWork is the compute grain inside the reduction critical section.
+	CSWork int64
+	// PCSLock marks the reduction mutex as a Parrot performance-critical
+	// section (the '*' programs: cholesky, fmm, raytrace, ...).
+	PCSLock bool
+	// SoftBarrier co-schedules workers at the top of each round when the
+	// runtime honors soft barriers (the '+' programs).
+	SoftBarrier bool
+	// AdHoc replaces the pthread barrier with an ad-hoc busy-wait
+	// synchronization (atomic counter + sched_yield loop), as in the five
+	// programs the paper patches with sched_yield calls.
+	AdHoc bool
+}
+
+// ForkJoin builds the fork-join engine app.
+func ForkJoin(cfg ForkJoinConfig, p Params) App {
+	threads := p.threads(cfg.Threads)
+	rounds := p.scaleN(cfg.Rounds, 2)
+	work := p.scaleW(cfg.Work)
+	csWork := p.scaleW(cfg.CSWork)
+	return func(rt *qithread.Runtime) uint64 {
+		parts := make([]uint64, threads)
+		var shared uint64
+		rt.Run(func(main *qithread.Thread) {
+			var barrier *qithread.Barrier
+			var ahb *adHocBarrier
+			if cfg.AdHoc {
+				ahb = newAdHocBarrier(threads)
+			} else {
+				barrier = rt.NewBarrier(main, "round", threads)
+			}
+			var red *qithread.Mutex
+			if cfg.LockEvery > 0 {
+				if cfg.PCSLock {
+					red = rt.NewPCSMutex(main, "reduce")
+				} else {
+					red = rt.NewMutex(main, "reduce")
+				}
+			}
+			var sb *qithread.SoftBarrier
+			if cfg.SoftBarrier {
+				sb = rt.NewSoftBarrier(main, "round", threads)
+			}
+			body := func(i int, w *qithread.Thread) {
+				var acc uint64
+				for r := 0; r < rounds; r++ {
+					if sb != nil {
+						sb.Arrive(w)
+					}
+					wk := work
+					if len(cfg.Imbalance) > 0 {
+						wk = work * int64(cfg.Imbalance[i%len(cfg.Imbalance)]) / 100
+						if wk < 1 {
+							wk = 1
+						}
+					}
+					item := r*threads + i
+					wk = itemWork(wk, item, p.InputSeed, p.InputSkew)
+					acc += w.WorkSeeded(seedFor(p.InputSeed, item), wk)
+					if cfg.LockEvery > 0 && r%cfg.LockEvery == 0 {
+						red.Lock(w)
+						shared += w.WorkSeeded(seedFor(p.InputSeed, item+1<<20), csWork)
+						red.Unlock(w)
+					}
+					if cfg.AdHoc {
+						ahb.wait(w)
+					} else {
+						barrier.Wait(w)
+					}
+				}
+				parts[i] = acc
+			}
+			// Main participates as worker 0, as SPLASH main threads do.
+			kids := createWorkers(main, threads-1, "worker", func(i int, w *qithread.Thread) {
+				body(i+1, w)
+			})
+			body(0, main)
+			joinAll(main, kids)
+		})
+		return sumAll(parts) + shared
+	}
+}

@@ -1,0 +1,203 @@
+package workload
+
+import (
+	"qithread"
+)
+
+// MapReduceConfig describes the two Phoenix implementations of each
+// algorithm: the map-reduce library version (Dynamic=true) distributes map
+// and reduce tasks from a shared task queue guarded by a mutex, with
+// semaphore-based phase changes; the pthreads version (Dynamic=false)
+// statically partitions the input across created-then-joined threads, the
+// pthread_create-loop structure of Figure 2 that the CreateAll policy
+// targets.
+type MapReduceConfig struct {
+	Workers int
+	// MapTasks and ReduceTasks are the task counts of the two phases.
+	MapTasks    int
+	ReduceTasks int
+	MapWork     int64
+	ReduceWork  int64
+	// Dynamic selects the task-queue library structure.
+	Dynamic bool
+	// SoftBarrier co-schedules workers at phase start.
+	SoftBarrier bool
+}
+
+// MapReduce builds the Phoenix engine app.
+func MapReduce(cfg MapReduceConfig, p Params) App {
+	workers := p.threads(cfg.Workers)
+	mapTasks := p.scaleN(cfg.MapTasks, workers)
+	reduceTasks := p.scaleN(cfg.ReduceTasks, workers)
+	mapWork := p.scaleW(cfg.MapWork)
+	reduceWork := p.scaleW(cfg.ReduceWork)
+	if cfg.Dynamic {
+		return mapReduceDynamic(workers, mapTasks, reduceTasks, mapWork, reduceWork, cfg.SoftBarrier, p)
+	}
+	return mapReduceStatic(workers, mapTasks, reduceTasks, mapWork, reduceWork, p)
+}
+
+// mapReduceStatic is the Phoenix *-pthread shape: one create/join round per
+// phase with static partitions and no further synchronization inside the
+// phase — exactly Figure 2.
+func mapReduceStatic(workers, mapTasks, reduceTasks int, mapWork, reduceWork int64, p Params) App {
+	return func(rt *qithread.Runtime) uint64 {
+		parts := make([]uint64, workers)
+		phase := func(main *qithread.Thread, tasks int, work int64, salt uint64) {
+			kids := createWorkers(main, workers, "worker", func(i int, w *qithread.Thread) {
+				lo := i * tasks / workers
+				hi := (i + 1) * tasks / workers
+				acc := parts[i]
+				for t := lo; t < hi; t++ {
+					acc += w.WorkSeeded(seedFor(p.InputSeed+salt, t), itemWork(work, t, p.InputSeed+salt, p.InputSkew))
+				}
+				parts[i] = acc
+			})
+			joinAll(main, kids)
+		}
+		rt.Run(func(main *qithread.Thread) {
+			phase(main, mapTasks, mapWork, 0x11)
+			phase(main, reduceTasks, reduceWork, 0x22)
+		})
+		return sumAll(parts)
+	}
+}
+
+// mapReduceDynamic is the Phoenix map-reduce library shape: a persistent
+// worker pool pulls tasks from a shared queue; phases are separated by a
+// barrier.
+func mapReduceDynamic(workers, mapTasks, reduceTasks int, mapWork, reduceWork int64, softBarrier bool, p Params) App {
+	return func(rt *qithread.Runtime) uint64 {
+		parts := make([]uint64, workers)
+		rt.Run(func(main *qithread.Thread) {
+			taskM := rt.NewMutex(main, "tasks")
+			phaseBarrier := rt.NewBarrier(main, "phase", workers+1)
+			var sb *qithread.SoftBarrier
+			if softBarrier {
+				sb = rt.NewSoftBarrier(main, "phase", workers)
+			}
+			next := 0
+			limit := 0
+			var work int64
+
+			runPhase := func(i int, w *qithread.Thread, salt uint64) uint64 {
+				if sb != nil {
+					sb.Arrive(w)
+				}
+				var acc uint64
+				for {
+					taskM.Lock(w)
+					if next >= limit {
+						taskM.Unlock(w)
+						break
+					}
+					t := next
+					next++
+					taskM.Unlock(w)
+					acc += w.WorkSeeded(seedFor(p.InputSeed+salt, t), itemWork(work, t, p.InputSeed+salt, p.InputSkew))
+				}
+				return acc
+			}
+
+			kids := createWorkers(main, workers, "mr", func(i int, w *qithread.Thread) {
+				phaseBarrier.Wait(w) // wait for map phase setup
+				acc := runPhase(i, w, 0x11)
+				phaseBarrier.Wait(w) // map done
+				phaseBarrier.Wait(w) // wait for reduce phase setup
+				acc += runPhase(i, w, 0x22)
+				phaseBarrier.Wait(w) // reduce done
+				parts[i] = acc
+			})
+
+			next, limit, work = 0, mapTasks, mapWork
+			phaseBarrier.Wait(main) // release map
+			phaseBarrier.Wait(main) // map done
+			next, limit, work = 0, reduceTasks, reduceWork
+			phaseBarrier.Wait(main) // release reduce
+			phaseBarrier.Wait(main) // reduce done
+			joinAll(main, kids)
+		})
+		return sumAll(parts)
+	}
+}
+
+// CreateJoinConfig is the bare Figure 2 structure: a loop creates N children
+// that perform pure computation with no explicit synchronization, then joins
+// them. The parent optionally runs the same function, as the paper describes.
+// Under vanilla round robin the children serialize; CreateAll fixes it.
+type CreateJoinConfig struct {
+	Threads int
+	Work    int64
+	// Rounds repeats the create/join cycle (aget re-downloads segments,
+	// histogram-pthread runs once).
+	Rounds int
+	// ParentWorks makes the parent run the same computation after the loop.
+	ParentWorks bool
+	// ProgressLock adds a brief mutex-protected progress update inside each
+	// child (aget's progress bar).
+	ProgressLock bool
+	ProgressEach int64
+	SoftBarrier  bool
+}
+
+// CreateJoin builds the create/join engine app.
+func CreateJoin(cfg CreateJoinConfig, p Params) App {
+	threads := p.threads(cfg.Threads)
+	rounds := cfg.Rounds
+	if rounds < 1 {
+		rounds = 1
+	}
+	work := p.scaleW(cfg.Work)
+	return func(rt *qithread.Runtime) uint64 {
+		parts := make([]uint64, threads+1)
+		rt.Run(func(main *qithread.Thread) {
+			var progress *qithread.Mutex
+			var sb *qithread.SoftBarrier
+			if cfg.ProgressLock {
+				progress = rt.NewMutex(main, "progress")
+			}
+			if cfg.SoftBarrier {
+				n := threads
+				if cfg.ParentWorks {
+					n++
+				}
+				sb = rt.NewSoftBarrier(main, "compute", n)
+			}
+			var total uint64
+			body := func(i int, w *qithread.Thread, r int) {
+				if sb != nil {
+					sb.Arrive(w)
+				}
+				wk := itemWork(work, r*threads+i, p.InputSeed, p.InputSkew)
+				if cfg.ProgressLock && cfg.ProgressEach > 0 {
+					chunks := wk / cfg.ProgressEach
+					if chunks < 1 {
+						chunks = 1
+					}
+					per := wk / chunks
+					acc := parts[i]
+					for c := int64(0); c < chunks; c++ {
+						acc += w.WorkSeeded(seedFor(p.InputSeed, r*threads+i)+uint64(c), per)
+						progress.Lock(w)
+						total++
+						progress.Unlock(w)
+					}
+					parts[i] = acc
+					return
+				}
+				parts[i] += w.WorkSeeded(seedFor(p.InputSeed, r*threads+i), wk)
+			}
+			for r := 0; r < rounds; r++ {
+				kids := createWorkers(main, threads, "child", func(i int, w *qithread.Thread) {
+					body(i, w, r)
+				})
+				if cfg.ParentWorks {
+					body(threads, main, r)
+				}
+				joinAll(main, kids)
+			}
+			parts[threads] += total
+		})
+		return sumAll(parts)
+	}
+}

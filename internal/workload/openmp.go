@@ -1,0 +1,162 @@
+package workload
+
+import (
+	"qithread"
+)
+
+// OpenMPForConfig describes an OpenMP program as GCC's libgomp executes it: a
+// team of threads is created once; each "#pragma omp parallel for" region
+// statically partitions its iterations over the team. Region transitions use
+// libgomp's dock-semaphore structure, which contains the branched-unblocking
+// pattern of Figure 3 twice:
+//
+//   - Region start: the master releases the team by posting the dock
+//     semaphore once per worker — a wake-up loop the WakeAMAP policy
+//     schedules as a whole.
+//   - Region end (nowait style): every team member decrements an arrival
+//     counter in a critical section; the LAST one posts the end semaphore
+//     that the master waits on, all others skip the post — the exact code of
+//     Figure 3 — and immediately continue into trailing computation (loop
+//     epilogue, next chunk prefetch). Under vanilla round robin the poster's
+//     sem_post must wait for the turn to rotate past those computing
+//     threads, delaying the master by up to a whole trailing chunk; the
+//     BranchedWake dummy operation on the skip branch fills that rotation
+//     lap with quick operations instead (Section 3.5).
+//
+// This is the structure of the ImageMagick utilities, the parallel STL
+// algorithms, and the *-openmp variants in NPB and PARSEC, and it is why the
+// paper finds that all 20 programs BranchedWake benefits use OpenMP.
+type OpenMPForConfig struct {
+	Threads int
+	// Regions is the number of parallel regions (ImageMagick filters run
+	// several passes; most STL algorithms run one or two).
+	Regions int
+	// Iters is the iteration count of each region (image rows, container
+	// elements).
+	Iters int
+	// WorkPerIter is the compute grain of one iteration.
+	WorkPerIter int64
+	// MasterWork is compute the master performs between regions (loading
+	// the next image pass, merging results).
+	MasterWork int64
+	// TailPct is the trailing nowait computation after region end as a
+	// percentage of a thread's chunk; zero means 25%.
+	TailPct int
+	// ReduceLock makes each thread fold its partial result into a shared
+	// value under a mutex at region end (reduction clauses).
+	ReduceLock bool
+	// SoftBarrier co-schedules the team at region start under Parrot hints.
+	SoftBarrier bool
+}
+
+// OpenMPFor builds the libgomp-team engine app.
+func OpenMPFor(cfg OpenMPForConfig, p Params) App {
+	threads := p.threads(cfg.Threads)
+	regions := cfg.Regions
+	if regions < 1 {
+		regions = 1
+	}
+	iters := p.scaleN(cfg.Iters, threads)
+	work := p.scaleW(cfg.WorkPerIter)
+	masterWork := p.scaleW(cfg.MasterWork)
+	tailPct := cfg.TailPct
+	if tailPct <= 0 {
+		tailPct = 25
+	}
+	// Trailing nowait compute per thread per region.
+	tailWork := int64(iters/threads) * work * int64(tailPct) / 100
+	if tailWork < 1 {
+		tailWork = 1
+	}
+	return func(rt *qithread.Runtime) uint64 {
+		parts := make([]uint64, threads)
+		var shared uint64
+		rt.Run(func(main *qithread.Thread) {
+			dock := rt.NewSem(main, "dock", 0)    // master -> workers: region released
+			endSem := rt.NewSem(main, "end", 0)   // last finisher -> master
+			endM := rt.NewMutex(main, "endCount") // Figure 3's mutex
+			count := threads
+			var red *qithread.Mutex
+			if cfg.ReduceLock {
+				red = rt.NewMutex(main, "reduce")
+			}
+			var sb *qithread.SoftBarrier
+			if cfg.SoftBarrier {
+				sb = rt.NewSoftBarrier(main, "team", threads)
+			}
+
+			chunk := func(w *qithread.Thread, r, lo, hi int) uint64 {
+				var acc uint64
+				for it := lo; it < hi; it++ {
+					item := r*iters + it
+					acc += w.WorkSeeded(seedFor(p.InputSeed, item), itemWork(work, item, p.InputSeed, p.InputSkew))
+				}
+				return acc
+			}
+			// dockEnd is Figure 3 verbatim: decrement under the mutex; the
+			// last thread posts, the others take the branch that skips the
+			// post — instrumented with the BranchedWake dummy (Figure 7b).
+			dockEnd := func(w *qithread.Thread) bool {
+				endM.Lock(w)
+				count--
+				last := count == 0
+				if last {
+					count = threads
+				}
+				endM.Unlock(w)
+				return last
+			}
+
+			kids := createWorkers(main, threads-1, "omp", func(wi int, w *qithread.Thread) {
+				i := wi + 1
+				var acc uint64
+				for r := 0; r < regions; r++ {
+					dock.Wait(w) // released into the region by the master
+					if sb != nil {
+						sb.Arrive(w)
+					}
+					v := chunk(w, r, i*iters/threads, (i+1)*iters/threads)
+					acc += v
+					if cfg.ReduceLock {
+						red.Lock(w)
+						shared += v
+						red.Unlock(w)
+					}
+					if dockEnd(w) {
+						endSem.Post(w) // wake the master (Figure 3)
+					} else {
+						w.DummySync() // BranchedWake instrumentation
+					}
+					// Nowait trailing computation: loop epilogue running
+					// while the master handles the region transition.
+					acc += w.WorkSeeded(seedFor(p.InputSeed, 1<<25+r*threads+i), tailWork)
+				}
+				parts[i] = acc
+			})
+
+			var acc uint64
+			for r := 0; r < regions; r++ {
+				acc += main.WorkSeeded(seedFor(p.InputSeed, 1<<24+r), masterWork)
+				for i := 0; i < threads-1; i++ {
+					dock.Post(main) // release the team (WakeAMAP loop)
+				}
+				if sb != nil {
+					sb.Arrive(main)
+				}
+				v := chunk(main, r, 0, iters/threads)
+				acc += v
+				if cfg.ReduceLock {
+					red.Lock(main)
+					shared += v
+					red.Unlock(main)
+				}
+				if !dockEnd(main) {
+					endSem.Wait(main) // wait for the team's last finisher
+				}
+			}
+			parts[0] = acc
+			joinAll(main, kids)
+		})
+		return sumAll(parts) + shared
+	}
+}

@@ -1,0 +1,235 @@
+package workload
+
+import (
+	"fmt"
+
+	"qithread"
+)
+
+// pipeQueue is a bounded queue with mutex + two condition variables, the
+// structure PARSEC's ferret and dedup use between pipeline stages.
+type pipeQueue struct {
+	m        *qithread.Mutex
+	notEmpty *qithread.Cond
+	notFull  *qithread.Cond
+	cap      int
+	items    []int
+	// expected is the total number of items that will ever flow through;
+	// popped counts departures so consumers know when the stream is dry.
+	expected int
+	popped   int
+}
+
+func newPipeQueue(rt *qithread.Runtime, t *qithread.Thread, name string, capacity, expected int) *pipeQueue {
+	return &pipeQueue{
+		m:        rt.NewMutex(t, name+".m"),
+		notEmpty: rt.NewCond(t, name+".ne"),
+		notFull:  rt.NewCond(t, name+".nf"),
+		cap:      capacity,
+		expected: expected,
+	}
+}
+
+func (q *pipeQueue) push(t *qithread.Thread, v int) {
+	q.m.Lock(t)
+	for len(q.items) >= q.cap {
+		q.notFull.Wait(t, q.m)
+	}
+	q.items = append(q.items, v)
+	q.m.Unlock(t)
+	q.notEmpty.Signal(t)
+}
+
+// pop returns the next item, or ok=false when all expected items have passed.
+func (q *pipeQueue) pop(t *qithread.Thread) (v int, ok bool) {
+	q.m.Lock(t)
+	for len(q.items) == 0 && q.popped < q.expected {
+		q.notEmpty.Wait(t, q.m)
+	}
+	if len(q.items) == 0 {
+		q.m.Unlock(t)
+		// Everyone else parked on notEmpty must also learn the stream
+		// is dry.
+		q.notEmpty.Broadcast(t)
+		return 0, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.popped++
+	drained := q.popped == q.expected
+	q.m.Unlock(t)
+	q.notFull.Signal(t)
+	if drained {
+		q.notEmpty.Broadcast(t)
+	}
+	return v, true
+}
+
+// StageConfig sizes one pipeline stage.
+type StageConfig struct {
+	Workers int
+	Work    int64
+}
+
+// PipelineConfig describes a ferret/dedup-style pipeline: a source stage
+// feeds items through bounded queues across several worker stages into a
+// sink. The stages have very different per-item costs, which is what makes
+// round-robin scheduling serialize them and what the soft-barrier hints on
+// ferret restore.
+type PipelineConfig struct {
+	Stages   []StageConfig
+	Items    int
+	QueueCap int
+	// SourceWork models the input stage run by the main thread.
+	SourceWork int64
+	// SoftBarrier co-schedules the workers of the heaviest stage.
+	SoftBarrier bool
+}
+
+// Pipeline builds the pipeline engine app.
+func Pipeline(cfg PipelineConfig, p Params) App {
+	items := p.scaleN(cfg.Items, 4)
+	sourceWork := p.scaleW(cfg.SourceWork)
+	qcap := cfg.QueueCap
+	if qcap <= 0 {
+		qcap = 8
+	}
+	return func(rt *qithread.Runtime) uint64 {
+		nstages := len(cfg.Stages)
+		var out uint64
+		rt.Run(func(main *qithread.Thread) {
+			// One input queue per stage; the last stage folds results into
+			// the output under a mutex rather than enqueueing them (the
+			// real programs' output stage writes to disk).
+			queues := make([]*pipeQueue, nstages)
+			for i := range queues {
+				queues[i] = newPipeQueue(rt, main, fmt.Sprintf("q%d", i), qcap, items)
+			}
+			outM := rt.NewMutex(main, "out")
+
+			// Heaviest stage gets the soft barrier, mirroring where Parrot's
+			// hint goes in ferret.
+			heavy := 0
+			for i, st := range cfg.Stages {
+				if st.Work > cfg.Stages[heavy].Work {
+					heavy = i
+				}
+			}
+			var sb *qithread.SoftBarrier
+			if cfg.SoftBarrier && cfg.Stages[heavy].Workers > 1 {
+				sb = rt.NewSoftBarrier(main, "heavy", cfg.Stages[heavy].Workers)
+			}
+
+			var all []*qithread.Thread
+			for si, st := range cfg.Stages {
+				si, st := si, st
+				work := p.scaleW(st.Work)
+				stageThreads := createWorkers(main, st.Workers, fmt.Sprintf("s%d w", si), func(wi int, w *qithread.Thread) {
+					var acc uint64
+					for {
+						v, ok := queues[si].pop(w)
+						if !ok {
+							break
+						}
+						if sb != nil && si == heavy {
+							sb.Arrive(w)
+						}
+						acc += w.WorkSeeded(seedFor(p.InputSeed, v+si*items), itemWork(work, v+si*items, p.InputSeed, p.InputSkew))
+						if si+1 < nstages {
+							queues[si+1].push(w, v)
+						}
+					}
+					outM.Lock(w)
+					out += acc
+					outM.Unlock(w)
+				})
+				all = append(all, stageThreads...)
+			}
+
+			// Source: main feeds the first queue.
+			for v := 0; v < items; v++ {
+				main.WorkSeeded(seedFor(p.InputSeed, v), sourceWork)
+				queues[0].push(main, v)
+			}
+			joinAll(main, all)
+		})
+		return out
+	}
+}
+
+// X264Config describes the x264-style frame pipeline: each worker encodes one
+// frame but must wait (via ad-hoc busy-wait synchronization plus a condition
+// variable handoff) until the previous frame has encoded enough rows. This
+// creates the sliding-window dependency structure that makes x264 hard for
+// every DMT policy (Section 5.2 reports QiThread's largest residual
+// overhead class here).
+type X264Config struct {
+	Workers int
+	Frames  int
+	// RowsPerFrame is the number of row-completion announcements per frame.
+	RowsPerFrame int
+	RowWork      int64
+	// Lag is how many rows of frame i-1 must exist before frame i starts.
+	Lag int
+	// SoftBarrier marks the Parrot hint on the frame workers.
+	SoftBarrier bool
+}
+
+// X264 builds the frame-pipeline engine app.
+func X264(cfg X264Config, p Params) App {
+	workers := p.threads(cfg.Workers)
+	frames := p.scaleN(cfg.Frames, workers)
+	rows := cfg.RowsPerFrame
+	if rows < 2 {
+		rows = 2
+	}
+	rowWork := p.scaleW(cfg.RowWork)
+	return func(rt *qithread.Runtime) uint64 {
+		parts := make([]uint64, workers)
+		rt.Run(func(main *qithread.Thread) {
+			progress := make([]*adHocFlag, frames+1)
+			for i := range progress {
+				progress[i] = &adHocFlag{}
+			}
+			progress[0].set(int64(rows)) // frame -1 is "complete"
+			m := rt.NewMutex(main, "frames")
+			cv := rt.NewCond(main, "frameReady")
+			next := 0
+			var sb *qithread.SoftBarrier
+			if cfg.SoftBarrier {
+				sb = rt.NewSoftBarrier(main, "encode", workers)
+			}
+			kids := createWorkers(main, workers, "enc", func(i int, w *qithread.Thread) {
+				var acc uint64
+				for {
+					m.Lock(w)
+					if next >= frames {
+						m.Unlock(w)
+						cv.Broadcast(w)
+						break
+					}
+					f := next
+					next++
+					m.Unlock(w)
+					if sb != nil {
+						sb.Arrive(w)
+					}
+					for r := 0; r < rows; r++ {
+						// Reference-frame dependency: row r needs row
+						// r+Lag of the previous frame.
+						need := int64(r + cfg.Lag)
+						if need > int64(rows) {
+							need = int64(rows)
+						}
+						progress[f].waitAtLeast(w, need)
+						acc += w.WorkSeeded(seedFor(p.InputSeed, f*rows+r), itemWork(rowWork, f*rows+r, p.InputSeed, p.InputSkew))
+						progress[f+1].set(int64(r + 1))
+					}
+				}
+				parts[i] = acc
+			})
+			joinAll(main, kids)
+		})
+		return sumAll(parts)
+	}
+}

@@ -1,0 +1,198 @@
+package workload
+
+import (
+	"qithread"
+)
+
+// ProdConsConfig describes the producer-consumer structure of Figure 1a
+// (pbzip2 and relatives): producers read blocks and enqueue them under a
+// mutex, waking consumers through a condition variable; consumers dequeue and
+// compress. The compute ratio ConsumeWork/ProduceWork controls how badly
+// vanilla round robin serializes the program (Section 2).
+type ProdConsConfig struct {
+	Producers int
+	Consumers int
+	Blocks    int
+	// ProduceWork models read_block, ConsumeWork models compress.
+	ProduceWork int64
+	ConsumeWork int64
+	// QueueCap bounds the block queue; 0 means unbounded. pbzip2 uses a
+	// bounded queue sized by thread count.
+	QueueCap int
+	// SoftBarrier places Parrot's soft barrier before the consume step,
+	// the fix described for Figure 1a.
+	SoftBarrier bool
+}
+
+// ProdCons builds the producer-consumer engine app.
+func ProdCons(cfg ProdConsConfig, p Params) App {
+	producers := cfg.Producers
+	if producers < 1 {
+		producers = 1
+	}
+	consumers := p.threads(cfg.Consumers)
+	blocks := p.scaleN(cfg.Blocks, consumers)
+	produceWork := p.scaleW(cfg.ProduceWork)
+	consumeWork := p.scaleW(cfg.ConsumeWork)
+	return func(rt *qithread.Runtime) uint64 {
+		parts := make([]uint64, consumers)
+		rt.Run(func(main *qithread.Thread) {
+			m := rt.NewMutex(main, "queue")
+			notEmpty := rt.NewCond(main, "notEmpty")
+			var notFull *qithread.Cond
+			if cfg.QueueCap > 0 {
+				notFull = rt.NewCond(main, "notFull")
+			}
+			var sb *qithread.SoftBarrier
+			if cfg.SoftBarrier {
+				sb = rt.NewSoftBarrier(main, "consume", consumers)
+			}
+			var queue []int
+			done := false
+
+			consume := func(i int, w *qithread.Thread) {
+				var acc uint64
+				for {
+					m.Lock(w)
+					for len(queue) == 0 && !done {
+						notEmpty.Wait(w, m)
+					}
+					if len(queue) == 0 && done {
+						m.Unlock(w)
+						break
+					}
+					b := queue[0]
+					queue = queue[1:]
+					m.Unlock(w)
+					if notFull != nil {
+						notFull.Signal(w)
+					}
+					if sb != nil {
+						sb.Arrive(w)
+					}
+					acc += w.WorkSeeded(seedFor(p.InputSeed, b), itemWork(consumeWork, b, p.InputSeed, p.InputSkew))
+				}
+				parts[i] = acc
+			}
+			kids := createWorkers(main, consumers, "consumer", consume)
+
+			produce := func(pi int, w *qithread.Thread) {
+				for b := pi; b < blocks; b += producers {
+					w.WorkSeeded(seedFor(p.InputSeed, b), itemWork(produceWork, b, p.InputSeed, p.InputSkew))
+					m.Lock(w)
+					if notFull != nil {
+						for len(queue) >= cfg.QueueCap {
+							notFull.Wait(w, m)
+						}
+					}
+					queue = append(queue, b)
+					m.Unlock(w)
+					notEmpty.Signal(w)
+				}
+			}
+			var extraProducers []*qithread.Thread
+			if producers > 1 {
+				extraProducers = createWorkers(main, producers-1, "producer", func(i int, w *qithread.Thread) {
+					produce(i+1, w)
+				})
+			}
+			produce(0, main)
+			joinAll(main, extraProducers)
+			m.Lock(main)
+			done = true
+			m.Unlock(main)
+			notEmpty.Broadcast(main)
+			joinAll(main, kids)
+		})
+		return sumAll(parts)
+	}
+}
+
+// VipsConfig describes the vips idle-queue structure (Section 5.2): the
+// producer dispatches work to idle consumers, but every consumer has its OWN
+// condition variable, so the WakeAMAP wrappers can never observe more than
+// one waiter per condition variable and the policy cannot help. This is the
+// documented pathological case of the paper.
+type VipsConfig struct {
+	Consumers int
+	Items     int
+	// DispatchWork models the producer preparing one work item.
+	DispatchWork int64
+	// ItemWork models one consumer processing step.
+	ItemWork int64
+	// SoftBarrier marks the Parrot hint placement (vips is a '+' program).
+	SoftBarrier bool
+}
+
+// Vips builds the per-consumer-condvar engine app.
+func Vips(cfg VipsConfig, p Params) App {
+	consumers := p.threads(cfg.Consumers)
+	items := p.scaleN(cfg.Items, consumers)
+	dispatchWork := p.scaleW(cfg.DispatchWork)
+	itemWorkBase := p.scaleW(cfg.ItemWork)
+	return func(rt *qithread.Runtime) uint64 {
+		parts := make([]uint64, consumers)
+		rt.Run(func(main *qithread.Thread) {
+			m := rt.NewMutex(main, "idle")
+			idleNotEmpty := rt.NewCond(main, "idleNotEmpty")
+			var sb *qithread.SoftBarrier
+			if cfg.SoftBarrier {
+				sb = rt.NewSoftBarrier(main, "work", consumers)
+			}
+			type slot struct {
+				cv   *qithread.Cond // one condition variable per consumer
+				item int            // -1 empty, -2 shutdown
+			}
+			slots := make([]*slot, consumers)
+			for i := range slots {
+				slots[i] = &slot{cv: rt.NewCond(main, "consumer-cv"), item: -1}
+			}
+			var idle []int
+
+			kids := createWorkers(main, consumers, "consumer", func(i int, w *qithread.Thread) {
+				var acc uint64
+				s := slots[i]
+				for {
+					m.Lock(w)
+					idle = append(idle, i)
+					idleNotEmpty.Signal(w)
+					for s.item == -1 {
+						s.cv.Wait(w, m) // wait on MY condition variable
+					}
+					it := s.item
+					s.item = -1
+					m.Unlock(w)
+					if it == -2 {
+						break
+					}
+					if sb != nil {
+						sb.Arrive(w)
+					}
+					acc += w.WorkSeeded(seedFor(p.InputSeed, it), itemWork(itemWorkBase, it, p.InputSeed, p.InputSkew))
+				}
+				parts[i] = acc
+			})
+
+			dispatch := func(item int) {
+				main.WorkSeeded(seedFor(p.InputSeed, item), dispatchWork)
+				m.Lock(main)
+				for len(idle) == 0 {
+					idleNotEmpty.Wait(main, m)
+				}
+				c := idle[0]
+				idle = idle[1:]
+				slots[c].item = item
+				m.Unlock(main)
+				slots[c].cv.Signal(main) // wakes exactly one thread: WakeAMAP sees 0 remaining waiters
+			}
+			for it := 0; it < items; it++ {
+				dispatch(it)
+			}
+			for c := 0; c < consumers; c++ {
+				dispatch(-2) // shutdown tokens, one per consumer
+			}
+			joinAll(main, kids)
+		})
+		return sumAll(parts)
+	}
+}

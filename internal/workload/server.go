@@ -1,0 +1,224 @@
+package workload
+
+import (
+	"qithread"
+)
+
+// RWMixConfig describes database-style workers (Berkeley DB bench3n,
+// OpenLDAP): each worker executes a deterministic mix of read transactions
+// under a reader lock and write transactions under the writer lock, with a
+// shared log mutex appended on every commit.
+type RWMixConfig struct {
+	Workers int
+	Ops     int // operations per worker
+	// ReadPct is the percentage of operations that are reads.
+	ReadPct   int
+	ReadWork  int64
+	WriteWork int64
+	// LogEvery appends to the mutex-protected log every k-th op; 0 disables.
+	LogEvery int
+	LogWork  int64
+}
+
+// RWMix builds the reader/writer transaction engine app.
+func RWMix(cfg RWMixConfig, p Params) App {
+	workers := p.threads(cfg.Workers)
+	ops := p.scaleN(cfg.Ops, 2)
+	readWork := p.scaleW(cfg.ReadWork)
+	writeWork := p.scaleW(cfg.WriteWork)
+	logWork := p.scaleW(cfg.LogWork)
+	return func(rt *qithread.Runtime) uint64 {
+		parts := make([]uint64, workers)
+		var db, log uint64
+		rt.Run(func(main *qithread.Thread) {
+			rw := rt.NewRWMutex(main, "db")
+			var logM *qithread.Mutex
+			if cfg.LogEvery > 0 {
+				logM = rt.NewMutex(main, "log")
+			}
+			kids := createWorkers(main, workers, "txn", func(i int, w *qithread.Thread) {
+				var acc uint64
+				for op := 0; op < ops; op++ {
+					// Deterministic op mix derived from (worker, op).
+					h := (uint64(i)*2654435761 + uint64(op)*40503) % 100
+					item := i*ops + op
+					if int(h) < cfg.ReadPct {
+						rw.RLock(w)
+						acc += w.WorkSeeded(seedFor(p.InputSeed, item), itemWork(readWork, op, p.InputSeed, p.InputSkew))
+						rw.RUnlock(w)
+					} else {
+						rw.WLock(w)
+						db += w.WorkSeeded(seedFor(p.InputSeed, item), itemWork(writeWork, op, p.InputSeed, p.InputSkew))
+						rw.WUnlock(w)
+					}
+					if cfg.LogEvery > 0 && op%cfg.LogEvery == 0 {
+						logM.Lock(w)
+						log += w.WorkSeeded(seedFor(p.InputSeed, item)+1, logWork)
+						logM.Unlock(w)
+					}
+				}
+				parts[i] = acc
+			})
+			joinAll(main, kids)
+		})
+		return sumAll(parts) + db + log
+	}
+}
+
+// ServerConfig describes a request-serving program (Redis, OpenLDAP serving
+// side, MPlayer mencoder's demux/encode split): a listener thread accepts
+// deterministic "connections" and hands them to a worker pool through a
+// mutex+condvar request queue; workers parse, update shared state under a
+// mutex, and reply. Network I/O is modeled as compute, since the
+// deterministic scheduler delegates real I/O to the OS anyway.
+type ServerConfig struct {
+	Workers  int
+	Requests int
+	// AcceptWork models the listener accepting/reading one request.
+	AcceptWork int64
+	// ParseWork is per-request lock-free work in a worker.
+	ParseWork int64
+	// StateWork is per-request work inside the shared-state critical
+	// section.
+	StateWork int64
+	// PCSState marks the shared-state mutex as a performance-critical
+	// section (pfscan's result lock).
+	PCSState    bool
+	SoftBarrier bool
+}
+
+// Server builds the request-server engine app.
+func Server(cfg ServerConfig, p Params) App {
+	workers := p.threads(cfg.Workers)
+	requests := p.scaleN(cfg.Requests, workers)
+	acceptWork := p.scaleW(cfg.AcceptWork)
+	parseWork := p.scaleW(cfg.ParseWork)
+	stateWork := p.scaleW(cfg.StateWork)
+	return func(rt *qithread.Runtime) uint64 {
+		parts := make([]uint64, workers)
+		var state uint64
+		rt.Run(func(main *qithread.Thread) {
+			m := rt.NewMutex(main, "reqs")
+			notEmpty := rt.NewCond(main, "notEmpty")
+			var stateM *qithread.Mutex
+			if cfg.PCSState {
+				stateM = rt.NewPCSMutex(main, "state")
+			} else {
+				stateM = rt.NewMutex(main, "state")
+			}
+			var sb *qithread.SoftBarrier
+			if cfg.SoftBarrier {
+				sb = rt.NewSoftBarrier(main, "serve", workers)
+			}
+			var queue []int
+			done := false
+			kids := createWorkers(main, workers, "worker", func(i int, w *qithread.Thread) {
+				var acc uint64
+				for {
+					m.Lock(w)
+					for len(queue) == 0 && !done {
+						notEmpty.Wait(w, m)
+					}
+					if len(queue) == 0 && done {
+						m.Unlock(w)
+						break
+					}
+					r := queue[0]
+					queue = queue[1:]
+					m.Unlock(w)
+					if sb != nil {
+						sb.Arrive(w)
+					}
+					acc += w.WorkSeeded(seedFor(p.InputSeed, r), itemWork(parseWork, r, p.InputSeed, p.InputSkew))
+					stateM.Lock(w)
+					state += w.WorkSeeded(seedFor(p.InputSeed, r)+2, stateWork)
+					stateM.Unlock(w)
+				}
+				parts[i] = acc
+			})
+			for r := 0; r < requests; r++ {
+				main.WorkSeeded(seedFor(p.InputSeed, r), acceptWork)
+				m.Lock(main)
+				queue = append(queue, r)
+				m.Unlock(main)
+				notEmpty.Signal(main)
+			}
+			m.Lock(main)
+			done = true
+			m.Unlock(main)
+			notEmpty.Broadcast(main)
+			joinAll(main, kids)
+		})
+		return sumAll(parts) + state
+	}
+}
+
+// TaskQueueConfig describes pfscan-style file scanning: a fixed list of tasks
+// (files) of highly variable size is consumed from a mutex+condvar work
+// queue that is pre-filled, so there is no producer imbalance; results are
+// merged under a (possibly PCS) result mutex.
+type TaskQueueConfig struct {
+	Workers int
+	Tasks   int
+	// TaskWorkMin/Max bound the deterministic per-task size spread.
+	TaskWorkMin int64
+	TaskWorkMax int64
+	ResultWork  int64
+	PCSResult   bool
+	SoftBarrier bool
+}
+
+// TaskQueue builds the pre-filled work-queue engine app.
+func TaskQueue(cfg TaskQueueConfig, p Params) App {
+	workers := p.threads(cfg.Workers)
+	tasks := p.scaleN(cfg.Tasks, workers)
+	minW := p.scaleW(cfg.TaskWorkMin)
+	maxW := p.scaleW(cfg.TaskWorkMax)
+	if maxW < minW {
+		maxW = minW
+	}
+	resultWork := p.scaleW(cfg.ResultWork)
+	return func(rt *qithread.Runtime) uint64 {
+		parts := make([]uint64, workers)
+		var result uint64
+		rt.Run(func(main *qithread.Thread) {
+			m := rt.NewMutex(main, "tasks")
+			var resM *qithread.Mutex
+			if cfg.PCSResult {
+				resM = rt.NewPCSMutex(main, "result")
+			} else {
+				resM = rt.NewMutex(main, "result")
+			}
+			var sb *qithread.SoftBarrier
+			if cfg.SoftBarrier {
+				sb = rt.NewSoftBarrier(main, "scan", workers)
+			}
+			next := 0
+			kids := createWorkers(main, workers, "scan", func(i int, w *qithread.Thread) {
+				var acc uint64
+				for {
+					m.Lock(w)
+					if next >= tasks {
+						m.Unlock(w)
+						break
+					}
+					task := next
+					next++
+					m.Unlock(w)
+					if sb != nil {
+						sb.Arrive(w)
+					}
+					span := maxW - minW + 1
+					wk := minW + int64((uint64(task)*0x9e3779b97f4a7c15+p.InputSeed)%uint64(span))
+					acc += w.WorkSeeded(seedFor(p.InputSeed, task), wk)
+					resM.Lock(w)
+					result += w.WorkSeeded(seedFor(p.InputSeed, task)+3, resultWork)
+					resM.Unlock(w)
+				}
+				parts[i] = acc
+			})
+			joinAll(main, kids)
+		})
+		return sumAll(parts) + result
+	}
+}

@@ -1,0 +1,49 @@
+package workload
+
+import (
+	"testing"
+
+	"qithread"
+)
+
+// TestDeterministicCostsParallelism is the model-level sanity invariant: for
+// every engine, the deterministic round-robin makespan is at least the
+// ideal-parallel makespan (determinism can only lose parallelism), and the
+// QiThread policies land between vanilla round robin and the ideal baseline
+// (policies recover, never exceed, ideal parallelism) — modulo the small
+// per-op cost difference, absorbed by a 5% tolerance.
+func TestDeterministicCostsParallelism(t *testing.T) {
+	p := Params{Threads: 4, Scale: 0.15, InputSeed: 11}
+	apps := map[string]App{
+		"forkjoin": ForkJoin(ForkJoinConfig{Threads: 4, Rounds: 6, Work: 400, LockEvery: 2, CSWork: 40}, p),
+		"openmp":   OpenMPFor(OpenMPForConfig{Threads: 4, Regions: 4, Iters: 64, WorkPerIter: 50, MasterWork: 80}, p),
+		"prodcons": ProdCons(ProdConsConfig{Producers: 1, Consumers: 4, Blocks: 24, ProduceWork: 20, ConsumeWork: 300, QueueCap: 6}, p),
+		"pipeline": Pipeline(PipelineConfig{Stages: []StageConfig{{Workers: 2, Work: 80}, {Workers: 2, Work: 160}}, Items: 24, QueueCap: 4, SourceWork: 15}, p),
+		"mapred":   MapReduce(MapReduceConfig{Workers: 4, MapTasks: 32, ReduceTasks: 8, MapWork: 80, ReduceWork: 40, Dynamic: true}, p),
+		"rwmix":    RWMix(RWMixConfig{Workers: 4, Ops: 24, ReadPct: 75, ReadWork: 60, WriteWork: 120, LogEvery: 6, LogWork: 15}, p),
+		"vips":     Vips(VipsConfig{Consumers: 4, Items: 20, DispatchWork: 10, ItemWork: 150}, p),
+	}
+	measure := func(app App, cfg qithread.Config) float64 {
+		rt := qithread.New(cfg)
+		app(rt)
+		return float64(rt.VirtualMakespan())
+	}
+	for name, app := range apps {
+		ideal := measure(app, qithread.Config{Mode: qithread.VirtualParallel})
+		vanilla := measure(app, qithread.Config{Mode: qithread.RoundRobin})
+		qi := measure(app, qithread.Config{Mode: qithread.RoundRobin, Policies: qithread.AllPolicies})
+		lc := measure(app, qithread.Config{Mode: qithread.LogicalClock})
+		if vanilla < ideal*0.95 {
+			t.Errorf("%s: round robin (%v) beat the ideal baseline (%v)", name, vanilla, ideal)
+		}
+		if qi < ideal*0.95 {
+			t.Errorf("%s: QiThread (%v) beat the ideal baseline (%v)", name, qi, ideal)
+		}
+		if lc < ideal*0.95 {
+			t.Errorf("%s: logical clock (%v) beat the ideal baseline (%v)", name, lc, ideal)
+		}
+		if qi > vanilla*1.25 {
+			t.Errorf("%s: QiThread (%v) much worse than vanilla round robin (%v)", name, qi, vanilla)
+		}
+	}
+}

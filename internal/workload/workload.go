@@ -1,0 +1,147 @@
+// Package workload provides the synchronization-idiom engines that model the
+// 108 evaluation programs of the QiThread paper.
+//
+// The real evaluation runs seven benchmark suites (SPLASH-2x, NPB, PARSEC,
+// Phoenix, real-world applications, ImageMagick, parallel STL). Rebuilding
+// those codebases is neither possible nor necessary here: the paper's entire
+// argument is that DMT scheduling behaviour is determined by a program's
+// *synchronization structure* — which operations each thread performs, in
+// what per-thread order, with what compute imbalance between them. Each
+// engine in this package reproduces one such structure faithfully
+// (producer/consumer with condition variables, fork-join rounds with
+// barriers, OpenMP-style teams with the branched semaphore barrier of
+// Figure 3, Phoenix-style map-reduce, per-consumer condition variables as in
+// vips, and so on), with calibrated synthetic compute standing in for the
+// real kernels. The program catalog (internal/programs) instantiates the 108
+// programs over these engines.
+//
+// Every engine returns an App whose result is a pure function of its
+// parameters, so tests can assert that every scheduling mode computes the
+// same output.
+package workload
+
+import (
+	"fmt"
+
+	"qithread"
+)
+
+// App is a runnable workload: it executes the program on the given runtime
+// and returns a deterministic output checksum.
+type App func(rt *qithread.Runtime) uint64
+
+// Hints records which Parrot performance annotations the paper applied to a
+// program (the '+' and '*' markers of Figure 8).
+type Hints struct {
+	// SoftBarrier marks programs annotated with Parrot soft barriers ('+').
+	SoftBarrier bool
+	// PCS marks programs annotated with performance-critical sections ('*').
+	PCS bool
+}
+
+// Params sizes one execution of a program.
+type Params struct {
+	// Threads overrides the program's default worker count when positive.
+	Threads int
+	// Scale multiplies work amounts and item counts; 1.0 is the full-size
+	// configuration, tests use much smaller values. Zero means 1.0.
+	Scale float64
+	// InputSeed identifies the program input; stability experiments vary it.
+	InputSeed uint64
+	// InputSkew perturbs per-item work amounts as a different input file
+	// would; stability experiments vary it, performance runs leave it 0.
+	InputSkew int64
+}
+
+func (p Params) scale() float64 {
+	if p.Scale <= 0 {
+		return 1.0
+	}
+	return p.Scale
+}
+
+// scaleN scales an item count, keeping at least min.
+func (p Params) scaleN(n, min int) int {
+	v := int(float64(n) * p.scale())
+	if v < min {
+		v = min
+	}
+	return v
+}
+
+// scaleW scales a work amount, keeping at least 1 unit.
+func (p Params) scaleW(w int64) int64 {
+	v := int64(float64(w) * p.scale())
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// threads returns the effective thread count given a default.
+func (p Params) threads(def int) int {
+	if p.Threads > 0 {
+		return p.Threads
+	}
+	return def
+}
+
+// itemWork derives the deterministic work amount of item i from the base
+// grain, an input seed and skew, modeling how different input files give
+// different per-block compute. skewPct is the maximum percentage deviation.
+func itemWork(base int64, i int, seed uint64, skew int64) int64 {
+	if base <= 0 {
+		return 1
+	}
+	h := seed*0x9e3779b97f4a7c15 + uint64(i)*0xbf58476d1ce4e5b9 + uint64(skew)*0x94d049bb133111eb
+	h ^= h >> 31
+	// Deviation in [-25%, +25%] of base, deterministic per (seed, i, skew).
+	dev := int64(h%51) - 25
+	w := base + base*dev/100
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// seedFor derives the deterministic seed of work item idx for a given
+// program input. Per-item seeds depend only on the item and the input, never
+// on which thread processes the item, so program output stays a pure function
+// of input regardless of scheduling.
+func seedFor(input uint64, idx int) uint64 {
+	return input*0x9e3779b97f4a7c15 + uint64(idx)*0xbf58476d1ce4e5b9 + 1
+}
+
+// sumAll folds partial results commutatively, so dynamic task assignment
+// (which thread got which item) does not change the total.
+func sumAll(parts []uint64) uint64 {
+	var out uint64
+	for _, p := range parts {
+		out += p
+	}
+	return out
+}
+
+// createWorkers runs fn(i) on n worker threads created from main with the
+// CreateAll instrumentation of Figure 7a (keep_turn before every create that
+// is followed by another), then returns the created threads.
+func createWorkers(main *qithread.Thread, n int, name string, fn func(i int, w *qithread.Thread)) []*qithread.Thread {
+	kids := make([]*qithread.Thread, n)
+	for i := 0; i < n; i++ {
+		if i+1 < n {
+			main.KeepTurn()
+		}
+		i := i
+		kids[i] = main.Create(fmt.Sprintf("%s%d", name, i), func(w *qithread.Thread) {
+			fn(i, w)
+		})
+	}
+	return kids
+}
+
+// joinAll joins every thread in kids.
+func joinAll(main *qithread.Thread, kids []*qithread.Thread) {
+	for _, k := range kids {
+		main.Join(k)
+	}
+}

@@ -1,0 +1,165 @@
+package qithread
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"qithread/internal/core"
+)
+
+// Mutex is the pthread_mutex_t replacement. In deterministic modes its
+// lock/unlock wrappers follow Figure 5 of the paper: the lock wrapper
+// acquires the turn and spins on a trylock, waiting on the scheduler's wait
+// queue whenever the real mutex is contended, so a blocked thread never holds
+// the turn. Under the CSWhole policy the lock wrapper retains the turn so the
+// whole critical section is scheduled as one unit (Section 3.3).
+type Mutex struct {
+	rt   *Runtime
+	obj  uint64
+	name string
+	pcs  bool
+	real sync.Mutex
+
+	// owner is the thread currently holding the mutex, for error checking
+	// in the style of PTHREAD_MUTEX_ERRORCHECK: unlocking a mutex one does
+	// not hold is a caught error rather than silent corruption. It is only
+	// read and written while holding real (or the turn in deterministic
+	// modes), so it needs no further synchronization.
+	owner *Thread
+
+	// vRel is the virtual time of the last release, for the bypass paths'
+	// (Nondet mode, PCS) per-object critical-path accounting.
+	vRel atomic.Int64
+}
+
+// NewMutex creates a mutex. Creation is itself a deterministically ordered
+// operation (mutex IDs are assigned under the turn).
+func (rt *Runtime) NewMutex(t *Thread, name string) *Mutex {
+	return rt.newMutex(t, name, false)
+}
+
+// NewPCSMutex creates a mutex carrying Parrot's performance-critical-section
+// hint: when Config.PCS is set, operations on it bypass the deterministic
+// scheduler entirely, trading determinism for performance on hot locks (the
+// "Parrot w/ PCS" configuration of Figure 8). Without Config.PCS it behaves
+// like a normal mutex.
+func (rt *Runtime) NewPCSMutex(t *Thread, name string) *Mutex {
+	return rt.newMutex(t, name, true)
+}
+
+func (rt *Runtime) newMutex(t *Thread, name string, pcs bool) *Mutex {
+	m := &Mutex{rt: rt, name: name, pcs: pcs}
+	if rt.det() {
+		s := rt.sched
+		s.GetTurn(t.ct)
+		m.obj = s.NewObject("mutex:" + name)
+		s.TraceOp(t.ct, core.OpMutexInit, m.obj, core.StatusOK)
+		t.release()
+	}
+	return m
+}
+
+// bypass reports whether operations on this mutex skip the deterministic
+// scheduler (Nondet mode, or a PCS-hinted mutex with Config.PCS).
+func (m *Mutex) bypass() bool {
+	return !m.rt.det() || (m.pcs && m.rt.cfg.PCS)
+}
+
+// Lock acquires the mutex (Figure 5, lock_wrapper).
+func (m *Mutex) Lock(t *Thread) {
+	if m.bypass() {
+		m.real.Lock()
+		m.owner = t
+		t.vMeet(m.vRel.Load())
+		t.vAdd(t.vCost())
+		return
+	}
+	s := m.rt.sched
+	s.GetTurn(t.ct)
+	blocked := false
+	for !m.real.TryLock() {
+		s.TraceOp(t.ct, core.OpMutexLock, m.obj, core.StatusBlocked)
+		blocked = true
+		t.park(m.obj, core.NoTimeout)
+	}
+	m.owner = t
+	st := core.StatusOK
+	if blocked {
+		st = core.StatusReturn
+	}
+	s.TraceOp(t.ct, core.OpMutexLock, m.obj, st)
+	if m.rt.policyOn(CSWhole) {
+		// CSWhole: keep the turn; the critical section runs as a whole.
+		t.csDepth++
+		return
+	}
+	t.release()
+}
+
+// TryLock attempts to acquire the mutex without blocking and reports whether
+// it succeeded.
+func (m *Mutex) TryLock(t *Thread) bool {
+	if m.bypass() {
+		ok := m.real.TryLock()
+		if ok {
+			m.owner = t
+			t.vMeet(m.vRel.Load())
+		}
+		t.vAdd(t.vCost())
+		return ok
+	}
+	s := m.rt.sched
+	s.GetTurn(t.ct)
+	ok := m.real.TryLock()
+	if ok {
+		m.owner = t
+	}
+	s.TraceOp(t.ct, core.OpMutexTryLock, m.obj, core.StatusOK)
+	if ok && m.rt.policyOn(CSWhole) {
+		t.csDepth++
+		return true
+	}
+	t.release()
+	return ok
+}
+
+// Unlock releases the mutex (Figure 5, unlock_wrapper). Under CSWhole the
+// calling thread already holds the turn (GetTurn is then a no-op) and the
+// release below ends the critical section's whole-turn.
+func (m *Mutex) Unlock(t *Thread) {
+	if m.bypass() {
+		if m.owner != t {
+			panic("qithread: Unlock of mutex " + m.name + " not held by " + t.String())
+		}
+		m.owner = nil
+		t.vAdd(t.vCost())
+		m.vRel.Store(t.VNow()) // published before the release below
+		m.real.Unlock()
+		return
+	}
+	s := m.rt.sched
+	s.GetTurn(t.ct)
+	if m.owner != t {
+		panic("qithread: Unlock of mutex " + m.name + " not held by " + t.String())
+	}
+	m.owner = nil
+	m.real.Unlock()
+	s.Signal(t.ct, m.obj)
+	s.TraceOp(t.ct, core.OpMutexUnlock, m.obj, core.StatusOK)
+	if t.csDepth > 0 {
+		t.csDepth--
+	}
+	t.release()
+}
+
+// Destroy retires the mutex. Like pthread_mutex_destroy it is an ordered
+// operation; the object must not be used afterwards.
+func (m *Mutex) Destroy(t *Thread) {
+	if m.bypass() {
+		return
+	}
+	s := m.rt.sched
+	s.GetTurn(t.ct)
+	s.TraceOp(t.ct, core.OpMutexDestroy, m.obj, core.StatusOK)
+	t.release()
+}

@@ -1,0 +1,106 @@
+package qithread
+
+// Pipe is a deterministic, bounded, in-order message channel between
+// threads. It is the counterpart of Parrot's network wrappers: where Parrot
+// interposes on socket operations so inter-process byte streams are
+// scheduled deterministically, this reproduction models connections as
+// in-process message pipes whose Send and Recv are ordinary synchronization
+// operations under the turn. A Pipe composes the runtime's Mutex and Cond
+// wrappers, so every policy (BoostBlocked, WakeAMAP, ...) applies to pipe
+// traffic exactly as it does to hand-written queues.
+type Pipe struct {
+	rt       *Runtime
+	name     string
+	m        *Mutex
+	notEmpty *Cond
+	notFull  *Cond
+	capacity int
+
+	// buf and closed are guarded by m.
+	buf    []any
+	closed bool
+}
+
+// NewPipe creates a pipe with the given capacity (at least 1).
+func (rt *Runtime) NewPipe(t *Thread, name string, capacity int) *Pipe {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Pipe{
+		rt:       rt,
+		name:     name,
+		m:        rt.NewMutex(t, name+".m"),
+		notEmpty: rt.NewCond(t, name+".ne"),
+		notFull:  rt.NewCond(t, name+".nf"),
+		capacity: capacity,
+	}
+}
+
+// Send enqueues v, blocking while the pipe is full. It reports false if the
+// pipe was closed (the message is then dropped, like writing to a closed
+// socket).
+func (p *Pipe) Send(t *Thread, v any) bool {
+	p.m.Lock(t)
+	for len(p.buf) >= p.capacity && !p.closed {
+		p.notFull.Wait(t, p.m)
+	}
+	if p.closed {
+		p.m.Unlock(t)
+		return false
+	}
+	p.buf = append(p.buf, v)
+	p.m.Unlock(t)
+	p.notEmpty.Signal(t)
+	return true
+}
+
+// Recv dequeues the next message, blocking while the pipe is empty. It
+// reports false once the pipe is closed and drained.
+func (p *Pipe) Recv(t *Thread) (any, bool) {
+	p.m.Lock(t)
+	for len(p.buf) == 0 && !p.closed {
+		p.notEmpty.Wait(t, p.m)
+	}
+	if len(p.buf) == 0 {
+		p.m.Unlock(t)
+		return nil, false
+	}
+	v := p.buf[0]
+	p.buf = p.buf[1:]
+	p.m.Unlock(t)
+	p.notFull.Signal(t)
+	return v, true
+}
+
+// TryRecv dequeues without blocking; ok reports whether a message was
+// available.
+func (p *Pipe) TryRecv(t *Thread) (v any, ok bool) {
+	p.m.Lock(t)
+	if len(p.buf) > 0 {
+		v, ok = p.buf[0], true
+		p.buf = p.buf[1:]
+	}
+	p.m.Unlock(t)
+	if ok {
+		p.notFull.Signal(t)
+	}
+	return v, ok
+}
+
+// Len returns the number of queued messages.
+func (p *Pipe) Len(t *Thread) int {
+	p.m.Lock(t)
+	n := len(p.buf)
+	p.m.Unlock(t)
+	return n
+}
+
+// Close marks the pipe closed and wakes all blocked senders and receivers.
+// Queued messages remain receivable; further sends fail.
+func (p *Pipe) Close(t *Thread) {
+	p.m.Lock(t)
+	p.closed = true
+	p.m.Unlock(t)
+	p.notEmpty.Broadcast(t)
+	p.notFull.Broadcast(t)
+}

@@ -1,0 +1,166 @@
+package qithread
+
+import (
+	"testing"
+
+	"qithread/internal/trace"
+)
+
+func TestPipeFanInFanOut(t *testing.T) {
+	for _, cfg := range allModes() {
+		t.Run(cfg.Mode.String()+"/"+cfg.Policies.String(), func(t *testing.T) {
+			rt := New(cfg)
+			var sum int
+			rt.Run(func(main *Thread) {
+				in := rt.NewPipe(main, "in", 4)
+				out := rt.NewPipe(main, "out", 4)
+				var workers []*Thread
+				for i := 0; i < 3; i++ {
+					workers = append(workers, main.Create("w", func(w *Thread) {
+						for {
+							v, ok := in.Recv(w)
+							if !ok {
+								return
+							}
+							w.Work(30)
+							out.Send(w, v.(int)*2)
+						}
+					}))
+				}
+				collector := main.Create("collector", func(w *Thread) {
+					for {
+						v, ok := out.Recv(w)
+						if !ok {
+							return
+						}
+						sum += v.(int)
+					}
+				})
+				for i := 1; i <= 10; i++ {
+					in.Send(main, i)
+				}
+				in.Close(main)
+				for _, w := range workers {
+					main.Join(w)
+				}
+				out.Close(main)
+				main.Join(collector)
+			})
+			if sum != 110 { // 2*(1+..+10)
+				t.Fatalf("sum = %d, want 110", sum)
+			}
+		})
+	}
+}
+
+func TestPipeCloseSemantics(t *testing.T) {
+	rt := New(Config{Mode: RoundRobin, Policies: AllPolicies})
+	rt.Run(func(main *Thread) {
+		p := rt.NewPipe(main, "p", 2)
+		if !p.Send(main, "a") {
+			t.Error("send to open pipe failed")
+		}
+		p.Close(main)
+		if p.Send(main, "b") {
+			t.Error("send to closed pipe succeeded")
+		}
+		if v, ok := p.Recv(main); !ok || v != "a" {
+			t.Errorf("queued message lost after close: %v %v", v, ok)
+		}
+		if _, ok := p.Recv(main); ok {
+			t.Error("recv on drained closed pipe should fail")
+		}
+		if _, ok := p.TryRecv(main); ok {
+			t.Error("tryrecv on drained pipe should fail")
+		}
+	})
+}
+
+func TestPipeBlockedSenderWokenByClose(t *testing.T) {
+	rt := New(Config{Mode: RoundRobin, Policies: AllPolicies})
+	rt.Run(func(main *Thread) {
+		p := rt.NewPipe(main, "p", 1)
+		p.Send(main, 1) // fill
+		sender := main.Create("sender", func(w *Thread) {
+			if p.Send(w, 2) { // blocks, then fails after close
+				t.Error("send should fail after close")
+			}
+		})
+		for i := 0; i < 4; i++ {
+			main.Yield()
+		}
+		p.Close(main)
+		main.Join(sender)
+	})
+}
+
+func TestPipeBackpressureAndLen(t *testing.T) {
+	rt := New(Config{Mode: RoundRobin})
+	rt.Run(func(main *Thread) {
+		p := rt.NewPipe(main, "p", 2)
+		p.Send(main, 1)
+		p.Send(main, 2)
+		if got := p.Len(main); got != 2 {
+			t.Errorf("Len = %d", got)
+		}
+		consumer := main.Create("c", func(w *Thread) {
+			for i := 1; i <= 4; i++ {
+				v, ok := p.Recv(w)
+				if !ok || v.(int) != i {
+					t.Errorf("recv %d: got %v %v", i, v, ok)
+				}
+				w.Work(20)
+			}
+		})
+		p.Send(main, 3) // blocks until the consumer drains
+		p.Send(main, 4)
+		main.Join(consumer)
+	})
+}
+
+// TestPipeDeterministicDelivery: the assignment of messages to competing
+// receivers is part of the deterministic schedule.
+func TestPipeDeterministicDelivery(t *testing.T) {
+	run := func() (string, uint64) {
+		rt := New(Config{Mode: RoundRobin, Policies: AllPolicies, Record: true})
+		var got [2][]int
+		rt.Run(func(main *Thread) {
+			p := rt.NewPipe(main, "p", 3)
+			var kids []*Thread
+			for i := 0; i < 2; i++ {
+				i := i
+				kids = append(kids, main.Create("r", func(w *Thread) {
+					for {
+						v, ok := p.Recv(w)
+						if !ok {
+							return
+						}
+						got[i] = append(got[i], v.(int))
+						w.Work(int64(10 * (v.(int) + 1)))
+					}
+				}))
+			}
+			for v := 0; v < 8; v++ {
+				p.Send(main, v)
+			}
+			p.Close(main)
+			for _, k := range kids {
+				main.Join(k)
+			}
+		})
+		return formatInts(got[0]) + "|" + formatInts(got[1]), trace.Hash(rt.Trace())
+	}
+	d1, h1 := run()
+	d2, h2 := run()
+	if d1 != d2 || h1 != h2 {
+		t.Fatalf("pipe delivery not deterministic: %q/%#x vs %q/%#x", d1, h1, d2, h2)
+	}
+}
+
+func formatInts(xs []int) string {
+	s := ""
+	for _, x := range xs {
+		s += string(rune('0' + x))
+	}
+	return s
+}

@@ -1,0 +1,168 @@
+// Package qithread is a Go reproduction of QiThread, the
+// synchronization-determinism runtime of "Semantics-Aware Scheduling Policies
+// for Synchronization Determinism" (Zhao, Qiu, Jin — PPoPP 2019).
+//
+// QiThread enforces a deterministic total order over all synchronization
+// operations of a multithreaded program. The original system interposes on
+// pthreads via LD_PRELOAD; this reproduction instead provides a pthreads-like
+// API (threads, mutexes, condition variables, semaphores, barriers, rwlocks)
+// whose "threads" are goroutines gated by a deterministic user-space
+// scheduler (internal/core). Everything outside synchronization is delegated
+// to the Go runtime scheduler, exactly as the paper delegates it to the OS
+// scheduler (Figure 4).
+//
+// A Runtime is created with a Config choosing one of three modes:
+//
+//   - Nondet: wrappers map directly onto Go's sync primitives. This is the
+//     nondeterministic baseline all overheads are normalized against.
+//   - RoundRobin: the deterministic turn-based mechanism with the round-robin
+//     base policy (Parrot and QiThread). The five semantics-aware policies of
+//     the paper (BoostBlocked, CreateAll, CSWhole, WakeAMAP, BranchedWake)
+//     are enabled via Config.Policies; Parrot's soft-barrier and PCS
+//     performance hints via Config.SoftBarriers and Config.PCS.
+//   - LogicalClock: the Kendo/CoreDet-style baseline where the runnable
+//     thread with the minimal instruction clock runs next.
+//
+// Typical use:
+//
+//	rt := qithread.New(qithread.Config{Mode: qithread.RoundRobin, Policies: qithread.AllPolicies})
+//	rt.Run(func(t *qithread.Thread) {
+//		m := rt.NewMutex(t, "m")
+//		c := rt.NewCond(t, "cv")
+//		child := t.Create("worker", func(w *qithread.Thread) { ... })
+//		...
+//		t.Join(child)
+//	})
+package qithread
+
+import (
+	"time"
+
+	"qithread/internal/core"
+)
+
+// Policy re-exports the semantics-aware policy bitmask of internal/core so
+// users configure a Runtime without importing internal packages.
+type Policy = core.Policy
+
+// Re-exported policy constants; see the core package for their semantics.
+const (
+	BoostBlocked = core.BoostBlocked
+	CreateAll    = core.CreateAll
+	CSWhole      = core.CSWhole
+	WakeAMAP     = core.WakeAMAP
+	BranchedWake = core.BranchedWake
+	NoPolicies   = core.NoPolicies
+	AllPolicies  = core.AllPolicies
+)
+
+// Mode selects how a Runtime schedules synchronization operations.
+type Mode uint8
+
+const (
+	// Nondet uses Go's native synchronization primitives with no
+	// deterministic scheduling. It is the baseline for overhead numbers.
+	Nondet Mode = iota
+	// RoundRobin is the deterministic turn-based mechanism with the
+	// round-robin base policy used by Parrot and QiThread.
+	RoundRobin
+	// LogicalClock is the deterministic logical-clock-based policy used by
+	// Kendo and CoreDet.
+	LogicalClock
+	// VirtualParallel simulates an ideal unconstrained parallel execution
+	// and reports its virtual makespan. It is the measurement baseline the
+	// harness normalizes against — the deterministic, noise-free stand-in
+	// for the paper's nondeterministic pthreads runs on a large
+	// multiprocessor. See internal/core for the model.
+	VirtualParallel
+)
+
+// String returns the conventional name of the mode.
+func (m Mode) String() string {
+	switch m {
+	case Nondet:
+		return "nondet"
+	case RoundRobin:
+		return "round-robin"
+	case LogicalClock:
+		return "logical-clock"
+	case VirtualParallel:
+		return "virtual-parallel"
+	default:
+		return "mode?"
+	}
+}
+
+// Deterministic reports whether the mode enforces synchronization determinism.
+func (m Mode) Deterministic() bool { return m != Nondet }
+
+// Config configures a Runtime.
+type Config struct {
+	// Mode selects the scheduling mode. The zero value is Nondet.
+	Mode Mode
+
+	// Policies enables QiThread's semantics-aware policies (RoundRobin mode
+	// only). NoPolicies yields vanilla Parrot round-robin scheduling.
+	Policies Policy
+
+	// SoftBarriers honors Parrot soft-barrier performance hints placed in
+	// workloads (RoundRobin mode only). QiThread runs with this off: its
+	// policies replace performance annotations.
+	SoftBarriers bool
+
+	// PCS honors Parrot performance-critical-section hints: synchronization
+	// objects created as PCS objects bypass the deterministic scheduler
+	// entirely, trading determinism for speed (the "Parrot w/ PCS" bars of
+	// Figure 8).
+	PCS bool
+
+	// Record enables schedule tracing for determinism and stability
+	// analysis.
+	Record bool
+
+	// SoftBarrierTimeout is the deterministic logical timeout, in turns,
+	// after which an incomplete soft-barrier group is released. Zero means
+	// 256 turns.
+	SoftBarrierTimeout int64
+
+	// NondetSleepUnit is the real duration of one logical sleep turn in
+	// Nondet mode, where no logical time base exists. Zero means 10µs.
+	NondetSleepUnit time.Duration
+
+	// VSyncCostDet is the virtual-time cost, in work units, of one
+	// synchronization operation under the deterministic turn mechanism
+	// (wrapper + scheduler queues). Zero means 12.
+	VSyncCostDet int64
+
+	// VSyncCostNondet is the virtual-time cost of one native
+	// synchronization operation in Nondet mode (a plain pthread op is much
+	// cheaper than a scheduled turn). Zero means 4.
+	VSyncCostNondet int64
+
+	// Replay, when non-nil, is a previously recorded schedule (Runtime.
+	// Trace) to ENFORCE: the scheduler grants turns in exactly the recorded
+	// order and verifies each operation against the recording, panicking
+	// with a divergence diagnostic on mismatch. The recording embeds all
+	// policy effects, so a schedule recorded under any configuration
+	// replays under any deterministic Mode. Requires a deterministic Mode.
+	Replay []Event
+}
+
+func (c Config) withDefaults() Config {
+	if c.SoftBarrierTimeout == 0 {
+		c.SoftBarrierTimeout = 256
+	}
+	if c.NondetSleepUnit == 0 {
+		c.NondetSleepUnit = 10 * time.Microsecond
+	}
+	if c.VSyncCostDet == 0 {
+		c.VSyncCostDet = 12
+	}
+	if c.VSyncCostNondet == 0 {
+		c.VSyncCostNondet = 4
+	}
+	return c
+}
+
+// Event re-exports the trace event type.
+type Event = core.Event

@@ -1,0 +1,124 @@
+package qithread
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// replayProgram is a nontrivial program with contention, condvars and
+// dynamic work distribution — enough moving parts that a wrong schedule
+// would be visible.
+func replayProgram(rt *Runtime) []int {
+	var handled []int
+	var queue []int
+	done := false
+	rt.Run(func(main *Thread) {
+		m := rt.NewMutex(main, "m")
+		cv := rt.NewCond(main, "cv")
+		var kids []*Thread
+		for i := 0; i < 3; i++ {
+			i := i
+			kids = append(kids, main.Create(fmt.Sprintf("w%d", i), func(w *Thread) {
+				for {
+					m.Lock(w)
+					for len(queue) == 0 && !done {
+						cv.Wait(w, m)
+					}
+					if len(queue) == 0 && done {
+						m.Unlock(w)
+						return
+					}
+					it := queue[0]
+					queue = queue[1:]
+					handled = append(handled, it*10+i)
+					m.Unlock(w)
+					w.Work(int64(20 * (it + 1)))
+				}
+			}))
+		}
+		for it := 0; it < 9; it++ {
+			m.Lock(main)
+			queue = append(queue, it)
+			m.Unlock(main)
+			cv.Signal(main)
+			main.Work(7)
+		}
+		m.Lock(main)
+		done = true
+		m.Unlock(main)
+		cv.Broadcast(main)
+		for _, k := range kids {
+			main.Join(k)
+		}
+	})
+	return handled
+}
+
+// TestReplayReproducesSchedule: a schedule recorded under the all-policies
+// configuration replays exactly — same trace AND same data outcome (which
+// worker handled which item) — even under a runtime with all policies off.
+func TestReplayReproducesSchedule(t *testing.T) {
+	rec := New(Config{Mode: RoundRobin, Policies: AllPolicies, Record: true})
+	wantHandled := replayProgram(rec)
+	recorded := rec.Trace()
+	if len(recorded) == 0 {
+		t.Fatal("nothing recorded")
+	}
+
+	rep := New(Config{Mode: RoundRobin, Policies: NoPolicies, Record: true, Replay: recorded})
+	gotHandled := replayProgram(rep)
+	replayed := rep.Trace()
+
+	if len(replayed) != len(recorded) {
+		t.Fatalf("replayed %d ops, recorded %d", len(replayed), len(recorded))
+	}
+	for i := range recorded {
+		if recorded[i] != replayed[i] {
+			t.Fatalf("schedule differs at %d: %v vs %v", i, recorded[i], replayed[i])
+		}
+	}
+	if len(gotHandled) != len(wantHandled) {
+		t.Fatalf("handled %d items, want %d", len(gotHandled), len(wantHandled))
+	}
+	for i := range wantHandled {
+		if gotHandled[i] != wantHandled[i] {
+			t.Fatalf("work distribution differs at %d: %d vs %d — replay did not reproduce the execution", i, gotHandled[i], wantHandled[i])
+		}
+	}
+}
+
+// TestReplayDivergenceDetected: replaying a schedule against a different
+// program panics with a divergence diagnostic at the first mismatch.
+func TestReplayDivergenceDetected(t *testing.T) {
+	rec := New(Config{Mode: RoundRobin, Policies: AllPolicies, Record: true})
+	replayProgram(rec)
+	recorded := rec.Trace()
+
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected divergence panic")
+		}
+		if msg, ok := r.(string); !ok || !strings.Contains(msg, "replay divergence") {
+			t.Fatalf("unexpected panic value: %v", r)
+		}
+	}()
+	rep := New(Config{Mode: RoundRobin, Replay: recorded})
+	// A different program: an extra mutex operation first.
+	rep.Run(func(main *Thread) {
+		m := rep.NewMutex(main, "other")
+		m.Lock(main)
+		m.Unlock(main)
+	})
+}
+
+// TestReplayRequiresDeterministicMode: misconfiguration is rejected loudly.
+func TestReplayRequiresDeterministicMode(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for Replay with Nondet mode")
+		}
+	}()
+	New(Config{Mode: Nondet, Replay: []Event{{}}})
+}

@@ -1,0 +1,146 @@
+package qithread
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"qithread/internal/core"
+)
+
+// Runtime owns one deterministically scheduled multithreaded execution. All
+// threads and synchronization objects of a program belong to one Runtime.
+// A Runtime is single-use: create it, call Run, read results.
+type Runtime struct {
+	cfg   Config
+	sched *core.Scheduler // nil in Nondet mode
+
+	wg      sync.WaitGroup
+	nthread atomic.Int64 // total threads ever created (diagnostics)
+	vMax    atomic.Int64 // Nondet mode: max final virtual clock over threads
+}
+
+// amax atomically raises a to at least v.
+func amax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// New creates a runtime with the given configuration.
+func New(cfg Config) *Runtime {
+	cfg = cfg.withDefaults()
+	rt := &Runtime{cfg: cfg}
+	if cfg.Mode.Deterministic() {
+		mode := core.RoundRobin
+		pol := cfg.Policies
+		cost := cfg.VSyncCostDet
+		switch cfg.Mode {
+		case LogicalClock:
+			mode = core.LogicalClock
+			pol = core.NoPolicies
+		case VirtualParallel:
+			// The ideal-parallel baseline pays native (non-turn) costs.
+			mode = core.VirtualParallel
+			pol = core.NoPolicies
+			cost = cfg.VSyncCostNondet
+		}
+		rt.sched = core.New(core.Config{
+			Mode: mode, Policies: pol, Record: cfg.Record,
+			VSyncCost: cost,
+		})
+		if cfg.Replay != nil {
+			rt.sched.SetReplay(cfg.Replay)
+		}
+	} else if cfg.Replay != nil {
+		panic("qithread: Config.Replay requires a deterministic Mode")
+	}
+	return rt
+}
+
+// VirtualMakespan returns the critical-path estimate of the program's
+// parallel execution time in work units (see the virtual-time model in
+// internal/core). Valid after Run returns. The experiment harness measures
+// virtual makespans so the paper's parallelism results reproduce on any
+// host, including single-core machines.
+func (rt *Runtime) VirtualMakespan() int64 {
+	if rt.sched != nil {
+		return rt.sched.VirtualMakespan()
+	}
+	return rt.vMax.Load()
+}
+
+// Config returns the runtime configuration.
+func (rt *Runtime) Config() Config { return rt.cfg }
+
+// Scheduler exposes the underlying deterministic scheduler (nil in Nondet
+// mode). It is intended for tests and tools; programs use the wrappers.
+func (rt *Runtime) Scheduler() *core.Scheduler { return rt.sched }
+
+// Run executes main as the program's main thread and returns when the main
+// thread and every thread it transitively created have finished.
+func (rt *Runtime) Run(main func(t *Thread)) {
+	t := rt.newThread("main")
+	if rt.sched != nil {
+		t.ct = rt.sched.Register("main")
+	}
+	rt.wg.Add(1)
+	func() {
+		defer rt.wg.Done()
+		main(t)
+		t.exit()
+	}()
+	rt.wg.Wait()
+}
+
+// Trace returns the recorded schedule (empty unless Config.Record).
+func (rt *Runtime) Trace() []Event {
+	if rt.sched == nil {
+		return nil
+	}
+	return rt.sched.Trace()
+}
+
+// TurnCount returns the number of completed scheduling turns (0 in Nondet
+// mode).
+func (rt *Runtime) TurnCount() int64 {
+	if rt.sched == nil {
+		return 0
+	}
+	return rt.sched.TurnCount()
+}
+
+// ThreadsCreated returns the total number of threads the runtime created,
+// including the main thread.
+func (rt *Runtime) ThreadsCreated() int64 { return rt.nthread.Load() }
+
+// Stats returns the scheduler's activity counters (zero value in Nondet
+// mode, which has no deterministic scheduler).
+func (rt *Runtime) Stats() core.Stats {
+	if rt.sched == nil {
+		return core.Stats{}
+	}
+	return rt.sched.Stats()
+}
+
+func (rt *Runtime) newThread(name string) *Thread {
+	id := rt.nthread.Add(1) - 1
+	return &Thread{
+		rt:         rt,
+		name:       name,
+		id:         int(id),
+		nondetDone: make(chan struct{}),
+	}
+}
+
+// det reports whether the runtime schedules deterministically.
+func (rt *Runtime) det() bool { return rt.sched != nil }
+
+// policyOn reports whether a semantics-aware policy is active. Policies only
+// apply in RoundRobin mode: the logical-clock baseline and the
+// nondeterministic baseline run without them, as in the paper.
+func (rt *Runtime) policyOn(p Policy) bool {
+	return rt.cfg.Mode == RoundRobin && rt.cfg.Policies.Has(p)
+}

@@ -1,0 +1,324 @@
+package qithread
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"qithread/internal/core"
+	"qithread/internal/spin"
+)
+
+// workQuantum is the number of work units executed between logical-clock
+// updates in LogicalClock mode, bounding how stale a computing thread's clock
+// can be when the scheduler compares clocks.
+const workQuantum = 1024
+
+// Thread is one thread of a deterministically scheduled program. It wraps a
+// goroutine registered with the runtime's scheduler, carrying the wrapper
+// state the semantics-aware policies need (critical-section nesting for
+// CSWhole, the pending keep-turn flag for CreateAll).
+type Thread struct {
+	rt   *Runtime
+	ct   *core.Thread // nil in Nondet mode
+	name string
+	id   int
+
+	// csDepth counts mutexes currently held while the CSWhole policy is on;
+	// the turn is retained while it is positive (Section 3.3).
+	csDepth int
+
+	// keepPending makes the next turn release a no-op, implementing the
+	// keep_turn primitive of the CreateAll policy (Section 3.2, Figure 7a).
+	keepPending bool
+
+	// wakeHold marks an active WakeAMAP retention: this thread signaled a
+	// condition variable or semaphore that still has waiters, so it keeps
+	// the turn — across any synchronization operations it performs in
+	// between — until a wake-up finds no more waiters or the thread itself
+	// blocks (Section 3.4). The woken threads consequently resume together
+	// once the unblocking loop finishes, aligning their computation like a
+	// soft barrier would.
+	wakeHold bool
+
+	// workSeed seeds this thread's synthetic compute so results are
+	// deterministic per thread.
+	workSeed uint64
+
+	// join state. done is written by the exiting thread and read by joiners;
+	// in deterministic modes both happen under the turn, in Nondet mode the
+	// nondetDone channel provides the ordering.
+	joinObj    uint64
+	done       bool
+	nondetDone chan struct{}
+
+	// nv is the thread's virtual clock in Nondet mode (deterministic modes
+	// keep it on the core thread). Atomic because joiners read it.
+	nv atomic.Int64
+}
+
+// VNow returns the thread's current virtual clock.
+func (t *Thread) VNow() int64 {
+	if t.ct != nil {
+		return t.ct.VTime()
+	}
+	return t.nv.Load()
+}
+
+// vAdd advances the thread's virtual clock by n (sync cost accounting).
+func (t *Thread) vAdd(n int64) {
+	if t.ct != nil {
+		t.ct.AddVTime(n)
+		return
+	}
+	t.nv.Add(n)
+}
+
+// vMeet raises the thread's virtual clock to at least v (a happens-before
+// edge from an event that completed at virtual time v).
+func (t *Thread) vMeet(v int64) {
+	if t.ct != nil {
+		t.ct.MeetVTime(v)
+		return
+	}
+	for {
+		cur := t.nv.Load()
+		if v <= cur || t.nv.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// vCost is the virtual cost of one native (non-turn) synchronization
+// operation.
+func (t *Thread) vCost() int64 { return t.rt.cfg.VSyncCostNondet }
+
+// Name returns the thread's debugging name.
+func (t *Thread) Name() string { return t.name }
+
+// ID returns the thread's creation index within its runtime (main is 0).
+func (t *Thread) ID() int { return t.id }
+
+func (t *Thread) String() string { return fmt.Sprintf("T%d(%s)", t.id, t.name) }
+
+// Create starts a new thread running fn, mirroring pthread_create. It is a
+// synchronization operation: the child's position in the run queue, and
+// therefore the deterministic schedule, is fixed by the order of Create
+// calls. When the CreateAll policy is armed via KeepTurn, the creating thread
+// keeps the turn so a creation loop completes back to back (Figure 7a).
+func (t *Thread) Create(name string, fn func(*Thread)) *Thread {
+	child := t.rt.newThread(name)
+	if !t.rt.det() {
+		t.vAdd(t.vCost())
+		child.nv.Store(t.VNow())
+		t.rt.wg.Add(1)
+		go func() {
+			defer t.rt.wg.Done()
+			fn(child)
+			child.exit()
+		}()
+		return child
+	}
+	s := t.rt.sched
+	s.GetTurn(t.ct)
+	child.ct = s.Register(name)
+	child.joinObj = s.NewObject("thread:" + name)
+	s.TraceOp(t.ct, core.OpCreate, child.joinObj, core.StatusOK)
+	// The child's virtual clock starts at the creator's current virtual
+	// time (it cannot have computed anything earlier).
+	child.ct.SetVTime(t.ct.VTime())
+	t.rt.wg.Add(1)
+	go func() {
+		defer t.rt.wg.Done()
+		// thread_begin: DMT systems add this implicit operation so child
+		// initialization is deterministically ordered (Figure 1b).
+		s.GetTurn(child.ct)
+		s.TraceOp(child.ct, core.OpThreadBegin, 0, core.StatusOK)
+		child.release()
+		fn(child)
+		child.exit()
+	}()
+	t.release()
+	return child
+}
+
+// Join blocks until c has finished, mirroring pthread_join.
+func (t *Thread) Join(c *Thread) {
+	if !t.rt.det() {
+		<-c.nondetDone
+		t.vMeet(c.nv.Load())
+		t.vAdd(t.vCost())
+		return
+	}
+	s := t.rt.sched
+	s.GetTurn(t.ct)
+	blocked := false
+	for !c.done {
+		s.TraceOp(t.ct, core.OpJoin, c.joinObj, core.StatusBlocked)
+		blocked = true
+		t.park(c.joinObj, core.NoTimeout)
+	}
+	st := core.StatusOK
+	if blocked {
+		st = core.StatusReturn
+	}
+	s.TraceOp(t.ct, core.OpJoin, c.joinObj, st)
+	t.release()
+}
+
+// exit ends the thread: thread_end is traced, joiners are woken, and the
+// thread leaves the scheduler for good.
+func (t *Thread) exit() {
+	if !t.rt.det() {
+		t.done = true
+		amax(&t.rt.vMax, t.nv.Load())
+		close(t.nondetDone)
+		return
+	}
+	s := t.rt.sched
+	s.GetTurn(t.ct)
+	t.done = true
+	if t.joinObj != 0 {
+		s.Broadcast(t.ct, t.joinObj)
+	}
+	s.TraceOp(t.ct, core.OpThreadEnd, 0, core.StatusOK)
+	s.Exit(t.ct)
+	close(t.nondetDone)
+}
+
+// KeepTurn arms the CreateAll policy: the turn is retained across the next
+// synchronization operation of this thread. Without the CreateAll policy it
+// is a no-op, so instrumented programs behave identically to uninstrumented
+// ones under other configurations (Figure 7a).
+func (t *Thread) KeepTurn() {
+	if t.rt.policyOn(CreateAll) {
+		t.keepPending = true
+	}
+}
+
+// DummySync executes the dummy synchronization operation of the BranchedWake
+// policy: one empty turn that re-aligns threads which skipped an unblocking
+// operation on a branch (Figure 7b). Without the BranchedWake policy it is a
+// no-op, i.e. the program is considered uninstrumented.
+func (t *Thread) DummySync() {
+	if !t.rt.policyOn(BranchedWake) || !t.rt.det() {
+		return
+	}
+	s := t.rt.sched
+	s.GetTurn(t.ct)
+	s.TraceOp(t.ct, core.OpDummySync, 0, core.StatusOK)
+	t.release()
+}
+
+// Yield executes one empty scheduling turn, the deterministic counterpart of
+// sched_yield that the paper adds to ad-hoc busy-wait loops.
+func (t *Thread) Yield() {
+	if !t.rt.det() {
+		runtime.Gosched()
+		return
+	}
+	s := t.rt.sched
+	s.GetTurn(t.ct)
+	s.TraceOp(t.ct, core.OpYield, 0, core.StatusOK)
+	t.release()
+}
+
+// Sleep suspends the thread for the given number of logical turns,
+// corresponding to Parrot's wait(NULL, timeout) logical sleep. In Nondet mode
+// it sleeps for turns*Config.NondetSleepUnit of real time.
+func (t *Thread) Sleep(turns int64) {
+	if turns <= 0 {
+		return
+	}
+	if !t.rt.det() {
+		time.Sleep(t.rt.cfg.NondetSleepUnit * time.Duration(turns))
+		t.vAdd(turns)
+		return
+	}
+	s := t.rt.sched
+	s.GetTurn(t.ct)
+	s.TraceOp(t.ct, core.OpSleep, 0, core.StatusBlocked)
+	t.park(0, turns) // object 0 is never signaled: pure timeout
+	t.vAdd(turns)
+	t.release()
+}
+
+// SetBaseTime marks the current logical time as the base for subsequent
+// timed operations, mirroring the set_base_time call the paper adds to
+// programs using timed pthreads operations (Section 5): real-time deadlines
+// are interpreted relative to this point when converted to logical turns.
+func (t *Thread) SetBaseTime() int64 {
+	if !t.rt.det() {
+		return 0
+	}
+	s := t.rt.sched
+	s.GetTurn(t.ct)
+	s.TraceOp(t.ct, core.OpSetBaseTime, 0, core.StatusOK)
+	base := s.TurnCount()
+	t.release()
+	return base
+}
+
+// Work executes n synthetic work units and returns a deterministic result.
+// It advances the thread's logical instruction clock, which is what the
+// LogicalClock baseline schedules on.
+func (t *Thread) Work(n int64) uint64 {
+	return t.WorkSeeded(t.workSeed+uint64(t.id)+1, n)
+}
+
+// WorkSeeded is Work with an explicit seed, for workloads whose output must
+// be a pure function of program input rather than thread identity.
+func (t *Thread) WorkSeeded(seed uint64, n int64) uint64 {
+	if n <= 0 {
+		return seed
+	}
+	if t.rt.det() && (t.rt.cfg.Mode == LogicalClock || t.rt.cfg.Mode == VirtualParallel) {
+		// Chunked so clock updates are frequent enough for the
+		// logical-clock policy to make timely decisions.
+		v := seed
+		for n > 0 {
+			q := int64(workQuantum)
+			if n < q {
+				q = n
+			}
+			v = spin.Work(v, q)
+			t.rt.sched.AddWork(t.ct, q)
+			n -= q
+		}
+		return v
+	}
+	v := spin.Work(seed, n)
+	if t.rt.det() {
+		t.rt.sched.AddWork(t.ct, n)
+	} else {
+		t.nv.Add(n)
+	}
+	return v
+}
+
+// release gives up the turn unless a policy retains it: a pending keep_turn
+// (CreateAll), an active WakeAMAP unblocking loop, or an open critical
+// section under CSWhole. Wrappers call it at the end of every
+// synchronization operation.
+func (t *Thread) release() {
+	if t.keepPending {
+		t.keepPending = false
+		return
+	}
+	if t.wakeHold {
+		return
+	}
+	if t.csDepth > 0 && t.rt.policyOn(CSWhole) {
+		return
+	}
+	t.rt.sched.PutTurn(t.ct)
+}
+
+// park blocks the thread on the scheduler wait queue. Blocking ends any
+// WakeAMAP retention ("... or the unblocking thread itself gets blocked",
+// Section 3.4); the scheduler's Wait releases the turn unconditionally.
+func (t *Thread) park(obj uint64, timeout int64) core.WaitStatus {
+	t.wakeHold = false
+	return t.rt.sched.Wait(t.ct, obj, timeout)
+}
