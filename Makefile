@@ -1,0 +1,26 @@
+GO ?= go
+
+# The full gate: everything CI (and the trace-compatibility suite) needs.
+.PHONY: check
+check: build vet race
+
+.PHONY: build
+build:
+	$(GO) build ./...
+
+.PHONY: vet
+vet:
+	$(GO) vet ./...
+
+.PHONY: test
+test:
+	$(GO) test ./...
+
+.PHONY: race
+race:
+	$(GO) test -race ./...
+
+# Mechanism and policy-dispatch micro-benchmarks (see EXPERIMENTS.md E9/E13).
+.PHONY: bench
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkMechanism|BenchmarkPolicyDispatch' -count 5 -benchtime 1s .

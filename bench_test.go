@@ -23,6 +23,7 @@ import (
 
 	"qithread"
 	"qithread/internal/harness"
+	"qithread/internal/policy"
 	"qithread/internal/programs"
 	"qithread/internal/workload"
 )
@@ -42,6 +43,42 @@ func BenchmarkMechanismLockUnlock(b *testing.B) {
 		{"nondet", qithread.Config{Mode: qithread.Nondet}},
 		{"turn", qithread.Config{Mode: qithread.RoundRobin}},
 		{"turn-all-policies", qithread.Config{Mode: qithread.RoundRobin, Policies: qithread.AllPolicies}},
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			rt := qithread.New(cfg.c)
+			done := make(chan struct{})
+			go rt.Run(func(main *qithread.Thread) {
+				m := rt.NewMutex(main, "m")
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					m.Lock(main)
+					m.Unlock(main)
+				}
+				b.StopTimer()
+				close(done)
+			})
+			<-done
+		})
+	}
+}
+
+// BenchmarkPolicyDispatch measures the cost of the hook-based policy engine
+// on the mechanism's hottest path: one uncontended lock/unlock pair, which
+// dispatches OnAcquire, OnRelease, and KeepTurn on every iteration plus
+// PickNext on every turn handoff. "bitmask-*" configures via the legacy
+// Policies shim (compiled to a stack by DefaultStack); "stack-*" passes an
+// explicitly composed stack. The acceptance bar is staying within 10% of the
+// seed's interleaved bitmask branches (see EXPERIMENTS.md).
+func BenchmarkPolicyDispatch(b *testing.B) {
+	for _, cfg := range []struct {
+		name string
+		c    qithread.Config
+	}{
+		{"bitmask-none", qithread.Config{Mode: qithread.RoundRobin}},
+		{"bitmask-all", qithread.Config{Mode: qithread.RoundRobin, Policies: qithread.AllPolicies}},
+		{"stack-all", qithread.Config{Mode: qithread.RoundRobin, Stack: policy.StackFromAdvice(policy.AllPolicies)}},
+		{"stack-cswhole", qithread.Config{Mode: qithread.RoundRobin, Stack: policy.FromSet(policy.RoundRobin(), policy.CSWhole)}},
+		{"stack-logical-clock", qithread.Config{Mode: qithread.RoundRobin, Stack: policy.New(policy.LogicalClock())}},
 	} {
 		b.Run(cfg.name, func(b *testing.B) {
 			rt := qithread.New(cfg.c)

@@ -11,6 +11,7 @@
 //	qibench -experiment scalability
 //	qibench -experiment stability
 //	qibench -experiment x264
+//	qibench -experiment counters [-o counters.csv]
 //	qibench -experiment all
 //
 // All measurements are virtual makespans (critical-path model, see DESIGN.md)
@@ -33,7 +34,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "fig8", "fig8 | policies | scalability | stability | x264 | all")
+		experiment = flag.String("experiment", "fig8", "fig8 | policies | scalability | stability | x264 | counters | all")
 		suite      = flag.String("suite", "", "restrict to one suite (splash2x npb parsec phoenix realworld imagemagick stl)")
 		program    = flag.String("program", "", "restrict to one program (Figure 8 label)")
 		scale      = flag.Float64("scale", 0.25, "workload scale factor (1.0 = paper-sized)")
@@ -90,6 +91,8 @@ func main() {
 		runX264(r)
 	case "ablation":
 		runAblation(r, specs)
+	case "counters":
+		runCounters(r, specs, *out)
 	case "all":
 		runFig8(r, specs, *out)
 		fmt.Println()
@@ -248,6 +251,41 @@ func runAblation(r *harness.Runner, specs []programs.Spec) {
 	fmt.Printf("=== Ablation: single-policy and leave-one-out configurations (%d programs) ===\n", len(specs))
 	fmt.Println("(each cell: normalized time with ONLY that policy / with all policies EXCEPT it)")
 	harness.FprintAblation(os.Stdout, r.Ablation(specs))
+}
+
+// runCounters runs each program once under the full QiThread stack and
+// reports every policy's decision counters — which policy picked turns,
+// boosted wake-ups, or retained the turn, and how often. This is the
+// attribution view behind the Section 5.2 effectiveness numbers: a policy
+// with zero decisions on a program cannot be the source of its speedup.
+func runCounters(r *harness.Runner, specs []programs.Spec, out string) {
+	fmt.Printf("=== Per-policy decision counters (all-policies stack, %d programs) ===\n", len(specs))
+	var csv io.Writer
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qibench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		csv = f
+		fmt.Fprintln(csv, "program,policy,picks,wake_boosts,turns_retained,keep_turn_arms,dummy_syncs")
+	}
+	for _, spec := range specs {
+		app := spec.Build(r.Params)
+		rt := qithread.New(qithread.Config{Mode: qithread.RoundRobin, Policies: qithread.AllPolicies})
+		app(rt)
+		fmt.Printf("%-28s (makespan %d)\n", spec.Name, rt.VirtualMakespan())
+		for _, m := range rt.PolicyMetrics() {
+			if m.Total() > 0 {
+				fmt.Printf("  %s\n", m)
+			}
+			if csv != nil {
+				fmt.Fprintf(csv, "%s,%s,%d,%d,%d,%d,%d\n", spec.Name, m.Policy,
+					m.Picks, m.WakeBoosts, m.TurnsRetained, m.Arms, m.DummySyncs)
+			}
+		}
+	}
 }
 
 func runX264(r *harness.Runner) {

@@ -15,7 +15,9 @@ import (
 	"fmt"
 	"os"
 
+	"qithread"
 	"qithread/internal/advisor"
+	"qithread/internal/policy"
 	"qithread/internal/programs"
 	"qithread/internal/workload"
 )
@@ -58,6 +60,35 @@ func main() {
 				fmt.Printf("  %s\n", r)
 			}
 			fmt.Printf("  vanilla makespan %d, tuned makespan %d\n", res.VanillaMakespan, res.TunedMakespan)
+			// The diagnose -> configure -> rerun loop: the trial already ran
+			// through this exact stack, so the configuration below reproduces
+			// the tuned measurement as-is.
+			fmt.Printf("  stack: %s\n", res.Stack)
+			fmt.Printf("  ready to run: qithread.Config{Mode: qithread.RoundRobin, Stack: policy.StackFromAdvice(%s)}\n", goSetExpr(res.Recommended))
+			fmt.Println("  tuned-run policy decisions:")
+			for _, m := range res.Metrics {
+				fmt.Printf("    %s\n", m)
+			}
 		}
 	}
+}
+
+// goSetExpr renders a policy set as the Go expression that reconstructs it.
+func goSetExpr(set qithread.Policy) string {
+	if set == qithread.NoPolicies {
+		return "policy.NoPolicies"
+	}
+	if set == qithread.AllPolicies {
+		return "policy.AllPolicies"
+	}
+	expr := ""
+	for _, name := range policy.Names() {
+		if p, ok := policy.SetForName(name); ok && set.Has(p) {
+			if expr != "" {
+				expr += "|"
+			}
+			expr += "policy." + name
+		}
+	}
+	return expr
 }

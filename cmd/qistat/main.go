@@ -1,11 +1,16 @@
-// Command qistat summarizes a results.csv produced by qibench -experiment
-// fig8: per-suite mean normalized overheads and the Section 5.1 aggregate
-// comparison of QiThread against Parrot without PCS hints.
+// Command qistat summarizes qibench output CSVs. Given a results.csv from
+// -experiment fig8 it reports per-suite mean normalized overheads and the
+// Section 5.1 aggregate comparison of QiThread against Parrot without PCS
+// hints. Given a counters.csv from -experiment counters it reports aggregate
+// per-policy decision counters — which policy earned its keep, and where.
+// The file kind is detected from the header.
 //
 // Usage:
 //
 //	qibench -experiment fig8 -o results.csv
 //	qistat results.csv
+//	qibench -experiment counters -o counters.csv
+//	qistat counters.csv
 package main
 
 import (
@@ -36,6 +41,10 @@ func main() {
 		os.Exit(1)
 	}
 	header := rows[0]
+	if len(header) >= 7 && header[0] == "program" && header[1] == "policy" {
+		summarizeCounters(rows)
+		return
+	}
 	col := func(name string) int {
 		for i, h := range header {
 			if h == name {
@@ -84,4 +93,55 @@ func main() {
 	c := stats.Compare(ratios)
 	fmt.Printf("\nQiThread vs Parrot w/o PCS (%d programs): comparable(<=110%%) %d, speedup(<90%%) %d, slower(>110%%) %d\n",
 		c.Total, c.Comparable, c.Speedup, c.Slower)
+}
+
+// summarizeCounters aggregates a counters.csv (program,policy,picks,
+// wake_boosts,turns_retained,keep_turn_arms,dummy_syncs) into per-policy
+// totals plus, per policy, the program where it made the most decisions.
+func summarizeCounters(rows [][]string) {
+	type agg struct {
+		picks, boosts, retained, arms, dummies int64
+		programs                               int
+		topProgram                             string
+		topTotal                               int64
+	}
+	order := []string{}
+	byPolicy := map[string]*agg{}
+	parse := func(s string) int64 {
+		v, _ := strconv.ParseInt(s, 10, 64)
+		return v
+	}
+	for _, row := range rows[1:] {
+		if len(row) < 7 {
+			continue
+		}
+		a := byPolicy[row[1]]
+		if a == nil {
+			a = &agg{}
+			byPolicy[row[1]] = a
+			order = append(order, row[1])
+		}
+		picks, boosts := parse(row[2]), parse(row[3])
+		retained, arms, dummies := parse(row[4]), parse(row[5]), parse(row[6])
+		a.picks += picks
+		a.boosts += boosts
+		a.retained += retained
+		a.arms += arms
+		a.dummies += dummies
+		a.programs++
+		if total := picks + boosts + retained + arms + dummies; total > a.topTotal {
+			a.topTotal, a.topProgram = total, row[0]
+		}
+	}
+	fmt.Printf("%-14s %10s %12s %14s %14s %12s %6s  %s\n",
+		"policy", "picks", "wake-boosts", "turns-retained", "keep-turn-arms", "dummy-syncs", "progs", "busiest program")
+	for _, name := range order {
+		a := byPolicy[name]
+		top := a.topProgram
+		if a.topTotal == 0 {
+			top = "-"
+		}
+		fmt.Printf("%-14s %10d %12d %14d %14d %12d %6d  %s\n",
+			name, a.picks, a.boosts, a.retained, a.arms, a.dummies, a.programs, top)
+	}
 }

@@ -97,18 +97,16 @@ func (c *Cond) wait(t *Thread, m *Mutex, timeout int64) bool {
 	m.owner = nil
 	m.real.Unlock()
 	s.Signal(t.ct, m.obj)
-	if t.csDepth > 0 {
-		t.csDepth--
-	}
+	c.rt.stack.OnRelease(t.ct)
 	st := t.park(c.obj, timeout)
 	for !m.real.TryLock() {
 		s.TraceOp(t.ct, core.OpMutexLock, m.obj, core.StatusBlocked)
 		t.park(m.obj, core.NoTimeout)
 	}
 	m.owner = t
-	if c.rt.policyOn(CSWhole) {
-		t.csDepth++
-	}
+	// Re-entering the critical section re-establishes any CSWhole retention;
+	// the release below then consults the stack's retainers as usual.
+	c.rt.stack.OnAcquire(t.ct)
 	s.TraceOp(t.ct, op, c.obj, core.StatusReturn)
 	t.release()
 	return st == core.WaitSignaled
@@ -134,12 +132,12 @@ func (c *Cond) Signal(t *Thread) {
 	s.GetTurn(t.ct)
 	s.Signal(t.ct, c.obj)
 	s.TraceOp(t.ct, core.OpCondSignal, c.obj, core.StatusOK)
-	if c.rt.policyOn(WakeAMAP) {
-		// Sticky retention: keep the turn — across whatever operations this
-		// thread performs next — while more threads wait here, so the whole
-		// unblocking loop runs before anyone else is scheduled and the
-		// woken threads resume aligned (Section 3.4).
-		t.wakeHold = s.Waiters(t.ct, c.obj) > 0
+	if c.rt.stack.NeedWaiters() {
+		// Sticky retention (WakeAMAP): keep the turn — across whatever
+		// operations this thread performs next — while more threads wait
+		// here, so the whole unblocking loop runs before anyone else is
+		// scheduled and the woken threads resume aligned (Section 3.4).
+		c.rt.stack.OnSignal(t.ct, s.Waiters(t.ct, c.obj))
 	}
 	t.release()
 }
@@ -161,7 +159,7 @@ func (c *Cond) Broadcast(t *Thread) {
 	s.GetTurn(t.ct)
 	s.Broadcast(t.ct, c.obj)
 	s.TraceOp(t.ct, core.OpCondBroadcast, c.obj, core.StatusOK)
-	t.wakeHold = false // nobody is left waiting here
+	c.rt.stack.OnBroadcast(t.ct) // nobody is left waiting here
 	t.release()
 }
 

@@ -2,6 +2,7 @@ package advisor
 
 import (
 	"qithread"
+	"qithread/internal/policy"
 	"qithread/internal/workload"
 )
 
@@ -11,6 +12,13 @@ import (
 type TrialResult struct {
 	// Recommended is the policy set under trial.
 	Recommended qithread.Policy
+	// Stack is the ready-to-run policy stack compiled from the
+	// recommendation (round-robin base plus the recommended layers in
+	// canonical order). The tuned run executed through this stack.
+	Stack *policy.Stack
+	// Metrics is the per-policy decision counter snapshot of the tuned run,
+	// attributing the trial's speedup to the policies that earned it.
+	Metrics []policy.Metrics
 	// VanillaMakespan and TunedMakespan are virtual makespans without and
 	// with the recommended policies.
 	VanillaMakespan int64
@@ -33,7 +41,10 @@ func (t TrialResult) Helped() bool {
 }
 
 // AutoTune runs the full advisor pipeline on a program: record a vanilla
-// round-robin schedule, analyze it, and trial the recommended policies.
+// round-robin schedule, analyze it, compile the recommendations into a policy
+// stack, and trial that stack. The returned TrialResult carries the stack and
+// its per-policy decision metrics, closing the diagnose → configure → rerun
+// loop.
 func AutoTune(app workload.App) (recs []Recommendation, result TrialResult) {
 	rec := qithread.New(qithread.Config{Mode: qithread.RoundRobin, Record: true})
 	app(rec)
@@ -41,8 +52,10 @@ func AutoTune(app workload.App) (recs []Recommendation, result TrialResult) {
 	result.Recommended = Policies(recs)
 	result.VanillaMakespan = rec.VirtualMakespan()
 
-	tuned := qithread.New(qithread.Config{Mode: qithread.RoundRobin, Policies: result.Recommended})
+	result.Stack = policy.StackFromAdvice(result.Recommended)
+	tuned := qithread.New(qithread.Config{Mode: qithread.RoundRobin, Stack: result.Stack})
 	app(tuned)
 	result.TunedMakespan = tuned.VirtualMakespan()
+	result.Metrics = tuned.PolicyMetrics()
 	return recs, result
 }

@@ -23,7 +23,11 @@
 // qithread package.
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"qithread/internal/policy"
+)
 
 // Mode selects the base scheduling policy of a Scheduler.
 type Mode uint8
@@ -65,74 +69,53 @@ func (m Mode) String() string {
 	}
 }
 
-// Policy is a bitmask of the five semantics-aware scheduling policies of the
-// paper (Section 3). Only BoostBlocked changes Scheduler internals; the other
-// four are implemented in the qithread wrappers on top of turn retention, but
-// are declared here so that a single policy set describes a configuration.
-type Policy uint8
+// Policy is the bitmask of the five semantics-aware scheduling policies of
+// the paper (Section 3). It is a thin compatibility shim over the pluggable
+// policy engine in internal/policy: a bitmask configuration compiles down to
+// a canonical hook-based policy stack via DefaultStack, and the scheduler
+// dispatches every decision through that stack.
+type Policy = policy.Set
 
+// Re-exported policy constants; see internal/policy for their semantics.
 const (
-	// BoostBlocked prioritizes threads that were just woken from the wait
-	// queue by placing them on the wake-up queue, which is scheduled before
-	// the run queue (Section 3.1).
-	BoostBlocked Policy = 1 << iota
-	// CreateAll lets a thread keep the turn across a pthread_create loop so
-	// all children are created back to back (Section 3.2).
-	CreateAll
-	// CSWhole schedules a critical section (lock ... unlock) as a single
-	// turn (Section 3.3).
-	CSWhole
-	// WakeAMAP lets a thread executing unblocking operations keep the turn
-	// while more threads are waiting on the same condition variable or
-	// semaphore (Section 3.4).
-	WakeAMAP
-	// BranchedWake aligns threads that skip an unblocking operation on a
-	// branch by issuing a dummy synchronization operation (Section 3.5).
-	BranchedWake
-
-	// NoPolicies is the vanilla round-robin configuration used by Parrot.
-	NoPolicies Policy = 0
-	// AllPolicies is the QiThread default configuration (Section 5.1).
-	AllPolicies Policy = BoostBlocked | CreateAll | CSWhole | WakeAMAP | BranchedWake
+	BoostBlocked = policy.BoostBlocked
+	CreateAll    = policy.CreateAll
+	CSWhole      = policy.CSWhole
+	WakeAMAP     = policy.WakeAMAP
+	BranchedWake = policy.BranchedWake
+	NoPolicies   = policy.NoPolicies
+	AllPolicies  = policy.AllPolicies
 )
 
-// Has reports whether the set contains policy p.
-func (ps Policy) Has(p Policy) bool { return ps&p != 0 }
-
-// String lists the enabled policies, or "none".
-func (ps Policy) String() string {
-	if ps == 0 {
-		return "none"
+// DefaultStack compiles a (mode, bitmask) configuration down to its canonical
+// policy stack: the mode's base turn policy plus, in RoundRobin mode only,
+// the enabled semantics-aware layers in the paper's Section 5.2 order. The
+// logical-clock and virtual-parallel baselines run without semantic layers,
+// as in the paper.
+func DefaultStack(mode Mode, set Policy) *policy.Stack {
+	switch mode {
+	case LogicalClock:
+		return policy.New(policy.LogicalClock())
+	case VirtualParallel:
+		return policy.New(policy.VirtualClock())
+	default:
+		return policy.FromSet(policy.RoundRobin(), set)
 	}
-	names := []struct {
-		p Policy
-		s string
-	}{
-		{BoostBlocked, "BoostBlocked"},
-		{CreateAll, "CreateAll"},
-		{CSWhole, "CSWhole"},
-		{WakeAMAP, "WakeAMAP"},
-		{BranchedWake, "BranchedWake"},
-	}
-	out := ""
-	for _, n := range names {
-		if ps.Has(n.p) {
-			if out != "" {
-				out += "+"
-			}
-			out += n.s
-		}
-	}
-	return out
 }
 
 // Config configures a Scheduler.
 type Config struct {
 	// Mode selects the base policy. The zero value is RoundRobin.
 	Mode Mode
-	// Policies is the set of semantics-aware policies. The scheduler itself
-	// only consults BoostBlocked; wrappers consult the rest.
+	// Policies is the set of semantics-aware policies, the legacy bitmask
+	// configuration surface. When Stack is nil it is compiled down to the
+	// canonical stack via DefaultStack(Mode, Policies).
 	Policies Policy
+	// Stack, when non-nil, is the policy stack the scheduler dispatches
+	// through, overriding Mode/Policies-based construction. Callers composing
+	// custom stacks must keep the base policy consistent with Mode (the mode
+	// still selects clock accounting).
+	Stack *policy.Stack
 	// Record enables schedule tracing. Each completed synchronization
 	// operation appends one Event to the trace.
 	Record bool

@@ -1,0 +1,90 @@
+package core
+
+import "fmt"
+
+// Intrusive scheduler queues. The run and wake-up queues chain threads
+// through links embedded in Thread, and the wait queue chains waiter nodes
+// through links embedded in waiter, so membership changes are O(1) pointer
+// surgery instead of the O(n) slice scan-and-shift of the original
+// implementation. FIFO order — which the deterministic schedule depends on —
+// is preserved exactly: pushBack appends, unlink keeps the relative order of
+// the remaining elements.
+
+// tqueue is an intrusive FIFO queue of threads (the run and wake-up queues).
+// A thread is in at most one tqueue at a time (tracked by Thread.queue), so a
+// single pair of links per thread suffices.
+type tqueue struct {
+	head, tail *Thread
+	n          int
+}
+
+func (q *tqueue) len() int { return q.n }
+
+// pushBack appends t to the tail of the queue.
+func (q *tqueue) pushBack(t *Thread) {
+	t.qprev, t.qnext = q.tail, nil
+	if q.tail != nil {
+		q.tail.qnext = t
+	} else {
+		q.head = t
+	}
+	q.tail = t
+	q.n++
+}
+
+// remove unlinks t from the queue in O(1). t must be in this queue.
+func (q *tqueue) remove(t *Thread) {
+	if t.qprev == nil && t.qnext == nil && q.head != t {
+		panic(fmt.Sprintf("core: thread %v missing from %v queue", t, t.queue))
+	}
+	if t.qprev != nil {
+		t.qprev.qnext = t.qnext
+	} else {
+		q.head = t.qnext
+	}
+	if t.qnext != nil {
+		t.qnext.qprev = t.qprev
+	} else {
+		q.tail = t.qprev
+	}
+	t.qprev, t.qnext = nil, nil
+	q.n--
+}
+
+// wqueue is an intrusive FIFO queue of waiter nodes (the wait queue).
+type wqueue struct {
+	head, tail *waiter
+	n          int
+}
+
+func (q *wqueue) len() int { return q.n }
+
+// pushBack appends w to the tail of the queue.
+func (q *wqueue) pushBack(w *waiter) {
+	w.prev, w.next = q.tail, nil
+	if q.tail != nil {
+		q.tail.next = w
+	} else {
+		q.head = w
+	}
+	q.tail = w
+	q.n++
+}
+
+// remove unlinks w from the queue in O(1). w must be in this queue. It is
+// safe to call while iterating, provided the iteration reads w.next before
+// removing w.
+func (q *wqueue) remove(w *waiter) {
+	if w.prev != nil {
+		w.prev.next = w.next
+	} else {
+		q.head = w.next
+	}
+	if w.next != nil {
+		w.next.prev = w.prev
+	} else {
+		q.tail = w.prev
+	}
+	w.prev, w.next = nil, nil
+	q.n--
+}

@@ -47,19 +47,19 @@ func (s *Scheduler) ReplayPos() int {
 // program that was recorded.
 func (s *Scheduler) replayEligibleLocked() *Thread {
 	want := s.replay[s.replayPos].TID
-	for _, t := range s.runQ {
+	for t := s.runQ.head; t != nil; t = t.qnext {
 		if t.id == want {
 			return t
 		}
 	}
-	for _, t := range s.wakeQ {
+	for t := s.wakeQ.head; t != nil; t = t.qnext {
 		if t.id == want {
 			return t
 		}
 	}
 	// Not runnable. If it is blocked or gone, no future action can make it
 	// eligible: the executions have diverged.
-	for _, w := range s.waitQ {
+	for w := s.waitQ.head; w != nil; w = w.next {
 		if w.t.id == want {
 			panic(fmt.Sprintf("%s at op %d: expected T%d to run %v but it is blocked on %s#%d\n%s",
 				ErrReplayDivergence, s.replayPos, want, s.replay[s.replayPos].Op,

@@ -5,22 +5,29 @@ import (
 	"sort"
 	"strings"
 	"sync"
+
+	"qithread/internal/policy"
 )
 
 // Scheduler is the deterministic user-space scheduler. It maintains the three
-// queues of Section 3.1 (run, wake-up, wait) and grants the turn according to
-// the configured base policy. Everything outside synchronization operations is
-// delegated to the Go runtime scheduler, mirroring how Parrot and QiThread
-// delegate non-synchronization execution to the OS scheduler (Figure 4).
+// queues of Section 3.1 (run, wake-up, wait) and grants the turn by
+// dispatching through its policy stack (internal/policy). Everything outside
+// synchronization operations is delegated to the Go runtime scheduler,
+// mirroring how Parrot and QiThread delegate non-synchronization execution to
+// the OS scheduler (Figure 4).
 type Scheduler struct {
 	mu  sync.Mutex
 	cfg Config
 
+	// stack decides turn grants (PickNext) and wake-up routing (OnWake) and
+	// observes block/register/exit transitions. It is fixed at construction.
+	stack *policy.Stack
+
 	holder *Thread // current turn holder, nil if the turn is free
 
-	runQ  []*Thread // FIFO runnable queue
-	wakeQ []*Thread // FIFO just-woken queue (used when BoostBlocked is on)
-	waitQ []*waiter // FIFO blocked queue, each entry keyed by object
+	runQ  tqueue // FIFO runnable queue
+	wakeQ tqueue // FIFO just-woken queue (fed when a policy boosts wake-ups)
+	waitQ wqueue // FIFO blocked queue, each entry keyed by object
 
 	turn    int64 // logical time: completed scheduling turns
 	nextTID int
@@ -50,12 +57,15 @@ type Scheduler struct {
 }
 
 type waiter struct {
-	t        *Thread
-	obj      uint64
-	deadline int64 // absolute turn count; 0 means no timeout
+	t          *Thread
+	obj        uint64
+	deadline   int64 // absolute turn count; 0 means no timeout
+	prev, next *waiter
 }
 
-// New creates a scheduler with the given configuration.
+// New creates a scheduler with the given configuration. When cfg.Stack is nil
+// the policy stack is compiled from the legacy (Mode, Policies) configuration
+// via DefaultStack.
 func New(cfg Config) *Scheduler {
 	if cfg.SyncClockTick == 0 {
 		cfg.SyncClockTick = 1
@@ -63,8 +73,14 @@ func New(cfg Config) *Scheduler {
 	if cfg.VSyncCost == 0 {
 		cfg.VSyncCost = 12
 	}
-	return &Scheduler{cfg: cfg, objName: make(map[uint64]string)}
+	if cfg.Stack == nil {
+		cfg.Stack = DefaultStack(cfg.Mode, cfg.Policies)
+	}
+	return &Scheduler{cfg: cfg, stack: cfg.Stack, objName: make(map[uint64]string)}
 }
+
+// Stack returns the policy stack the scheduler dispatches through.
+func (s *Scheduler) Stack() *policy.Stack { return s.stack }
 
 // VirtualMakespan returns the maximum final virtual clock over all exited
 // threads — the critical-path estimate of parallel execution time. Call it
@@ -107,7 +123,9 @@ func (s *Scheduler) Register(name string) *Thread {
 	if s.live > s.stats.MaxLiveThreads {
 		s.stats.MaxLiveThreads = s.live
 	}
-	s.runQ = append(s.runQ, t)
+	t.pstate = s.stack.NewState()
+	s.runQ.pushBack(t)
+	s.stack.OnRegister(t)
 	return t
 }
 
@@ -185,7 +203,7 @@ func (s *Scheduler) PutTurn(t *Thread) {
 	s.advanceTimeLocked(t)
 	s.removeRunnableLocked(t)
 	t.queue = qRun
-	s.runQ = append(s.runQ, t)
+	s.runQ.pushBack(t)
 	s.holder = nil
 	s.kickLocked()
 }
@@ -198,6 +216,7 @@ func (s *Scheduler) PutTurn(t *Thread) {
 func (s *Scheduler) Wait(t *Thread, obj uint64, timeout int64) WaitStatus {
 	s.mu.Lock()
 	s.requireTurnLocked(t, "Wait")
+	s.stack.OnBlock(t)
 	s.advanceTimeLocked(t)
 	s.removeRunnableLocked(t)
 	t.queue = qWait
@@ -205,7 +224,7 @@ func (s *Scheduler) Wait(t *Thread, obj uint64, timeout int64) WaitStatus {
 	if timeout > 0 {
 		deadline = s.turn + timeout
 	}
-	s.waitQ = append(s.waitQ, &waiter{t: t, obj: obj, deadline: deadline})
+	s.waitQ.pushBack(&waiter{t: t, obj: obj, deadline: deadline})
 	s.stats.Waits++
 	t.wantTurn = true
 	s.holder = nil
@@ -220,18 +239,18 @@ func (s *Scheduler) Wait(t *Thread, obj uint64, timeout int64) WaitStatus {
 	return st
 }
 
-// Signal wakes the first thread waiting on obj, if any. The woken thread is
-// appended to the wake-up queue when BoostBlocked is enabled, otherwise to
-// the tail of the run queue (the vanilla Parrot behaviour). The caller keeps
-// the turn.
+// Signal wakes the first thread waiting on obj, if any. The woken thread
+// joins the runnable queue chosen by the policy stack (the wake-up queue
+// under BoostBlocked, the tail of the run queue otherwise — the vanilla
+// Parrot behaviour). The caller keeps the turn.
 func (s *Scheduler) Signal(t *Thread, obj uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.requireTurnLocked(t, "Signal")
 	s.stats.Signals++
-	for i, w := range s.waitQ {
+	for w := s.waitQ.head; w != nil; w = w.next {
 		if w.obj == obj {
-			s.waitQ = append(s.waitQ[:i], s.waitQ[i+1:]...)
+			s.waitQ.remove(w)
 			s.wakeLocked(w.t, WaitSignaled, t.vtime.Load())
 			return
 		}
@@ -245,15 +264,14 @@ func (s *Scheduler) Broadcast(t *Thread, obj uint64) {
 	defer s.mu.Unlock()
 	s.requireTurnLocked(t, "Broadcast")
 	s.stats.Broadcasts++
-	rest := s.waitQ[:0]
-	for _, w := range s.waitQ {
+	for w := s.waitQ.head; w != nil; {
+		next := w.next
 		if w.obj == obj {
+			s.waitQ.remove(w)
 			s.wakeLocked(w.t, WaitSignaled, t.vtime.Load())
-		} else {
-			rest = append(rest, w)
 		}
+		w = next
 	}
-	s.waitQ = rest
 }
 
 // Waiters returns the number of threads currently blocked on obj. The caller
@@ -263,7 +281,7 @@ func (s *Scheduler) Waiters(t *Thread, obj uint64) int {
 	defer s.mu.Unlock()
 	s.requireTurnLocked(t, "Waiters")
 	n := 0
-	for _, w := range s.waitQ {
+	for w := s.waitQ.head; w != nil; w = w.next {
 		if w.obj == obj {
 			n++
 		}
@@ -285,6 +303,7 @@ func (s *Scheduler) Exit(t *Thread) {
 	t.queue = qNone
 	t.exited = true
 	s.live--
+	s.stack.OnExit(t)
 	s.holder = nil
 	s.kickLocked()
 }
@@ -333,24 +352,20 @@ func (s *Scheduler) advanceTimeLocked(t *Thread) {
 
 // expireLocked wakes every timed waiter whose deadline has passed.
 func (s *Scheduler) expireLocked() {
-	if len(s.waitQ) == 0 {
-		return
-	}
-	rest := s.waitQ[:0]
-	for _, w := range s.waitQ {
+	for w := s.waitQ.head; w != nil; {
+		next := w.next
 		if w.deadline > 0 && w.deadline <= s.turn {
+			s.waitQ.remove(w)
 			s.wakeLocked(w.t, WaitTimeout, 0)
-		} else {
-			rest = append(rest, w)
 		}
+		w = next
 	}
-	s.waitQ = rest
 }
 
-// wakeLocked moves a thread out of the wait queue into the runnable set.
-// wakerVTime, when positive, records the happens-before edge from the waking
-// operation: the woken thread cannot resume before its waker reached the
-// wake-up in virtual time.
+// wakeLocked moves a thread out of the wait queue into the runnable queue
+// chosen by the policy stack. wakerVTime, when positive, records the
+// happens-before edge from the waking operation: the woken thread cannot
+// resume before its waker reached the wake-up in virtual time.
 func (s *Scheduler) wakeLocked(t *Thread, st WaitStatus, wakerVTime int64) {
 	t.waitStatus = st
 	if st == WaitTimeout {
@@ -361,83 +376,76 @@ func (s *Scheduler) wakeLocked(t *Thread, st WaitStatus, wakerVTime int64) {
 	if wakerVTime > 0 {
 		t.MeetVTime(wakerVTime)
 	}
-	if s.cfg.Mode == RoundRobin && s.cfg.Policies.Has(BoostBlocked) {
+	if s.stack.WakeQueue(t, st == WaitTimeout) == policy.QueueWake {
 		t.queue = qWake
-		s.wakeQ = append(s.wakeQ, t)
+		s.wakeQ.pushBack(t)
 	} else {
 		t.queue = qRun
-		s.runQ = append(s.runQ, t)
+		s.runQ.pushBack(t)
 	}
 }
 
 // removeRunnableLocked removes t from the run or wake-up queue.
 func (s *Scheduler) removeRunnableLocked(t *Thread) {
-	var q *[]*Thread
 	switch t.queue {
 	case qRun:
-		q = &s.runQ
+		s.runQ.remove(t)
 	case qWake:
-		q = &s.wakeQ
+		s.wakeQ.remove(t)
 	default:
 		panic(fmt.Sprintf("core: thread %v not runnable (queue=%v)", t, t.queue))
 	}
-	for i, x := range *q {
-		if x == t {
-			*q = append((*q)[:i], (*q)[i+1:]...)
-			return
-		}
+}
+
+// FrontRun returns the head of the run queue. It implements policy.View and
+// is only meaningful during a PickNext dispatch (scheduler mutex held).
+func (s *Scheduler) FrontRun() policy.Thread {
+	if t := s.runQ.head; t != nil {
+		return t
 	}
-	panic(fmt.Sprintf("core: thread %v missing from %v queue", t, t.queue))
+	return nil
+}
+
+// FrontWake returns the head of the wake-up queue. It implements policy.View
+// and is only meaningful during a PickNext dispatch (scheduler mutex held).
+func (s *Scheduler) FrontWake() policy.Thread {
+	if t := s.wakeQ.head; t != nil {
+		return t
+	}
+	return nil
+}
+
+// NextRunnable walks the runnable threads in queue order (run queue first,
+// then wake-up queue). It implements policy.View and is only meaningful
+// during a PickNext dispatch (scheduler mutex held).
+func (s *Scheduler) NextRunnable(after policy.Thread) policy.Thread {
+	if after == nil {
+		if t := s.runQ.head; t != nil {
+			return t
+		}
+		return s.FrontWake()
+	}
+	t := after.(*Thread)
+	if t.qnext != nil {
+		return t.qnext
+	}
+	if t.queue == qRun {
+		return s.FrontWake()
+	}
+	return nil
 }
 
 // eligibleLocked returns the thread that should hold the turn next, or nil if
-// no thread is runnable.
+// no thread is runnable. An active replay schedule takes precedence over the
+// policy stack: the recording embeds all policy effects.
 func (s *Scheduler) eligibleLocked() *Thread {
 	if s.replay != nil && s.replayPos < len(s.replay) {
 		return s.replayEligibleLocked()
 	}
-	switch s.cfg.Mode {
-	case LogicalClock, VirtualParallel:
-		// The runnable thread with the globally minimal clock runs next,
-		// but only once its clock is a minimum over ALL live threads:
-		// a computing thread with a smaller clock may still issue an
-		// earlier-ordered synchronization operation (Kendo's rule).
-		var best *Thread
-		bestKey := int64(1<<63 - 1)
-		key := func(t *Thread) int64 {
-			if s.cfg.Mode == VirtualParallel {
-				return t.vtime.Load()
-			}
-			return t.clock.Load()
-		}
-		consider := func(t *Thread) {
-			c := key(t)
-			if c < bestKey || (c == bestKey && best != nil && t.id < best.id) {
-				bestKey, best = c, t
-			}
-		}
-		for _, t := range s.runQ {
-			consider(t)
-		}
-		for _, t := range s.wakeQ {
-			consider(t)
-		}
-		if best == nil {
-			return nil
-		}
-		// A blocked waiter cannot issue operations, so it does not gate.
-		// Only runnable threads with smaller (clock, id) gate 'best', and
-		// by construction best already minimizes over runnable threads.
-		return best
-	default: // RoundRobin
-		if s.cfg.Policies.Has(BoostBlocked) && len(s.wakeQ) > 0 {
-			return s.wakeQ[0]
-		}
-		if len(s.runQ) > 0 {
-			return s.runQ[0]
-		}
-		return nil
+	if t := s.stack.PickNext(s); t != nil {
+		return t.(*Thread)
 	}
+	return nil
 }
 
 // kickLocked grants the free turn to the next eligible thread if that thread
@@ -461,13 +469,13 @@ func (s *Scheduler) kickLocked() {
 			}
 			return
 		}
-		if len(s.waitQ) == 0 {
+		if s.waitQ.len() == 0 {
 			return // no threads at all: program finished or not started
 		}
 		// No runnable thread. Advance logical time to the earliest timed
 		// deadline; if none exists the program is deadlocked.
 		min := int64(0)
-		for _, w := range s.waitQ {
+		for w := s.waitQ.head; w != nil; w = w.next {
 			if w.deadline > 0 && (min == 0 || w.deadline < min) {
 				min = w.deadline
 			}
@@ -491,12 +499,12 @@ func (s *Scheduler) kickLocked() {
 // dumpLocked renders the scheduler state for deadlock diagnostics.
 func (s *Scheduler) dumpLocked() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "  turn=%d holder=%v\n", s.turn, s.holder)
-	fmt.Fprintf(&b, "  runQ: %s\n", threadNames(s.runQ))
-	fmt.Fprintf(&b, "  wakeQ: %s\n", threadNames(s.wakeQ))
+	fmt.Fprintf(&b, "  turn=%d holder=%v stack=%v\n", s.turn, s.holder, s.stack)
+	fmt.Fprintf(&b, "  runQ: %s\n", threadNames(&s.runQ))
+	fmt.Fprintf(&b, "  wakeQ: %s\n", threadNames(&s.wakeQ))
 	objs := make(map[uint64][]string)
 	var keys []uint64
-	for _, w := range s.waitQ {
+	for w := s.waitQ.head; w != nil; w = w.next {
 		if _, ok := objs[w.obj]; !ok {
 			keys = append(keys, w.obj)
 		}
@@ -509,13 +517,13 @@ func (s *Scheduler) dumpLocked() string {
 	return b.String()
 }
 
-func threadNames(ts []*Thread) string {
-	if len(ts) == 0 {
+func threadNames(q *tqueue) string {
+	if q.head == nil {
 		return "(empty)"
 	}
-	names := make([]string, len(ts))
-	for i, t := range ts {
-		names[i] = t.String()
+	var names []string
+	for t := q.head; t != nil; t = t.qnext {
+		names = append(names, t.String())
 	}
 	return strings.Join(names, " ")
 }

@@ -1,6 +1,10 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+
+	"qithread/internal/policy"
+)
 
 // Stats aggregates scheduling activity for analysis and tooling. All
 // counters are monotone over one execution.
@@ -21,6 +25,11 @@ type Stats struct {
 	WokenByTimeout int64
 	// MaxLiveThreads is the high-water mark of registered live threads.
 	MaxLiveThreads int
+	// PolicyMetrics is the per-policy decision counter snapshot of the
+	// scheduler's policy stack, in stack order (semantic layers first, base
+	// policy last). It attributes scheduling decisions — turn grants,
+	// wake-up boosts, turn retentions — to the policy that made them.
+	PolicyMetrics []policy.Metrics
 }
 
 // String summarizes the stats on one line.
@@ -30,11 +39,13 @@ func (st Stats) String() string {
 		st.WokenBySignal, st.WokenByTimeout, st.MaxLiveThreads)
 }
 
-// Stats returns a snapshot of the scheduler's activity counters.
+// Stats returns a snapshot of the scheduler's activity counters, including
+// the per-policy decision metrics of the policy stack.
 func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
 	st.Turns = s.turn
+	st.PolicyMetrics = s.stack.Metrics()
 	return st
 }

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sync/atomic"
+
+	"qithread/internal/policy"
 )
 
 // queueKind identifies which scheduler queue a thread currently occupies.
@@ -45,8 +47,15 @@ type Thread struct {
 	// should receive the turn as soon as it becomes eligible.
 	wantTurn bool
 
-	// queue is the queue currently containing the thread.
-	queue queueKind
+	// queue is the queue currently containing the thread; qprev/qnext are
+	// the intrusive links chaining the thread into the run or wake-up queue
+	// (see queue.go).
+	queue        queueKind
+	qprev, qnext *Thread
+
+	// pstate is the per-thread state block of the scheduler's policy stack:
+	// one word per policy, assigned at registration.
+	pstate policy.PerThread
 
 	// waitStatus records how the most recent Wait completed.
 	waitStatus WaitStatus
@@ -97,6 +106,10 @@ func (t *Thread) Name() string { return t.name }
 
 // Clock returns the thread's current logical instruction clock.
 func (t *Thread) Clock() int64 { return t.clock.Load() }
+
+// PolicyState returns the thread's per-policy state block, making *Thread
+// implement policy.Thread.
+func (t *Thread) PolicyState() *policy.PerThread { return &t.pstate }
 
 func (t *Thread) String() string {
 	return fmt.Sprintf("T%d(%s)", t.id, t.name)

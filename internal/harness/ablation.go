@@ -4,7 +4,7 @@ import (
 	"fmt"
 	"io"
 
-	"qithread"
+	"qithread/internal/policy"
 	"qithread/internal/programs"
 	"qithread/internal/stats"
 )
@@ -25,19 +25,11 @@ type AblationRow struct {
 	Without map[string]float64
 }
 
-var ablationPolicies = []struct {
-	Name string
-	P    qithread.Policy
-}{
-	{"BoostBlocked", qithread.BoostBlocked},
-	{"CreateAll", qithread.CreateAll},
-	{"CSWhole", qithread.CSWhole},
-	{"WakeAMAP", qithread.WakeAMAP},
-	{"BranchedWake", qithread.BranchedWake},
-}
-
 // Ablation measures each program under vanilla round robin, the all-policies
-// default, each policy alone, and each leave-one-out configuration.
+// default, each policy alone, and each leave-one-out configuration. The
+// single-policy and leave-one-out configurations are composed as explicit
+// policy stacks (StackMode), exercising the policy engine exactly the way a
+// hand-composed configuration would.
 func (r *Runner) Ablation(specs []programs.Spec) []AblationRow {
 	rows := make([]AblationRow, 0, len(specs))
 	for _, spec := range specs {
@@ -49,10 +41,13 @@ func (r *Runner) Ablation(specs []programs.Spec) []AblationRow {
 			Only:        map[string]float64{},
 			Without:     map[string]float64{},
 		}
-		for _, ap := range ablationPolicies {
-			row.Only[ap.Name] = stats.Normalized(r.Measure(spec, QiThreadWith(ap.P)), base)
-			row.Without[ap.Name] = stats.Normalized(r.Measure(spec, QiThreadWith(qithread.AllPolicies&^ap.P)), base)
-			r.logf("ablation %-24s %-14s only %.2f without %.2f\n", spec.Name, ap.Name, row.Only[ap.Name], row.Without[ap.Name])
+		for _, name := range policy.Names() {
+			p, _ := policy.SetForName(name)
+			only := StackMode("only:"+name, policy.FromSet(policy.RoundRobin(), p))
+			without := StackMode("minus:"+name, policy.FromSet(policy.RoundRobin(), policy.AllPolicies&^p))
+			row.Only[name] = stats.Normalized(r.Measure(spec, only), base)
+			row.Without[name] = stats.Normalized(r.Measure(spec, without), base)
+			r.logf("ablation %-24s %-14s only %.2f without %.2f\n", spec.Name, name, row.Only[name], row.Without[name])
 		}
 		rows = append(rows, row)
 	}
@@ -62,14 +57,14 @@ func (r *Runner) Ablation(specs []programs.Spec) []AblationRow {
 // FprintAblation renders ablation rows as a table.
 func FprintAblation(w io.Writer, rows []AblationRow) {
 	fmt.Fprintf(w, "%-24s %8s %8s", "program", "vanilla", "all")
-	for _, ap := range ablationPolicies {
-		fmt.Fprintf(w, " %13s", "only/-"+abbrev(ap.Name))
+	for _, name := range policy.Names() {
+		fmt.Fprintf(w, " %13s", "only/-"+abbrev(name))
 	}
 	fmt.Fprintln(w)
 	for _, row := range rows {
 		fmt.Fprintf(w, "%-24s %8.2f %8.2f", row.Program, row.Vanilla, row.AllPolicies)
-		for _, ap := range ablationPolicies {
-			fmt.Fprintf(w, " %6.2f/%6.2f", row.Only[ap.Name], row.Without[ap.Name])
+		for _, name := range policy.Names() {
+			fmt.Fprintf(w, " %6.2f/%6.2f", row.Only[name], row.Without[name])
 		}
 		fmt.Fprintln(w)
 	}

@@ -1,0 +1,74 @@
+package policy
+
+import "fmt"
+
+// Count is a decision counter. It is deliberately not atomic: every counter
+// field is incremented from exactly one serialized context — Picks and
+// WakeBoosts under the scheduler mutex, the keep-turn counters under the
+// turn — and turn handoffs synchronize through the scheduler mutex, so plain
+// increments are race-free and keep the hot dispatch path at seed cost
+// (an atomic add per lock acquisition measurably regressed
+// BenchmarkPolicyDispatch). Snapshots (Stack.Metrics) must be taken while
+// the scheduler is quiescent: between runs or after every thread joined.
+type Count int64
+
+// Add increments the counter by n.
+func (c *Count) Add(n int64) { *c += Count(n) }
+
+// Load returns the counter value.
+func (c *Count) Load() int64 { return int64(*c) }
+
+// Counters counts the scheduling decisions one policy made. Counting is the
+// point of the engine's observability: after a run, each speedup (or
+// slowdown) can be attributed to the policy whose decisions produced it.
+type Counters struct {
+	// Picks counts PickNext decisions this policy won (turn grants it
+	// decided).
+	Picks Count
+	// WakeBoosts counts wake-ups this policy routed to the wake-up queue.
+	WakeBoosts Count
+	// TurnsRetained counts release points where this policy kept the turn
+	// with the current thread (keep-turn grants).
+	TurnsRetained Count
+	// Arms counts keep_turn arming requests this policy honored.
+	Arms Count
+	// DummySyncs counts dummy synchronization alignments executed under
+	// this policy.
+	DummySyncs Count
+}
+
+// Metrics is a plain snapshot of one policy's Counters.
+type Metrics struct {
+	Policy        string
+	Picks         int64
+	WakeBoosts    int64
+	TurnsRetained int64
+	Arms          int64
+	DummySyncs    int64
+}
+
+// snapshot captures the counter values.
+func (c *Counters) snapshot(name string) Metrics {
+	return Metrics{
+		Policy:        name,
+		Picks:         c.Picks.Load(),
+		WakeBoosts:    c.WakeBoosts.Load(),
+		TurnsRetained: c.TurnsRetained.Load(),
+		Arms:          c.Arms.Load(),
+		DummySyncs:    c.DummySyncs.Load(),
+	}
+}
+
+// reset zeroes the counters.
+func (c *Counters) reset() { *c = Counters{} }
+
+// Total is the number of decisions of any kind.
+func (m Metrics) Total() int64 {
+	return m.Picks + m.WakeBoosts + m.TurnsRetained + m.Arms + m.DummySyncs
+}
+
+// String summarizes the metrics on one line.
+func (m Metrics) String() string {
+	return fmt.Sprintf("%-13s picks=%d wake-boosts=%d turns-retained=%d keep-turn-arms=%d dummy-syncs=%d",
+		m.Policy, m.Picks, m.WakeBoosts, m.TurnsRetained, m.Arms, m.DummySyncs)
+}

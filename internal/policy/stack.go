@@ -1,0 +1,324 @@
+package policy
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stack is an ordered composition of scheduling policies: one base turn
+// policy at the bottom and zero or more semantics-aware layers above it.
+// The order is fixed at construction and never changes mid-run — hooks are
+// always dispatched in stack order, which is what makes schedules
+// deterministic and decisions attributable.
+//
+// A Stack carries no per-run state besides its decision counters: policy
+// state lives on the threads themselves (PerThread slots), so one Stack may
+// be reused across sequential runs. Counters accumulate across runs; call
+// ResetMetrics between runs for per-run attribution.
+type Stack struct {
+	base   Policy
+	layers []Policy
+
+	// Per-hook dispatch tables, precomputed in stack order. pickers has the
+	// base policy appended last so it decides when no layer does.
+	pickers      []Picker
+	wakers       []Waker
+	blockers     []Blocker
+	registrars   []Registrar
+	exiters      []Exiter
+	retainers    []Retainer
+	acquirers    []Acquirer
+	signalers    []Signaler
+	broadcasters []Broadcaster
+	armers       []Armer
+	creators     []Creator
+	aligners     []Aligner
+
+	all      []Policy
+	counters []*Counters
+	slots    int
+}
+
+// New composes a stack from a base turn policy (which must implement
+// Picker) and semantics-aware layers in stack order. Every policy object is
+// attached to exactly one stack; passing a policy to two stacks panics via
+// double attachment being indistinguishable — construct fresh objects per
+// stack (the New* constructors are cheap).
+func New(base Policy, layers ...Policy) *Stack {
+	if _, ok := base.(Picker); !ok {
+		panic(fmt.Sprintf("policy: base policy %q does not implement Picker", base.Name()))
+	}
+	s := &Stack{base: base, layers: layers}
+	s.all = append(append([]Policy{}, layers...), base)
+	s.slots = len(s.all)
+	s.counters = make([]*Counters, len(s.all))
+	for i, p := range s.all {
+		c := &Counters{}
+		s.counters[i] = c
+		p.Attach(i, c)
+	}
+	// Layers dispatch in stack order; the base picker runs after all layer
+	// pickers so it only decides when no layer does.
+	for _, p := range layers {
+		s.index(p)
+	}
+	s.index(base)
+	return s
+}
+
+// index registers p in the dispatch table of every hook it implements.
+func (s *Stack) index(p Policy) {
+	if h, ok := p.(Picker); ok {
+		s.pickers = append(s.pickers, h)
+	}
+	if h, ok := p.(Waker); ok {
+		s.wakers = append(s.wakers, h)
+	}
+	if h, ok := p.(Blocker); ok {
+		s.blockers = append(s.blockers, h)
+	}
+	if h, ok := p.(Registrar); ok {
+		s.registrars = append(s.registrars, h)
+	}
+	if h, ok := p.(Exiter); ok {
+		s.exiters = append(s.exiters, h)
+	}
+	if h, ok := p.(Retainer); ok {
+		s.retainers = append(s.retainers, h)
+	}
+	if h, ok := p.(Acquirer); ok {
+		s.acquirers = append(s.acquirers, h)
+	}
+	if h, ok := p.(Signaler); ok {
+		s.signalers = append(s.signalers, h)
+	}
+	if h, ok := p.(Broadcaster); ok {
+		s.broadcasters = append(s.broadcasters, h)
+	}
+	if h, ok := p.(Armer); ok {
+		s.armers = append(s.armers, h)
+	}
+	if h, ok := p.(Creator); ok {
+		s.creators = append(s.creators, h)
+	}
+	if h, ok := p.(Aligner); ok {
+		s.aligners = append(s.aligners, h)
+	}
+}
+
+// NewState allocates the per-thread state block for threads scheduled under
+// this stack: the retain-hint mask plus one word per policy slot.
+func (s *Stack) NewState() PerThread { return PerThread{words: make([]uint64, s.slots+1)} }
+
+// --- scheduler-level dispatch ---
+
+// PickNext returns the thread that should hold the turn next, or nil if no
+// thread is runnable. Pickers are consulted in stack order; the base policy
+// decides last.
+func (s *Stack) PickNext(v View) Thread {
+	for _, p := range s.pickers {
+		if t := p.PickNext(v); t != nil {
+			return t
+		}
+	}
+	return nil
+}
+
+// WakeQueue returns the runnable queue a just-woken thread joins. The first
+// decisive waker in stack order wins; the default is the run queue.
+func (s *Stack) WakeQueue(t Thread, timedOut bool) Queue {
+	for _, p := range s.wakers {
+		if q, ok := p.OnWake(t, timedOut); ok {
+			return q
+		}
+	}
+	return QueueRun
+}
+
+// OnBlock notifies the stack that t is parking on the wait queue.
+func (s *Stack) OnBlock(t Thread) {
+	for _, p := range s.blockers {
+		p.OnBlock(t)
+	}
+}
+
+// OnRegister notifies the stack of a newly registered thread.
+func (s *Stack) OnRegister(t Thread) {
+	for _, p := range s.registrars {
+		p.OnRegister(t)
+	}
+}
+
+// OnExit notifies the stack that t has exited.
+func (s *Stack) OnExit(t Thread) {
+	for _, p := range s.exiters {
+		p.OnExit(t)
+	}
+}
+
+// --- wrapper-level dispatch ---
+
+// KeepTurn reports whether any policy retains the turn with t at a release
+// point. Retainers are consulted in stack order; the first grant wins. The
+// common case — no retention armed — is answered from t's retain-hint mask
+// with a single load, since release points vastly outnumber retention state
+// changes.
+func (s *Stack) KeepTurn(t Thread) bool {
+	if len(s.retainers) == 0 || *t.PolicyState().retainHint() == 0 {
+		return false
+	}
+	for _, p := range s.retainers {
+		if p.KeepTurn(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// OnAcquire notifies the stack of an exclusive lock acquisition and reports
+// whether the turn is retained at the acquisition site.
+func (s *Stack) OnAcquire(t Thread) bool {
+	retain := false
+	for _, p := range s.acquirers {
+		if p.OnAcquire(t) {
+			retain = true
+		}
+	}
+	return retain
+}
+
+// OnRelease notifies the stack of an exclusive lock release.
+func (s *Stack) OnRelease(t Thread) {
+	for _, p := range s.acquirers {
+		p.OnRelease(t)
+	}
+}
+
+// NeedWaiters reports whether any policy consumes the remaining-waiter count
+// of OnSignal, letting wrappers skip computing it otherwise.
+func (s *Stack) NeedWaiters() bool { return len(s.signalers) > 0 }
+
+// OnSignal notifies the stack of a wake-producing operation with the number
+// of threads still waiting on the object.
+func (s *Stack) OnSignal(t Thread, waitersLeft int) {
+	for _, p := range s.signalers {
+		p.OnSignal(t, waitersLeft)
+	}
+}
+
+// OnBroadcast notifies the stack of a condition-variable broadcast.
+func (s *Stack) OnBroadcast(t Thread) {
+	for _, p := range s.broadcasters {
+		p.OnBroadcast(t)
+	}
+}
+
+// OnArm dispatches a keep_turn arming request. With no Armer in the stack it
+// is a no-op, so instrumented programs behave identically to uninstrumented
+// ones under other configurations (Figure 7a).
+func (s *Stack) OnArm(t Thread) {
+	for _, p := range s.armers {
+		p.OnArm(t)
+	}
+}
+
+// OnCreate notifies the stack of a thread creation.
+func (s *Stack) OnCreate(parent, child Thread) {
+	for _, p := range s.creators {
+		p.OnCreate(parent, child)
+	}
+}
+
+// WantDummySync reports whether dummy synchronization operations are
+// enabled (some policy implements Aligner).
+func (s *Stack) WantDummySync() bool { return len(s.aligners) > 0 }
+
+// OnDummySync accounts one executed dummy synchronization operation.
+func (s *Stack) OnDummySync(t Thread) {
+	for _, p := range s.aligners {
+		p.OnDummySync(t)
+	}
+}
+
+// --- introspection ---
+
+// Base returns the base turn policy.
+func (s *Stack) Base() Policy { return s.base }
+
+// Layers returns the semantics-aware layers in stack order.
+func (s *Stack) Layers() []Policy { return append([]Policy(nil), s.layers...) }
+
+// Has reports whether the stack contains a policy with the given name.
+func (s *Stack) Has(name string) bool {
+	for _, p := range s.all {
+		if p.Name() == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Set returns the bitmask view of the stack's semantics-aware layers (for
+// reporting; custom layers without a legacy bit are not represented).
+func (s *Stack) Set() Set {
+	var out Set
+	for _, p := range s.layers {
+		if b, ok := SetForName(p.Name()); ok {
+			out |= b
+		}
+	}
+	return out
+}
+
+// Metrics snapshots every policy's decision counters in stack order (layers
+// first, base last).
+func (s *Stack) Metrics() []Metrics {
+	out := make([]Metrics, len(s.all))
+	for i, p := range s.all {
+		out[i] = s.counters[i].snapshot(p.Name())
+	}
+	return out
+}
+
+// ResetMetrics zeroes every policy's decision counters.
+func (s *Stack) ResetMetrics() {
+	for _, c := range s.counters {
+		c.reset()
+	}
+}
+
+// String renders the stack descriptor: base|layer>layer>...
+func (s *Stack) String() string {
+	if len(s.layers) == 0 {
+		return s.base.Name()
+	}
+	names := make([]string, len(s.layers))
+	for i, p := range s.layers {
+		names[i] = p.Name()
+	}
+	return s.base.Name() + "|" + strings.Join(names, ">")
+}
+
+// FromSet compiles the legacy bitmask configuration down to a canonical
+// stack: the given base policy plus the enabled semantics-aware policies in
+// the paper's Section 5.2 order (BB → CA → CSW → WAMAP → BW). Passing a
+// non-round-robin base with a non-empty set is allowed but unusual; the
+// callers in internal/core gate semantic layers to the round-robin base,
+// matching the original implementation.
+func FromSet(base Policy, set Set) *Stack {
+	var layers []Policy
+	for _, n := range setNames {
+		if set.Has(n.p) {
+			layers = append(layers, newSemantic(n.p))
+		}
+	}
+	return New(base, layers...)
+}
+
+// StackFromAdvice builds a ready-to-run stack from an advisor
+// recommendation: round-robin base plus the recommended policy set in
+// canonical order. It is the diagnose → configure → rerun bridge used by
+// qidoctor.
+func StackFromAdvice(recommended Set) *Stack {
+	return FromSet(RoundRobin(), recommended)
+}

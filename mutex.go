@@ -88,9 +88,9 @@ func (m *Mutex) Lock(t *Thread) {
 		st = core.StatusReturn
 	}
 	s.TraceOp(t.ct, core.OpMutexLock, m.obj, st)
-	if m.rt.policyOn(CSWhole) {
-		// CSWhole: keep the turn; the critical section runs as a whole.
-		t.csDepth++
+	if m.rt.stack.OnAcquire(t.ct) {
+		// A policy (CSWhole) retains the turn at the acquisition site: the
+		// critical section runs as a whole.
 		return
 	}
 	t.release()
@@ -115,8 +115,7 @@ func (m *Mutex) TryLock(t *Thread) bool {
 		m.owner = t
 	}
 	s.TraceOp(t.ct, core.OpMutexTryLock, m.obj, core.StatusOK)
-	if ok && m.rt.policyOn(CSWhole) {
-		t.csDepth++
+	if ok && m.rt.stack.OnAcquire(t.ct) {
 		return true
 	}
 	t.release()
@@ -146,9 +145,7 @@ func (m *Mutex) Unlock(t *Thread) {
 	m.real.Unlock()
 	s.Signal(t.ct, m.obj)
 	s.TraceOp(t.ct, core.OpMutexUnlock, m.obj, core.StatusOK)
-	if t.csDepth > 0 {
-		t.csDepth--
-	}
+	m.rt.stack.OnRelease(t.ct)
 	t.release()
 }
 

@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"qithread/internal/core"
+	"qithread/internal/policy"
 )
 
 // Policy re-exports the semantics-aware policy bitmask of internal/core so
@@ -102,8 +103,17 @@ type Config struct {
 	Mode Mode
 
 	// Policies enables QiThread's semantics-aware policies (RoundRobin mode
-	// only). NoPolicies yields vanilla Parrot round-robin scheduling.
+	// only). NoPolicies yields vanilla Parrot round-robin scheduling. The
+	// bitmask is the compatibility configuration surface: it compiles down
+	// to a canonical policy stack (internal/policy) at Runtime construction.
 	Policies Policy
+
+	// Stack, when non-nil, is an explicitly composed policy stack to
+	// schedule with, overriding Policies. It allows custom policy orders and
+	// subsets beyond the bitmask's canonical stack. Requires a deterministic
+	// Mode; the base policy must match the Mode's clock semantics (use
+	// policy.RoundRobin, policy.LogicalClock or policy.VirtualClock).
+	Stack *policy.Stack
 
 	// SoftBarriers honors Parrot soft-barrier performance hints placed in
 	// workloads (RoundRobin mode only). QiThread runs with this off: its

@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"qithread/internal/core"
+	"qithread/internal/policy"
 )
 
 // Runtime owns one deterministically scheduled multithreaded execution. All
@@ -13,6 +14,7 @@ import (
 type Runtime struct {
 	cfg   Config
 	sched *core.Scheduler // nil in Nondet mode
+	stack *policy.Stack   // the scheduler's policy stack; nil in Nondet mode
 
 	wg      sync.WaitGroup
 	nthread atomic.Int64 // total threads ever created (diagnostics)
@@ -47,15 +49,31 @@ func New(cfg Config) *Runtime {
 			pol = core.NoPolicies
 			cost = cfg.VSyncCostNondet
 		}
+		// The policy stack makes every scheduling decision: the bitmask
+		// configuration compiles down to the canonical stack, while a custom
+		// Config.Stack is used as given (its bitmask view is kept for
+		// reporting).
+		stk := cfg.Stack
+		if stk == nil {
+			stk = core.DefaultStack(mode, pol)
+		} else {
+			pol = stk.Set()
+		}
+		rt.stack = stk
 		rt.sched = core.New(core.Config{
-			Mode: mode, Policies: pol, Record: cfg.Record,
+			Mode: mode, Policies: pol, Stack: stk, Record: cfg.Record,
 			VSyncCost: cost,
 		})
 		if cfg.Replay != nil {
 			rt.sched.SetReplay(cfg.Replay)
 		}
-	} else if cfg.Replay != nil {
-		panic("qithread: Config.Replay requires a deterministic Mode")
+	} else {
+		if cfg.Replay != nil {
+			panic("qithread: Config.Replay requires a deterministic Mode")
+		}
+		if cfg.Stack != nil {
+			panic("qithread: Config.Stack requires a deterministic Mode")
+		}
 	}
 	return rt
 }
@@ -138,9 +156,15 @@ func (rt *Runtime) newThread(name string) *Thread {
 // det reports whether the runtime schedules deterministically.
 func (rt *Runtime) det() bool { return rt.sched != nil }
 
-// policyOn reports whether a semantics-aware policy is active. Policies only
-// apply in RoundRobin mode: the logical-clock baseline and the
-// nondeterministic baseline run without them, as in the paper.
-func (rt *Runtime) policyOn(p Policy) bool {
-	return rt.cfg.Mode == RoundRobin && rt.cfg.Policies.Has(p)
+// PolicyStack returns the policy stack scheduling this runtime (nil in
+// Nondet mode). Its Metrics attribute scheduling decisions to policies.
+func (rt *Runtime) PolicyStack() *policy.Stack { return rt.stack }
+
+// PolicyMetrics returns the per-policy decision counters of the runtime's
+// policy stack (nil in Nondet mode).
+func (rt *Runtime) PolicyMetrics() []policy.Metrics {
+	if rt.stack == nil {
+		return nil
+	}
+	return rt.stack.Metrics()
 }

@@ -142,9 +142,10 @@ func (sem *Sem) Post(t *Thread) {
 	sem.val++
 	s.Signal(t.ct, sem.obj)
 	s.TraceOp(t.ct, core.OpSemPost, sem.obj, core.StatusOK)
-	if sem.rt.policyOn(WakeAMAP) {
-		// Sticky retention across the posting loop; see Cond.Signal.
-		t.wakeHold = s.Waiters(t.ct, sem.obj) > 0
+	if sem.rt.stack.NeedWaiters() {
+		// Sticky retention (WakeAMAP) across the posting loop; see
+		// Cond.Signal.
+		sem.rt.stack.OnSignal(t.ct, s.Waiters(t.ct, sem.obj))
 	}
 	t.release()
 }

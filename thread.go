@@ -16,31 +16,16 @@ import (
 const workQuantum = 1024
 
 // Thread is one thread of a deterministically scheduled program. It wraps a
-// goroutine registered with the runtime's scheduler, carrying the wrapper
-// state the semantics-aware policies need (critical-section nesting for
-// CSWhole, the pending keep-turn flag for CreateAll).
+// goroutine registered with the runtime's scheduler. The wrapper state the
+// semantics-aware policies need (critical-section nesting for CSWhole, the
+// pending keep-turn flag for CreateAll, the sticky wake hold for WakeAMAP)
+// lives in the per-policy state block on the core thread, maintained by the
+// policy stack's hooks.
 type Thread struct {
 	rt   *Runtime
 	ct   *core.Thread // nil in Nondet mode
 	name string
 	id   int
-
-	// csDepth counts mutexes currently held while the CSWhole policy is on;
-	// the turn is retained while it is positive (Section 3.3).
-	csDepth int
-
-	// keepPending makes the next turn release a no-op, implementing the
-	// keep_turn primitive of the CreateAll policy (Section 3.2, Figure 7a).
-	keepPending bool
-
-	// wakeHold marks an active WakeAMAP retention: this thread signaled a
-	// condition variable or semaphore that still has waiters, so it keeps
-	// the turn — across any synchronization operations it performs in
-	// between — until a wake-up finds no more waiters or the thread itself
-	// blocks (Section 3.4). The woken threads consequently resume together
-	// once the unblocking loop finishes, aligning their computation like a
-	// soft barrier would.
-	wakeHold bool
 
 	// workSeed seeds this thread's synthetic compute so results are
 	// deterministic per thread.
@@ -124,6 +109,7 @@ func (t *Thread) Create(name string, fn func(*Thread)) *Thread {
 	s.GetTurn(t.ct)
 	child.ct = s.Register(name)
 	child.joinObj = s.NewObject("thread:" + name)
+	t.rt.stack.OnCreate(t.ct, child.ct)
 	s.TraceOp(t.ct, core.OpCreate, child.joinObj, core.StatusOK)
 	// The child's virtual clock starts at the creator's current virtual
 	// time (it cannot have computed anything earlier).
@@ -188,26 +174,27 @@ func (t *Thread) exit() {
 }
 
 // KeepTurn arms the CreateAll policy: the turn is retained across the next
-// synchronization operation of this thread. Without the CreateAll policy it
-// is a no-op, so instrumented programs behave identically to uninstrumented
-// ones under other configurations (Figure 7a).
+// synchronization operation of this thread. Without an arming policy in the
+// stack it is a no-op, so instrumented programs behave identically to
+// uninstrumented ones under other configurations (Figure 7a).
 func (t *Thread) KeepTurn() {
-	if t.rt.policyOn(CreateAll) {
-		t.keepPending = true
+	if t.rt.det() {
+		t.rt.stack.OnArm(t.ct)
 	}
 }
 
 // DummySync executes the dummy synchronization operation of the BranchedWake
 // policy: one empty turn that re-aligns threads which skipped an unblocking
-// operation on a branch (Figure 7b). Without the BranchedWake policy it is a
-// no-op, i.e. the program is considered uninstrumented.
+// operation on a branch (Figure 7b). Without an aligning policy in the stack
+// it is a no-op, i.e. the program is considered uninstrumented.
 func (t *Thread) DummySync() {
-	if !t.rt.policyOn(BranchedWake) || !t.rt.det() {
+	if !t.rt.det() || !t.rt.stack.WantDummySync() {
 		return
 	}
 	s := t.rt.sched
 	s.GetTurn(t.ct)
 	s.TraceOp(t.ct, core.OpDummySync, 0, core.StatusOK)
+	t.rt.stack.OnDummySync(t.ct)
 	t.release()
 }
 
@@ -297,28 +284,22 @@ func (t *Thread) WorkSeeded(seed uint64, n int64) uint64 {
 	return v
 }
 
-// release gives up the turn unless a policy retains it: a pending keep_turn
-// (CreateAll), an active WakeAMAP unblocking loop, or an open critical
-// section under CSWhole. Wrappers call it at the end of every
-// synchronization operation.
+// release gives up the turn unless a policy in the stack retains it: a
+// pending keep_turn (CreateAll), an active WakeAMAP unblocking loop, or an
+// open critical section under CSWhole. Wrappers call it at the end of every
+// synchronization operation; the stack consults its retainers in stack
+// order and the first grant wins.
 func (t *Thread) release() {
-	if t.keepPending {
-		t.keepPending = false
-		return
-	}
-	if t.wakeHold {
-		return
-	}
-	if t.csDepth > 0 && t.rt.policyOn(CSWhole) {
+	if t.rt.stack.KeepTurn(t.ct) {
 		return
 	}
 	t.rt.sched.PutTurn(t.ct)
 }
 
-// park blocks the thread on the scheduler wait queue. Blocking ends any
-// WakeAMAP retention ("... or the unblocking thread itself gets blocked",
-// Section 3.4); the scheduler's Wait releases the turn unconditionally.
+// park blocks the thread on the scheduler wait queue. The scheduler's Wait
+// dispatches the stack's OnBlock hook, which ends any WakeAMAP retention
+// ("... or the unblocking thread itself gets blocked", Section 3.4), and
+// releases the turn unconditionally.
 func (t *Thread) park(obj uint64, timeout int64) core.WaitStatus {
-	t.wakeHold = false
 	return t.rt.sched.Wait(t.ct, obj, timeout)
 }
