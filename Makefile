@@ -1,6 +1,8 @@
 GO ?= go
 
 # The full gate: everything CI (and the trace-compatibility suite) needs.
+# Performance changes should also refresh the committed baseline with
+# `make bench-json` and include the BENCH_sched.json diff in the review.
 .PHONY: check
 check: build vet race
 
@@ -24,3 +26,14 @@ race:
 .PHONY: bench
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkMechanism|BenchmarkPolicyDispatch' -count 5 -benchtime 1s .
+
+# Scheduler hot-path baseline: run the E14 micro-benchmarks and regenerate
+# BENCH_sched.json (benchmark name -> ns/op, allocs/op, averaged over 3 reps).
+# The two steps run sequentially (not a pipe) so compiling the converter
+# does not steal CPU from the benchmarks.
+.PHONY: bench-json
+bench-json:
+	$(GO) test -run '^$$' -bench 'BenchmarkMechanism|BenchmarkPolicyDispatch|BenchmarkBroadcastStorm|BenchmarkTimedWaitChurn|BenchmarkTurnHandoff' \
+		-benchmem -benchtime 300ms -count 3 . > .bench_sched.out
+	$(GO) run ./cmd/qibenchjson < .bench_sched.out > BENCH_sched.json
+	@rm -f .bench_sched.out

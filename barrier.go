@@ -98,7 +98,7 @@ func (b *Barrier) Wait(t *Thread) bool {
 	return false
 }
 
-// Destroy retires the barrier.
+// Destroy retires the barrier and releases its scheduler bookkeeping.
 func (b *Barrier) Destroy(t *Thread) {
 	if !b.rt.det() {
 		return
@@ -106,5 +106,6 @@ func (b *Barrier) Destroy(t *Thread) {
 	s := b.rt.sched
 	s.GetTurn(t.ct)
 	s.TraceOp(t.ct, core.OpBarrierDestroy, b.obj, core.StatusOK)
+	s.DestroyObject(t.ct, b.obj)
 	t.release()
 }

@@ -13,6 +13,18 @@
 //     policy configurations, showing WakeAMAP's jump.
 //   - BenchmarkScalability        — Section 5.3: thread-count sweep.
 //
+// The scheduler data-structure benchmarks (see EXPERIMENTS.md E14) measure
+// the asymptotics of the turn mechanism itself and feed BENCH_sched.json via
+// `make bench-json`:
+//
+//   - BenchmarkBroadcastStorm     — dispatcher serving N waiters parked
+//     across M objects: per round one shard is broadcast and recycled, then
+//     bookkeeping ops run against the full parked population.
+//   - BenchmarkTimedWaitChurn     — many concurrent logical sleeps churning
+//     the timed-waiter structure.
+//   - BenchmarkTurnHandoff        — turn ping-pong across 4–64 threads; one
+//     Yield is exactly one turn handoff.
+//
 // Run with: go test -bench=. -benchmem
 package qithread_test
 
@@ -139,6 +151,158 @@ func BenchmarkMechanismSignalWait(b *testing.B) {
 		close(done)
 	})
 	<-done
+}
+
+// BenchmarkBroadcastStorm measures synchronization cost in the presence of a
+// large parked population: 256 worker threads wait on 32 condition variables
+// (8 per shard), the dispatcher pattern of thread-pool servers. Each round
+// the dispatcher broadcasts the next shard, waits for its 8 workers to cycle
+// and re-park, then performs 192 uncontended bookkeeping operations — a
+// lock/signal/unlock triple each, the signal finding no waiter — while all
+// workers are parked.
+//
+// Both phases are exactly what the per-object wait lists and the deadline
+// heap optimize. With the single global wait queue, every Signal — including
+// the one inside every mutex Unlock — and every Broadcast scans all ~256
+// parked waiters, and every turn advance rescans the whole queue for expired
+// deadlines, so even the dispatcher's uncontended bookkeeping ops pay
+// O(parked waiters) each. With per-object lists and the heap those are O(1)
+// lookups, so the parked population costs nothing.
+func BenchmarkBroadcastStorm(b *testing.B) {
+	const (
+		nWaiters = 256
+		nObjs    = 32
+		perObj   = nWaiters / nObjs
+		workOps  = 192
+	)
+	rt := qithread.New(qithread.Config{Mode: qithread.RoundRobin})
+	done := make(chan struct{})
+	go rt.Run(func(main *qithread.Thread) {
+		wm := rt.NewMutex(main, "dispatch")   // dispatcher bookkeeping lock
+		wcv := rt.NewCond(main, "dispatchcv") // signaled per update, rarely awaited
+		ack := rt.NewSem(main, "ack", 0)      // workers post "about to re-park"
+		stop := false
+		ms := make([]*qithread.Mutex, nObjs)
+		cvs := make([]*qithread.Cond, nObjs)
+		gen := make([]int, nObjs)
+		for k := range ms {
+			ms[k] = rt.NewMutex(main, fmt.Sprintf("m%d", k))
+			cvs[k] = rt.NewCond(main, fmt.Sprintf("cv%d", k))
+		}
+		workers := make([]*qithread.Thread, nWaiters)
+		for i := range workers {
+			k := i % nObjs
+			workers[i] = main.Create(fmt.Sprintf("w%d", i), func(w *qithread.Thread) {
+				for r := 0; ; r++ {
+					ack.Post(w)
+					ms[k].Lock(w)
+					for gen[k] == r && !stop {
+						cvs[k].Wait(w, ms[k])
+					}
+					st := stop
+					ms[k].Unlock(w)
+					if st {
+						return
+					}
+				}
+			})
+		}
+		awaitParked := func(n int) {
+			for j := 0; j < n; j++ {
+				ack.Wait(main)
+			}
+		}
+		awaitParked(nWaiters) // everyone reaches the first wait
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			k := i % nObjs
+			ms[k].Lock(main)
+			gen[k]++
+			cvs[k].Broadcast(main)
+			ms[k].Unlock(main)
+			awaitParked(perObj)
+			for j := 0; j < workOps; j++ {
+				wm.Lock(main)
+				wcv.Signal(main) // unconditional not-empty signal, no waiter parked
+				wm.Unlock(main)
+			}
+		}
+		b.StopTimer()
+		for k := 0; k < nObjs; k++ {
+			ms[k].Lock(main)
+			stop = true
+			cvs[k].Broadcast(main)
+			ms[k].Unlock(main)
+		}
+		for _, w := range workers {
+			main.Join(w)
+		}
+		close(done)
+	})
+	<-done
+}
+
+// BenchmarkTimedWaitChurn measures timed-waiter registration and expiry: 32
+// threads repeatedly execute short logical sleeps with staggered durations,
+// so the scheduler constantly adds timed waiters, expires them, and performs
+// idle-time jumps to the earliest deadline. With the global wait queue every
+// turn advance rescans all waiters for expired deadlines; with the deadline
+// heap an advance that expires nothing is a single peek.
+func BenchmarkTimedWaitChurn(b *testing.B) {
+	const nThreads = 32
+	rt := qithread.New(qithread.Config{Mode: qithread.RoundRobin})
+	done := make(chan struct{})
+	go rt.Run(func(main *qithread.Thread) {
+		perThread := b.N/nThreads + 1
+		b.ResetTimer()
+		ths := make([]*qithread.Thread, nThreads)
+		for i := range ths {
+			i := i
+			ths[i] = main.Create(fmt.Sprintf("s%d", i), func(w *qithread.Thread) {
+				for r := 0; r < perThread; r++ {
+					w.Sleep(int64(i%7) + 1)
+				}
+			})
+		}
+		for _, th := range ths {
+			main.Join(th)
+		}
+		b.StopTimer()
+		close(done)
+	})
+	<-done
+}
+
+// BenchmarkTurnHandoff measures the cost of one turn handoff as thread count
+// grows: n threads pass the turn round-robin via Yield, so every operation is
+// a PutTurn immediately granting an already-parked thread. The handoff fast
+// path hands the turn over without the woken thread re-taking the scheduler
+// mutex.
+func BenchmarkTurnHandoff(b *testing.B) {
+	for _, n := range []int{4, 16, 64} {
+		b.Run(fmt.Sprintf("threads=%d", n), func(b *testing.B) {
+			rt := qithread.New(qithread.Config{Mode: qithread.RoundRobin})
+			done := make(chan struct{})
+			go rt.Run(func(main *qithread.Thread) {
+				perThread := b.N/n + 1
+				b.ResetTimer()
+				ths := make([]*qithread.Thread, n)
+				for i := range ths {
+					ths[i] = main.Create(fmt.Sprintf("y%d", i), func(w *qithread.Thread) {
+						for r := 0; r < perThread; r++ {
+							w.Yield()
+						}
+					})
+				}
+				for _, th := range ths {
+					main.Join(th)
+				}
+				b.StopTimer()
+				close(done)
+			})
+			<-done
+		})
+	}
 }
 
 // figure8Modes are the bar groups of Figure 8.

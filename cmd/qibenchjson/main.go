@@ -1,0 +1,114 @@
+// Command qibenchjson converts `go test -bench` output on stdin into a
+// machine-readable JSON baseline: benchmark name → {ns/op, allocs/op}.
+// Repetitions of the same benchmark (-count N) are averaged for ns/op so the
+// emitted numbers are less noisy than any single run. The result is written
+// to stdout; `make bench-json` redirects it to BENCH_sched.json, the
+// committed scheduler-performance baseline referenced by EXPERIMENTS.md E14.
+//
+// Usage:
+//
+//	go test -run '^$' -bench . -benchmem . | qibenchjson > BENCH_sched.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's aggregated measurement.
+type Result struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Reps        int     `json:"reps"`
+}
+
+// gomaxprocsSuffix is the -N the testing package appends to benchmark names
+// when GOMAXPROCS != 1. Stripping it keeps baselines comparable across
+// machines.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	type acc struct {
+		nsSum  float64
+		allocs int64
+		reps   int
+	}
+	sums := make(map[string]*acc)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "Benchmark") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 {
+			continue
+		}
+		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		a := sums[name]
+		if a == nil {
+			a = &acc{}
+			sums[name] = a
+		}
+		// After the iteration count come (value, unit) pairs; benchmarks may
+		// report extra metrics (e.g. vunits), so select by unit.
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				break
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				a.nsSum += v
+				ok = true
+			case "allocs/op":
+				a.allocs = int64(v)
+			}
+		}
+		if ok {
+			a.reps++
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "qibenchjson:", err)
+		os.Exit(1)
+	}
+	if len(sums) == 0 {
+		fmt.Fprintln(os.Stderr, "qibenchjson: no benchmark lines on stdin")
+		os.Exit(1)
+	}
+
+	out := make(map[string]Result, len(sums))
+	names := make([]string, 0, len(sums))
+	for name, a := range sums {
+		out[name] = Result{
+			NsPerOp:     round2(a.nsSum / float64(a.reps)),
+			AllocsPerOp: a.allocs,
+			Reps:        a.reps,
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	// Emit keys in sorted order so diffs against the committed baseline are
+	// stable. json.Marshal on a map already sorts keys; indent for review.
+	enc, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qibenchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(enc))
+}
+
+func round2(v float64) float64 {
+	return float64(int64(v*100+0.5)) / 100
+}

@@ -130,14 +130,16 @@ func (c *Cond) Signal(t *Thread) {
 	}
 	s := c.rt.sched
 	s.GetTurn(t.ct)
-	s.Signal(t.ct, c.obj)
+	left := s.Signal(t.ct, c.obj)
 	s.TraceOp(t.ct, core.OpCondSignal, c.obj, core.StatusOK)
 	if c.rt.stack.NeedWaiters() {
 		// Sticky retention (WakeAMAP): keep the turn — across whatever
 		// operations this thread performs next — while more threads wait
 		// here, so the whole unblocking loop runs before anyone else is
 		// scheduled and the woken threads resume aligned (Section 3.4).
-		c.rt.stack.OnSignal(t.ct, s.Waiters(t.ct, c.obj))
+		// Signal already returned the remaining per-object waiter count, so
+		// no second scheduler call is needed.
+		c.rt.stack.OnSignal(t.ct, left)
 	}
 	t.release()
 }
@@ -163,7 +165,8 @@ func (c *Cond) Broadcast(t *Thread) {
 	t.release()
 }
 
-// Destroy retires the condition variable.
+// Destroy retires the condition variable and releases its scheduler
+// bookkeeping (object name, empty wait-list entry).
 func (c *Cond) Destroy(t *Thread) {
 	if !c.rt.det() {
 		return
@@ -171,5 +174,6 @@ func (c *Cond) Destroy(t *Thread) {
 	s := c.rt.sched
 	s.GetTurn(t.ct)
 	s.TraceOp(t.ct, core.OpCondDestroy, c.obj, core.StatusOK)
+	s.DestroyObject(t.ct, c.obj)
 	t.release()
 }

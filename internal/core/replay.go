@@ -43,29 +43,11 @@ func (s *Scheduler) ReplayPos() int {
 // the recording, or nil when the expected thread exists but is not yet
 // runnable-and-requesting (the scheduler then waits for it). It panics with
 // a divergence diagnostic if the expected thread cannot ever act (blocked in
-// the wait queue or already exited) — the program being replayed is not the
-// program that was recorded.
+// a wait list or already exited) — the program being replayed is not the
+// program that was recorded. The lookup is O(1) through the scheduler's
+// ID-indexed thread table rather than a scan over every queue.
 func (s *Scheduler) replayEligibleLocked() *Thread {
 	want := s.replay[s.replayPos].TID
-	for t := s.runQ.head; t != nil; t = t.qnext {
-		if t.id == want {
-			return t
-		}
-	}
-	for t := s.wakeQ.head; t != nil; t = t.qnext {
-		if t.id == want {
-			return t
-		}
-	}
-	// Not runnable. If it is blocked or gone, no future action can make it
-	// eligible: the executions have diverged.
-	for w := s.waitQ.head; w != nil; w = w.next {
-		if w.t.id == want {
-			panic(fmt.Sprintf("%s at op %d: expected T%d to run %v but it is blocked on %s#%d\n%s",
-				ErrReplayDivergence, s.replayPos, want, s.replay[s.replayPos].Op,
-				s.objName[w.obj], w.obj, s.dumpLocked()))
-		}
-	}
 	if want >= s.nextTID {
 		// Thread not created yet: its creator's ops come first in any
 		// consistent schedule, so this is fine only if the creator can run;
@@ -73,7 +55,30 @@ func (s *Scheduler) replayEligibleLocked() *Thread {
 		// caller's deadlock path).
 		return nil
 	}
-	// The thread exists and is neither runnable nor waiting: it exited.
+	t := s.threads[want]
+	if t == nil {
+		// The thread existed and is neither runnable nor waiting: it exited.
+		panic(fmt.Sprintf("%s at op %d: expected T%d to run %v but it has exited\n%s",
+			ErrReplayDivergence, s.replayPos, want, s.replay[s.replayPos].Op, s.dumpLocked()))
+	}
+	switch t.queue {
+	case qRun, qWake:
+		return t
+	case qWait:
+		if t.wnode.deadline > 0 {
+			// Blocked with a pending logical timeout: the caller's idle path
+			// will jump time to the deadline heap's top and expire it, after
+			// which the thread becomes eligible. This is how a recorded
+			// timeout return is reproduced when no other thread's op precedes
+			// it (e.g. a lone logical sleep).
+			return nil
+		}
+		// Blocked without a timeout: no future action can make it eligible —
+		// the executions have diverged.
+		panic(fmt.Sprintf("%s at op %d: expected T%d to run %v but it is blocked on %s#%d\n%s",
+			ErrReplayDivergence, s.replayPos, want, s.replay[s.replayPos].Op,
+			s.objName[t.wnode.obj], t.wnode.obj, s.dumpLocked()))
+	}
 	panic(fmt.Sprintf("%s at op %d: expected T%d to run %v but it has exited\n%s",
 		ErrReplayDivergence, s.replayPos, want, s.replay[s.replayPos].Op, s.dumpLocked()))
 }

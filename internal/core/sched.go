@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"qithread/internal/policy"
 )
@@ -15,6 +16,13 @@ import (
 // synchronization operations is delegated to the Go runtime scheduler,
 // mirroring how Parrot and QiThread delegate non-synchronization execution to
 // the OS scheduler (Figure 4).
+//
+// Every Table 1 primitive is O(1) or O(log n) in the number of blocked
+// threads: the wait queue is keyed by object (waitLists), timed waiters are
+// indexed by a deadline min-heap (timers), and a free turn is handed directly
+// to the already-parked next-eligible thread (kickLocked), so wake-ups never
+// rescan unrelated waiters and the woken thread resumes without re-taking the
+// scheduler mutex.
 type Scheduler struct {
 	mu  sync.Mutex
 	cfg Config
@@ -23,16 +31,39 @@ type Scheduler struct {
 	// observes block/register/exit transitions. It is fixed at construction.
 	stack *policy.Stack
 
-	holder *Thread // current turn holder, nil if the turn is free
+	// holder is the current turn holder, nil if the turn is free. It is
+	// written only under mu, but stored atomically so GetTurn's uncontended
+	// fast path (the caller already holds the turn) is a single load: a
+	// thread observing itself as holder is stable, because only the holder
+	// itself can release the turn.
+	holder atomic.Pointer[Thread]
 
 	runQ  tqueue // FIFO runnable queue
 	wakeQ tqueue // FIFO just-woken queue (fed when a policy boosts wake-ups)
-	waitQ wqueue // FIFO blocked queue, each entry keyed by object
+
+	// waitLists holds one FIFO wait list per object with blocked threads, so
+	// Signal and the per-object waiter count are O(1) and Broadcast is
+	// O(waiters on that object). Emptied lists stay in the map — objects are
+	// waited on repeatedly, and re-allocating the list every time the last
+	// waiter leaves is measurable churn on broadcast-heavy workloads — and are
+	// released by DestroyObject, so the map is bounded by live objects.
+	waitLists map[uint64]*wqueue
+	nWaiting  int    // total blocked threads across all wait lists
+	waitSeq   uint64 // global FIFO park order, the heap's deadline tie-break
+
+	// timers indexes timed waiters by (deadline, seq): expiry is an O(1)
+	// peek per turn advance and the idle-time jump reads the heap top.
+	timers dheap
 
 	turn    int64 // logical time: completed scheduling turns
 	nextTID int
 	nextObj uint64
 	objName map[uint64]string
+
+	// threads maps thread ID → *Thread for O(1) replay-eligibility lookups.
+	// Entries are cleared on Exit so long-running programs do not accumulate
+	// dead threads.
+	threads []*Thread
 
 	// Virtual-time model (see core.go): vLastOp is the virtual end time of
 	// the most recent synchronization operation (guarded by the turn, i.e.
@@ -50,16 +81,27 @@ type Scheduler struct {
 	replayPos int
 
 	stats Stats
+	// ops, signals, and broadcasts are atomic (not Stats fields under mu) so
+	// the mutex-free fast paths — TraceOp with record/replay off, Signal and
+	// Broadcast on objects without waiters — can count without taking mu.
+	ops        atomic.Int64
+	signals    atomic.Int64
+	broadcasts atomic.Int64
 
 	// onDeadlock, if non-nil, is invoked instead of panicking when the
 	// scheduler detects that no thread can ever run again. Tests use it.
 	onDeadlock func(msg string)
 }
 
+// waiter is one blocked thread's membership in a per-object wait list. It is
+// embedded in Thread (wnode) so parking allocates nothing; heapIdx is the
+// node's position in the deadline heap, -1 while untimed or delisted.
 type waiter struct {
 	t          *Thread
 	obj        uint64
 	deadline   int64 // absolute turn count; 0 means no timeout
+	seq        uint64
+	heapIdx    int
 	prev, next *waiter
 }
 
@@ -76,7 +118,12 @@ func New(cfg Config) *Scheduler {
 	if cfg.Stack == nil {
 		cfg.Stack = DefaultStack(cfg.Mode, cfg.Policies)
 	}
-	return &Scheduler{cfg: cfg, stack: cfg.Stack, objName: make(map[uint64]string)}
+	return &Scheduler{
+		cfg:       cfg,
+		stack:     cfg.Stack,
+		objName:   make(map[uint64]string),
+		waitLists: make(map[uint64]*wqueue),
+	}
 }
 
 // Stack returns the policy stack the scheduler dispatches through.
@@ -118,7 +165,10 @@ func (s *Scheduler) Register(name string) *Thread {
 		grant: make(chan struct{}, 1),
 		queue: qRun,
 	}
+	t.wnode.t = t
+	t.wnode.heapIdx = -1
 	s.nextTID++
+	s.threads = append(s.threads, t)
 	s.live++
 	if s.live > s.stats.MaxLiveThreads {
 		s.stats.MaxLiveThreads = s.live
@@ -139,6 +189,23 @@ func (s *Scheduler) NewObject(name string) uint64 {
 	id := s.nextObj
 	s.objName[id] = name
 	return id
+}
+
+// DestroyObject releases the scheduler bookkeeping of a retired
+// synchronization object: its debugging name and its (empty) wait-list
+// entry, so long-running programs that create and destroy objects do not
+// accumulate map entries. Destroying an object with blocked waiters is a
+// program bug (as in pthreads); the wait list is then kept so the waiters
+// remain wakeable and diagnosable. The caller must hold the turn, which the
+// wrappers' Destroy methods guarantee.
+func (s *Scheduler) DestroyObject(t *Thread, obj uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.requireTurnLocked(t, "DestroyObject")
+	delete(s.objName, obj)
+	if q := s.waitLists[obj]; q != nil && q.len() == 0 {
+		delete(s.waitLists, obj)
+	}
 }
 
 // ObjectName returns the debugging name of an object ID.
@@ -164,34 +231,38 @@ func (s *Scheduler) Live() int {
 }
 
 // HasTurn reports whether t currently holds the turn.
-func (s *Scheduler) HasTurn(t *Thread) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.holder == t
-}
+func (s *Scheduler) HasTurn(t *Thread) bool { return s.holder.Load() == t }
 
 // GetTurn blocks until t holds the turn. If t already holds the turn the call
 // returns immediately, which is what makes turn retention by the CSWhole,
 // WakeAMAP and CreateAll wrapper policies work: a retained turn simply makes
 // the next wrapper's GetTurn a no-op.
+//
+// The already-holding check is a single atomic load with no mutex: holder can
+// only be t if t itself was granted the turn (a happens-before edge through
+// the grant channel) and only t can release it, so the observation is stable.
 func (s *Scheduler) GetTurn(t *Thread) {
-	s.mu.Lock()
-	if s.holder == t {
-		s.mu.Unlock()
+	if s.holder.Load() == t {
 		return
 	}
+	s.mu.Lock()
 	if t.exited {
 		s.mu.Unlock()
 		panic("core: GetTurn on exited thread " + t.String())
 	}
 	t.wantTurn = true
-	s.kickLocked()
-	for s.holder != t {
+	s.kickLocked(t)
+	if s.holder.Load() == t {
+		// The free turn was granted straight to the requester (the common
+		// uncontended case): no token was sent, nothing to receive.
 		s.mu.Unlock()
-		<-t.grant
-		s.mu.Lock()
+		return
 	}
 	s.mu.Unlock()
+	// Exactly one grant token is sent per handoff, and the granter sets
+	// holder = t before sending, so one receive suffices: on return t holds
+	// the turn without re-taking the scheduler mutex.
+	<-t.grant
 }
 
 // PutTurn releases the turn held by t: t moves to the tail of the run queue
@@ -204,15 +275,17 @@ func (s *Scheduler) PutTurn(t *Thread) {
 	s.removeRunnableLocked(t)
 	t.queue = qRun
 	s.runQ.pushBack(t)
-	s.holder = nil
-	s.kickLocked()
+	s.releaseTurnLocked()
 }
 
-// Wait atomically releases the turn and blocks t on the wait queue keyed by
-// obj, mirroring the wait primitive of Table 1. timeout, when positive, is a
+// Wait atomically releases the turn and blocks t on the wait list of obj,
+// mirroring the wait primitive of Table 1. timeout, when positive, is a
 // relative logical time in turns; NoTimeout (0) never expires. Wait returns
-// once t has been woken (by Signal, Broadcast, or timeout) AND has re-acquired
-// the turn, and reports how it was woken.
+// once t has been woken (by Signal, Broadcast, or timeout) AND has been
+// granted the turn, and reports how it was woken. Like GetTurn, the woken
+// thread receives the turn by direct handoff: the granter publishes all wake
+// state before sending the grant token, so no mutex round trip is needed
+// here after parking.
 func (s *Scheduler) Wait(t *Thread, obj uint64, timeout int64) WaitStatus {
 	s.mu.Lock()
 	s.requireTurnLocked(t, "Wait")
@@ -220,73 +293,96 @@ func (s *Scheduler) Wait(t *Thread, obj uint64, timeout int64) WaitStatus {
 	s.advanceTimeLocked(t)
 	s.removeRunnableLocked(t)
 	t.queue = qWait
-	var deadline int64
+	w := &t.wnode
+	w.obj = obj
+	w.deadline = 0
 	if timeout > 0 {
-		deadline = s.turn + timeout
+		w.deadline = s.turn + timeout
 	}
-	s.waitQ.pushBack(&waiter{t: t, obj: obj, deadline: deadline})
+	s.waitSeq++
+	w.seq = s.waitSeq
+	s.waitListFor(obj).pushBack(w)
+	s.nWaiting++
+	if w.deadline > 0 {
+		s.timers.push(w)
+		if s.timers.len() > s.stats.MaxTimedWaiters {
+			s.stats.MaxTimedWaiters = s.timers.len()
+		}
+	}
 	s.stats.Waits++
 	t.wantTurn = true
-	s.holder = nil
-	s.kickLocked()
-	for s.holder != t {
-		s.mu.Unlock()
-		<-t.grant
-		s.mu.Lock()
-	}
-	st := t.waitStatus
+	s.releaseTurnLocked()
 	s.mu.Unlock()
-	return st
+	<-t.grant
+	// waitStatus was written by wakeLocked before the grant was sent; the
+	// channel receive provides the happens-before edge.
+	return t.waitStatus
 }
 
-// Signal wakes the first thread waiting on obj, if any. The woken thread
-// joins the runnable queue chosen by the policy stack (the wake-up queue
-// under BoostBlocked, the tail of the run queue otherwise — the vanilla
-// Parrot behaviour). The caller keeps the turn.
-func (s *Scheduler) Signal(t *Thread, obj uint64) {
+// Signal wakes the first thread waiting on obj, if any, and returns the
+// number of threads still waiting there — an O(1) read of the per-object
+// wait list that wrappers feed to the policy stack's OnSignal hook (WakeAMAP)
+// without a second scheduler call. The woken thread joins the runnable queue
+// chosen by the policy stack (the wake-up queue under BoostBlocked, the tail
+// of the run queue otherwise — the vanilla Parrot behaviour). The caller
+// keeps the turn.
+func (s *Scheduler) Signal(t *Thread, obj uint64) int {
+	s.signals.Add(1)
+	if q := s.lookupWaitersFast(t, "Signal", obj); q == nil {
+		return 0 // no waiters: nothing to move, no mutex needed
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.requireTurnLocked(t, "Signal")
-	s.stats.Signals++
-	for w := s.waitQ.head; w != nil; w = w.next {
-		if w.obj == obj {
-			s.waitQ.remove(w)
-			s.wakeLocked(w.t, WaitSignaled, t.vtime.Load())
-			return
-		}
-	}
+	q := s.waitLists[obj]
+	remaining := q.len() - 1
+	w := q.head
+	s.detachLocked(w)
+	s.wakeLocked(w.t, WaitSignaled, t.vtime.Load())
+	return remaining
 }
 
-// Broadcast wakes all threads waiting on obj in wait-queue (FIFO) order.
+// Broadcast wakes all threads waiting on obj in wait-list (FIFO) order.
 // The caller keeps the turn.
 func (s *Scheduler) Broadcast(t *Thread, obj uint64) {
+	s.broadcasts.Add(1)
+	if q := s.lookupWaitersFast(t, "Broadcast", obj); q == nil {
+		return // no waiters: nothing to move, no mutex needed
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.requireTurnLocked(t, "Broadcast")
-	s.stats.Broadcasts++
-	for w := s.waitQ.head; w != nil; {
-		next := w.next
-		if w.obj == obj {
-			s.waitQ.remove(w)
-			s.wakeLocked(w.t, WaitSignaled, t.vtime.Load())
-		}
-		w = next
+	q := s.waitLists[obj]
+	for w := q.head; w != nil; w = q.head {
+		s.detachLocked(w)
+		s.wakeLocked(w.t, WaitSignaled, t.vtime.Load())
 	}
 }
 
-// Waiters returns the number of threads currently blocked on obj. The caller
-// must hold the turn; wrappers use this for diagnostics and tests.
+// Waiters returns the number of threads currently blocked on obj, an O(1)
+// per-object count. The caller must hold the turn; wrappers use this for
+// diagnostics and tests.
 func (s *Scheduler) Waiters(t *Thread, obj uint64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.requireTurnLocked(t, "Waiters")
-	n := 0
-	for w := s.waitQ.head; w != nil; w = w.next {
-		if w.obj == obj {
-			n++
-		}
+	if q := s.lookupWaitersFast(t, "Waiters", obj); q != nil {
+		return q.len()
 	}
-	return n
+	return 0
+}
+
+// lookupWaitersFast asserts the caller holds the turn and returns obj's wait
+// list, or nil if it has no waiters — all without the scheduler mutex. This
+// is safe because waitLists (and each list's contents) is only ever mutated
+// by the turn holder or, via kickLocked's idle expiry, while the turn is
+// free: while t holds the turn the structure cannot change under it, and the
+// turn's handoff chain (mutex + grant channel) orders every prior mutation
+// before this read. Callers that go on to mutate the list still take mu for
+// the run-queue surgery.
+func (s *Scheduler) lookupWaitersFast(t *Thread, op string, obj uint64) *wqueue {
+	if s.holder.Load() != t {
+		panic(fmt.Sprintf("core: %s by %v which does not hold the turn (holder=%v)", op, t, s.holder.Load()))
+	}
+	if q := s.waitLists[obj]; q != nil && q.head != nil {
+		return q
+	}
+	return nil
 }
 
 // Exit removes t from the scheduler. t must hold the turn. After Exit the
@@ -302,10 +398,10 @@ func (s *Scheduler) Exit(t *Thread) {
 	s.removeRunnableLocked(t)
 	t.queue = qNone
 	t.exited = true
+	s.threads[t.id] = nil
 	s.live--
 	s.stack.OnExit(t)
-	s.holder = nil
-	s.kickLocked()
+	s.releaseTurnLocked()
 }
 
 // AddWork advances t's logical instruction clock by n. In LogicalClock mode
@@ -319,12 +415,15 @@ func (s *Scheduler) AddWork(t *Thread, n int64) {
 		// Clock changes can make a previously ineligible thread eligible.
 		s.mu.Lock()
 		t.clock.Add(n)
-		s.kickLocked()
+		s.kickLocked(nil)
 		s.mu.Unlock()
 	case VirtualParallel:
-		// Virtual-clock changes drive eligibility here.
+		// Virtual-clock changes drive eligibility here; the instruction
+		// clock is still maintained so work accounting is consistent across
+		// modes (the virtual-clock picker never reads it).
 		s.mu.Lock()
-		s.kickLocked()
+		t.clock.Add(n)
+		s.kickLocked(nil)
 		s.mu.Unlock()
 	default:
 		t.clock.Add(n)
@@ -334,9 +433,30 @@ func (s *Scheduler) AddWork(t *Thread, n int64) {
 // --- internals ---
 
 func (s *Scheduler) requireTurnLocked(t *Thread, op string) {
-	if s.holder != t {
-		panic(fmt.Sprintf("core: %s by %v which does not hold the turn (holder=%v)", op, t, s.holder))
+	if s.holder.Load() != t {
+		panic(fmt.Sprintf("core: %s by %v which does not hold the turn (holder=%v)", op, t, s.holder.Load()))
 	}
+}
+
+// waitListFor returns the wait list of obj, creating it on first use.
+func (s *Scheduler) waitListFor(obj uint64) *wqueue {
+	q := s.waitLists[obj]
+	if q == nil {
+		q = &wqueue{}
+		s.waitLists[obj] = q
+	}
+	return q
+}
+
+// detachLocked removes w from its object's wait list and, when timed, from
+// the deadline heap. The (possibly emptied) list itself stays in waitLists
+// until DestroyObject so repeated waits on the same object reuse it.
+func (s *Scheduler) detachLocked(w *waiter) {
+	s.waitLists[w.obj].remove(w)
+	if w.heapIdx >= 0 {
+		s.timers.remove(w)
+	}
+	s.nWaiting--
 }
 
 // advanceTimeLocked completes a scheduling turn: logical time advances, the
@@ -350,15 +470,19 @@ func (s *Scheduler) advanceTimeLocked(t *Thread) {
 	s.expireLocked()
 }
 
-// expireLocked wakes every timed waiter whose deadline has passed.
+// expireLocked wakes every timed waiter whose deadline has passed: heap pops
+// in (deadline, seq) order, which is FIFO registration order among waiters
+// sharing a deadline — the same order the old full-queue scan woke them in.
+// When nothing has expired (the overwhelmingly common case on a turn
+// advance) this is a single heap peek.
 func (s *Scheduler) expireLocked() {
-	for w := s.waitQ.head; w != nil; {
-		next := w.next
-		if w.deadline > 0 && w.deadline <= s.turn {
-			s.waitQ.remove(w)
-			s.wakeLocked(w.t, WaitTimeout, 0)
+	for s.timers.len() > 0 {
+		w := s.timers.top()
+		if w.deadline > s.turn {
+			return
 		}
-		w = next
+		s.detachLocked(w)
+		s.wakeLocked(w.t, WaitTimeout, 0)
 	}
 }
 
@@ -448,71 +572,125 @@ func (s *Scheduler) eligibleLocked() *Thread {
 	return nil
 }
 
-// kickLocked grants the free turn to the next eligible thread if that thread
-// is currently parked waiting for it. If no thread is runnable but timed
-// waiters exist, logical time jumps forward deterministically to the earliest
-// deadline (this is how a "logical sleep" in an otherwise idle program makes
-// progress). If nothing can ever run, the deadlock handler fires.
-func (s *Scheduler) kickLocked() {
+// kickLocked grants the free turn directly to the next eligible thread if
+// that thread is currently parked waiting for it: holder is set and the
+// grant token sent in one step, so the grantee resumes without touching the
+// scheduler mutex. self is the thread executing this call (nil when unknown):
+// when the grantee is self it is not parked — it will observe holder == self
+// synchronously after kickLocked returns — so no token is sent at all, which
+// keeps the uncontended GetTurn path free of channel operations. If no thread
+// is runnable but timed waiters exist, logical time jumps forward
+// deterministically to the earliest deadline — the heap top — (this is how a
+// "logical sleep" in an otherwise idle program makes progress). If nothing
+// can ever run, the deadlock handler fires.
+func (s *Scheduler) kickLocked(self *Thread) {
 	for {
-		if s.holder != nil {
+		if s.holder.Load() != nil {
 			return
 		}
 		if e := s.eligibleLocked(); e != nil {
 			if e.wantTurn {
 				e.wantTurn = false
-				s.holder = e
-				select {
-				case e.grant <- struct{}{}:
-				default:
+				s.holder.Store(e)
+				if e != self {
+					s.stats.Handoffs++
+					select {
+					case e.grant <- struct{}{}:
+					default:
+					}
 				}
 			}
 			return
 		}
-		if s.waitQ.len() == 0 {
+		if s.nWaiting == 0 {
 			return // no threads at all: program finished or not started
 		}
 		// No runnable thread. Advance logical time to the earliest timed
 		// deadline; if none exists the program is deadlocked.
-		min := int64(0)
-		for w := s.waitQ.head; w != nil; w = w.next {
-			if w.deadline > 0 && (min == 0 || w.deadline < min) {
-				min = w.deadline
-			}
+		if s.timers.len() == 0 {
+			s.deadlockLocked()
+			return
 		}
-		if min == 0 {
-			msg := "core: deterministic deadlock: all threads blocked without timeout\n" + s.dumpLocked()
-			if s.onDeadlock != nil {
-				fn := s.onDeadlock
-				s.mu.Unlock()
-				fn(msg)
-				s.mu.Lock()
-				return
-			}
-			panic(msg)
-		}
-		s.turn = min
+		s.turn = s.timers.top().deadline
 		s.expireLocked()
 	}
 }
 
-// dumpLocked renders the scheduler state for deadlock diagnostics.
+// releaseTurnLocked passes the turn from its current holder to the next
+// eligible thread with a single atomic store: holder goes straight from the
+// releasing thread to its successor (or to nil when nobody is asking for the
+// turn), with no intermediate nil store. Every atomic pointer store is a full
+// fence plus a GC write barrier, so the release hot path — PutTurn, Wait,
+// Exit — should pay for exactly one. Leaving holder pointing at the releaser
+// until the successor is known is safe: mutex-free readers only act on
+// holder == self, and the releasing thread — the only one that could match —
+// is busy executing this call.
+func (s *Scheduler) releaseTurnLocked() {
+	for {
+		if e := s.eligibleLocked(); e != nil {
+			if e.wantTurn {
+				e.wantTurn = false
+				s.holder.Store(e)
+				s.stats.Handoffs++
+				select {
+				case e.grant <- struct{}{}:
+				default:
+				}
+			} else {
+				s.holder.Store(nil)
+			}
+			return
+		}
+		if s.nWaiting == 0 {
+			s.holder.Store(nil)
+			return
+		}
+		if s.timers.len() == 0 {
+			s.holder.Store(nil)
+			s.deadlockLocked()
+			return
+		}
+		s.turn = s.timers.top().deadline
+		s.expireLocked()
+	}
+}
+
+// deadlockLocked reports a deterministic deadlock: every live thread is
+// blocked and no timed waiter can ever unblock one. The registered handler,
+// if any, runs outside the scheduler mutex.
+func (s *Scheduler) deadlockLocked() {
+	msg := "core: deterministic deadlock: all threads blocked without timeout\n" + s.dumpLocked()
+	if s.onDeadlock != nil {
+		fn := s.onDeadlock
+		s.mu.Unlock()
+		fn(msg)
+		s.mu.Lock()
+		return
+	}
+	panic(msg)
+}
+
+// dumpLocked renders the scheduler state for deadlock diagnostics, listing
+// each object's wait list straight from the per-object structures.
 func (s *Scheduler) dumpLocked() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "  turn=%d holder=%v stack=%v\n", s.turn, s.holder, s.stack)
+	fmt.Fprintf(&b, "  turn=%d holder=%v stack=%v\n", s.turn, s.holder.Load(), s.stack)
 	fmt.Fprintf(&b, "  runQ: %s\n", threadNames(&s.runQ))
 	fmt.Fprintf(&b, "  wakeQ: %s\n", threadNames(&s.wakeQ))
-	objs := make(map[uint64][]string)
-	var keys []uint64
-	for w := s.waitQ.head; w != nil; w = w.next {
-		if _, ok := objs[w.obj]; !ok {
-			keys = append(keys, w.obj)
-		}
-		objs[w.obj] = append(objs[w.obj], w.t.String())
+	keys := make([]uint64, 0, len(s.waitLists))
+	for k := range s.waitLists {
+		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
 	for _, k := range keys {
-		fmt.Fprintf(&b, "  waitQ[%s#%d]: %s\n", s.objName[k], k, strings.Join(objs[k], " "))
+		if s.waitLists[k].head == nil {
+			continue // retained-but-empty list: no blocked threads to report
+		}
+		var names []string
+		for w := s.waitLists[k].head; w != nil; w = w.next {
+			names = append(names, w.t.String())
+		}
+		fmt.Fprintf(&b, "  waitQ[%s#%d]: %s\n", s.objName[k], k, strings.Join(names, " "))
 	}
 	return b.String()
 }

@@ -23,8 +23,15 @@ type Stats struct {
 	// split by cause.
 	WokenBySignal  int64
 	WokenByTimeout int64
+	// Handoffs counts turn grants delivered by direct handoff: the scheduler
+	// set the holder and released the parked grantee in one step, without
+	// the grantee re-taking the scheduler mutex.
+	Handoffs int64
 	// MaxLiveThreads is the high-water mark of registered live threads.
 	MaxLiveThreads int
+	// MaxTimedWaiters is the high-water mark of the deadline heap: the most
+	// threads simultaneously blocked with a logical timeout.
+	MaxTimedWaiters int
 	// PolicyMetrics is the per-policy decision counter snapshot of the
 	// scheduler's policy stack, in stack order (semantic layers first, base
 	// policy last). It attributes scheduling decisions — turn grants,
@@ -45,6 +52,9 @@ func (s *Scheduler) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := s.stats
+	st.Ops = s.ops.Load()
+	st.Signals = s.signals.Load()
+	st.Broadcasts = s.broadcasts.Load()
 	st.Turns = s.turn
 	st.PolicyMetrics = s.stack.Metrics()
 	return st

@@ -53,6 +53,12 @@ type Thread struct {
 	queue        queueKind
 	qprev, qnext *Thread
 
+	// wnode is the thread's wait-list node. A thread blocks on at most one
+	// object at a time, so embedding the node makes parking allocation-free;
+	// it is linked into the per-object wait list (and, when timed, the
+	// deadline heap) exactly while queue == qWait.
+	wnode waiter
+
 	// pstate is the per-thread state block of the scheduler's policy stack:
 	// one word per policy, assigned at registration.
 	pstate policy.PerThread

@@ -149,32 +149,31 @@ func (e Event) String() string {
 }
 
 // TraceOp appends an event to the schedule trace. The caller must hold the
-// turn so events form a total order. When tracing is disabled this is a
-// cheap no-op apart from the turn assertion.
+// turn so events form a total order.
+//
+// When neither recording nor replaying (the common production configuration)
+// TraceOp skips the scheduler mutex entirely: every field it touches is
+// either atomic (the op counter, t.vtime) or guarded by the turn itself
+// (vLastOp — only the holder reads and writes it, and the turn's grant
+// handoff carries the happens-before edge between successive holders).
+// Record and replay are fixed before any thread runs (SetReplay panics once
+// threads exist), so the branch below is stable for a whole execution and
+// the two paths never interleave.
 func (s *Scheduler) TraceOp(t *Thread, op OpKind, obj uint64, st EventStatus) {
+	if s.replay == nil && !s.cfg.Record {
+		if s.holder.Load() != t {
+			panic(fmt.Sprintf("core: TraceOp by %v which does not hold the turn (holder=%v)", t, s.holder.Load()))
+		}
+		s.ops.Add(1)
+		s.traceVTime(t)
+		return
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.requireTurnLocked(t, "TraceOp")
 	s.verifyReplayLocked(t, op, obj, st)
-	s.stats.Ops++
-	// Virtual-time accounting. Under the turn mechanism (RoundRobin,
-	// LogicalClock) synchronization operations serialize: this operation
-	// starts when both the previous operation in the total order has ended
-	// and this thread has reached it. Under VirtualParallel — the ideal
-	// parallel baseline — operations cost only their own time; ordering
-	// constraints flow exclusively through wake-up edges and the
-	// min-virtual-clock simulation order.
-	if s.cfg.Mode == VirtualParallel {
-		t.vtime.Add(s.cfg.VSyncCost)
-	} else {
-		start := t.vtime.Load()
-		if s.vLastOp > start {
-			start = s.vLastOp
-		}
-		end := start + s.cfg.VSyncCost
-		t.vtime.Store(end)
-		s.vLastOp = end
-	}
+	s.ops.Add(1)
+	s.traceVTime(t)
 	if !s.cfg.Record {
 		return
 	}
@@ -185,6 +184,27 @@ func (s *Scheduler) TraceOp(t *Thread, op OpKind, obj uint64, st EventStatus) {
 		Obj:    obj,
 		Status: st,
 	})
+}
+
+// traceVTime applies a synchronization operation's virtual-time accounting.
+// Under the turn mechanism (RoundRobin, LogicalClock) synchronization
+// operations serialize: this operation starts when both the previous
+// operation in the total order has ended and this thread has reached it.
+// Under VirtualParallel — the ideal parallel baseline — operations cost only
+// their own time; ordering constraints flow exclusively through wake-up edges
+// and the min-virtual-clock simulation order. Caller holds the turn.
+func (s *Scheduler) traceVTime(t *Thread) {
+	if s.cfg.Mode == VirtualParallel {
+		t.vtime.Add(s.cfg.VSyncCost)
+		return
+	}
+	start := t.vtime.Load()
+	if s.vLastOp > start {
+		start = s.vLastOp
+	}
+	end := start + s.cfg.VSyncCost
+	t.vtime.Store(end)
+	s.vLastOp = end
 }
 
 // Trace returns a copy of the recorded schedule.

@@ -150,7 +150,9 @@ func (m *Mutex) Unlock(t *Thread) {
 }
 
 // Destroy retires the mutex. Like pthread_mutex_destroy it is an ordered
-// operation; the object must not be used afterwards.
+// operation; the object must not be used afterwards. The scheduler releases
+// the object's bookkeeping (name, empty wait-list entry) so long-running
+// programs that churn mutexes do not leak map entries.
 func (m *Mutex) Destroy(t *Thread) {
 	if m.bypass() {
 		return
@@ -158,5 +160,6 @@ func (m *Mutex) Destroy(t *Thread) {
 	s := m.rt.sched
 	s.GetTurn(t.ct)
 	s.TraceOp(t.ct, core.OpMutexDestroy, m.obj, core.StatusOK)
+	s.DestroyObject(t.ct, m.obj)
 	t.release()
 }

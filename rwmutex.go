@@ -179,7 +179,7 @@ func (rw *RWMutex) unlock(t *Thread, write bool) {
 	t.release()
 }
 
-// Destroy retires the lock.
+// Destroy retires the lock and releases its scheduler bookkeeping.
 func (rw *RWMutex) Destroy(t *Thread) {
 	if !rw.rt.det() {
 		return
@@ -187,5 +187,6 @@ func (rw *RWMutex) Destroy(t *Thread) {
 	s := rw.rt.sched
 	s.GetTurn(t.ct)
 	s.TraceOp(t.ct, core.OpRWDestroy, rw.obj, core.StatusOK)
+	s.DestroyObject(t.ct, rw.obj)
 	t.release()
 }

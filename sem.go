@@ -140,12 +140,13 @@ func (sem *Sem) Post(t *Thread) {
 	s := sem.rt.sched
 	s.GetTurn(t.ct)
 	sem.val++
-	s.Signal(t.ct, sem.obj)
+	left := s.Signal(t.ct, sem.obj)
 	s.TraceOp(t.ct, core.OpSemPost, sem.obj, core.StatusOK)
 	if sem.rt.stack.NeedWaiters() {
 		// Sticky retention (WakeAMAP) across the posting loop; see
-		// Cond.Signal.
-		sem.rt.stack.OnSignal(t.ct, s.Waiters(t.ct, sem.obj))
+		// Cond.Signal. The remaining waiter count comes straight from the
+		// Signal call.
+		sem.rt.stack.OnSignal(t.ct, left)
 	}
 	t.release()
 }
@@ -165,7 +166,8 @@ func (sem *Sem) Value(t *Thread) int64 {
 	return v
 }
 
-// Destroy retires the semaphore.
+// Destroy retires the semaphore and releases its scheduler bookkeeping
+// (object name, empty wait-list entry).
 func (sem *Sem) Destroy(t *Thread) {
 	if !sem.rt.det() {
 		return
@@ -173,5 +175,6 @@ func (sem *Sem) Destroy(t *Thread) {
 	s := sem.rt.sched
 	s.GetTurn(t.ct)
 	s.TraceOp(t.ct, core.OpSemDestroy, sem.obj, core.StatusOK)
+	s.DestroyObject(t.ct, sem.obj)
 	t.release()
 }
