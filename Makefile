@@ -6,6 +6,16 @@ GO ?= go
 .PHONY: check
 check: build vet race
 
+# What .github/workflows/ci.yml runs: the full gate plus the performance
+# gate, which re-runs the BENCH_sched.json benchmarks at a short benchtime
+# and fails on any >25% ns/op regression against the committed baseline.
+.PHONY: ci
+ci: check bench-compare
+
+.PHONY: bench-compare
+bench-compare:
+	$(GO) run ./cmd/qibenchjson -compare BENCH_sched.json -short
+
 .PHONY: build
 build:
 	$(GO) build ./...
@@ -33,7 +43,7 @@ bench:
 # does not steal CPU from the benchmarks.
 .PHONY: bench-json
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkMechanism|BenchmarkPolicyDispatch|BenchmarkBroadcastStorm|BenchmarkTimedWaitChurn|BenchmarkTurnHandoff' \
+	$(GO) test -run '^$$' -bench 'BenchmarkMechanism|BenchmarkPolicyDispatch|BenchmarkBroadcastStorm|BenchmarkTimedWaitChurn|BenchmarkTurnHandoff|BenchmarkDomains' \
 		-benchmem -benchtime 300ms -count 3 . > .bench_sched.out
 	$(GO) run ./cmd/qibenchjson < .bench_sched.out > BENCH_sched.json
 	@rm -f .bench_sched.out

@@ -11,6 +11,7 @@ import (
 // serial thread, mirroring PTHREAD_BARRIER_SERIAL_THREAD.
 type Barrier struct {
 	rt   *Runtime
+	dom  *Domain
 	obj  uint64
 	name string
 	n    int
@@ -35,9 +36,9 @@ func (rt *Runtime) NewBarrier(t *Thread, name string, n int) *Barrier {
 	if n <= 0 {
 		panic("qithread: barrier count must be positive")
 	}
-	b := &Barrier{rt: rt, name: name, n: n}
+	b := &Barrier{rt: rt, dom: t.dom, name: name, n: n}
 	if rt.det() {
-		s := rt.sched
+		s := t.dom.sched
 		s.GetTurn(t.ct)
 		b.obj = s.NewObject("barrier:" + name)
 		s.TraceOp(t.ct, core.OpBarrierInit, b.obj, core.StatusOK)
@@ -81,7 +82,7 @@ func (b *Barrier) Wait(t *Thread) bool {
 		t.vAdd(t.vCost())
 		return false
 	}
-	s := b.rt.sched
+	s := b.dom.enter(t, "barrier", b.name)
 	s.GetTurn(t.ct)
 	b.arrived++
 	if b.arrived == b.n {
@@ -103,7 +104,7 @@ func (b *Barrier) Destroy(t *Thread) {
 	if !b.rt.det() {
 		return
 	}
-	s := b.rt.sched
+	s := b.dom.enter(t, "barrier", b.name)
 	s.GetTurn(t.ct)
 	s.TraceOp(t.ct, core.OpBarrierDestroy, b.obj, core.StatusOK)
 	s.DestroyObject(t.ct, b.obj)

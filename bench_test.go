@@ -24,6 +24,8 @@
 //     the timed-waiter structure.
 //   - BenchmarkTurnHandoff        — turn ping-pong across 4–64 threads; one
 //     Yield is exactly one turn handoff.
+//   - BenchmarkDomains            — the sharded server at 1–8 scheduler
+//     domains; wall time per full execution, vunits = virtual makespan.
 //
 // Run with: go test -bench=. -benchmem
 package qithread_test
@@ -301,6 +303,32 @@ func BenchmarkTurnHandoff(b *testing.B) {
 				close(done)
 			})
 			<-done
+		})
+	}
+}
+
+// BenchmarkDomains measures the sharded request server (the scheduler-domain
+// scaling experiment, `qibench -experiment domains`) at 1, 2, 4 and 8
+// domains under the full QiThread configuration. Each iteration is one
+// complete execution; wall time shows the host-side cost of running several
+// turn mechanisms concurrently, and the vunits metric is the virtual
+// makespan, which should shrink monotonically with the domain count.
+func BenchmarkDomains(b *testing.B) {
+	for _, nd := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("server/domains=%d", nd), func(b *testing.B) {
+			app := workload.DomainServer(workload.DomainServerConfig{
+				Domains: nd, Workers: 3, Requests: 48,
+				AcceptWork: 60, ParseWork: 420, StateWork: 90,
+			}, benchParams)
+			mode := harness.QiThread()
+			var makespan int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt := qithread.New(mode.Cfg)
+				app(rt)
+				makespan = rt.VirtualMakespan()
+			}
+			b.ReportMetric(float64(makespan), "vunits")
 		})
 	}
 }

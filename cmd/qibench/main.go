@@ -12,6 +12,7 @@
 //	qibench -experiment stability
 //	qibench -experiment x264
 //	qibench -experiment counters [-o counters.csv]
+//	qibench -experiment domains [-o domains.csv]
 //	qibench -experiment all
 //
 // All measurements are virtual makespans (critical-path model, see DESIGN.md)
@@ -34,7 +35,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "fig8", "fig8 | policies | scalability | stability | x264 | counters | all")
+		experiment = flag.String("experiment", "fig8", "fig8 | policies | scalability | stability | x264 | counters | domains | all")
 		suite      = flag.String("suite", "", "restrict to one suite (splash2x npb parsec phoenix realworld imagemagick stl)")
 		program    = flag.String("program", "", "restrict to one program (Figure 8 label)")
 		scale      = flag.Float64("scale", 0.25, "workload scale factor (1.0 = paper-sized)")
@@ -93,6 +94,8 @@ func main() {
 		runAblation(r, specs)
 	case "counters":
 		runCounters(r, specs, *out)
+	case "domains":
+		runDomains(r, *out)
 	case "all":
 		runFig8(r, specs, *out)
 		fmt.Println()
@@ -105,6 +108,8 @@ func main() {
 		runX264(r)
 		fmt.Println()
 		runAblation(r, ablationDefaults())
+		fmt.Println()
+		runDomains(r, "")
 	default:
 		fmt.Fprintf(os.Stderr, "qibench: unknown experiment %q\n", *experiment)
 		os.Exit(1)
@@ -285,6 +290,39 @@ func runCounters(r *harness.Runner, specs []programs.Spec, out string) {
 					m.Picks, m.WakeBoosts, m.TurnsRetained, m.Arms, m.DummySyncs)
 			}
 		}
+	}
+}
+
+// runDomains runs the scheduler-domain scaling experiment: the sharded
+// server and map-reduce workloads at 1, 2, 4, 8 domains under the full
+// QiThread configuration, reporting virtual makespan (deterministic) and
+// wall clock per point, with speedups normalized to the 1-domain run.
+func runDomains(r *harness.Runner, out string) {
+	counts := []int{1, 2, 4, 8}
+	fmt.Printf("=== Scheduler domains: sharded scaling (%v domains) ===\n", counts)
+	points := r.DomainScaling(counts, harness.QiThread())
+	base := make(map[string]float64)
+	for _, pt := range points {
+		if pt.Domains == 1 {
+			base[pt.Workload] = float64(pt.Makespan)
+		}
+	}
+	fmt.Printf("%-12s %8s %14s %14s %9s\n", "workload", "domains", "makespan", "wall", "speedup")
+	for _, pt := range points {
+		speedup := 0.0
+		if b := base[pt.Workload]; b > 0 && pt.Makespan > 0 {
+			speedup = b / float64(pt.Makespan)
+		}
+		fmt.Printf("%-12s %8d %14v %14v %8.2fx\n", pt.Workload, pt.Domains, pt.Makespan, pt.Wall, speedup)
+	}
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qibench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		harness.WriteDomainCSV(f, points)
 	}
 }
 

@@ -8,13 +8,26 @@
 // Usage:
 //
 //	go test -run '^$' -bench . -benchmem . | qibenchjson > BENCH_sched.json
+//
+// With -compare FILE the command instead re-runs the benchmarks named in the
+// committed baseline (via `go test -bench` on -pkg) and exits non-zero if any
+// benchmark's ns/op regressed by more than -threshold percent. This is the
+// CI performance gate: it catches large scheduler regressions while the
+// generous threshold plus -short benchtime keeps shared-runner noise from
+// flaking the build.
+//
+//	qibenchjson -compare BENCH_sched.json -short
 package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/exec"
 	"regexp"
 	"sort"
 	"strconv"
@@ -34,6 +47,33 @@ type Result struct {
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
 
 func main() {
+	compare := flag.String("compare", "", "baseline JSON to compare a fresh benchmark run against")
+	pkg := flag.String("pkg", ".", "package whose benchmarks are re-run in -compare mode")
+	short := flag.Bool("short", false, "in -compare mode, use a short benchtime (50ms, 1 rep)")
+	threshold := flag.Float64("threshold", 25, "in -compare mode, maximum tolerated ns/op regression in percent")
+	flag.Parse()
+
+	if *compare != "" {
+		os.Exit(runCompare(*compare, *pkg, *short, *threshold))
+	}
+
+	results, err := parseBench(os.Stdin)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qibenchjson:", err)
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qibenchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Println(string(enc))
+}
+
+// parseBench reads `go test -bench` output and aggregates repetitions.
+// Benchmarks may report extra metrics (e.g. vunits) after the standard pair,
+// so values are selected by unit, not position.
+func parseBench(r io.Reader) (map[string]Result, error) {
 	type acc struct {
 		nsSum  float64
 		allocs int64
@@ -41,7 +81,7 @@ func main() {
 	}
 	sums := make(map[string]*acc)
 
-	sc := bufio.NewScanner(os.Stdin)
+	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	for sc.Scan() {
 		line := sc.Text()
@@ -58,8 +98,6 @@ func main() {
 			a = &acc{}
 			sums[name] = a
 		}
-		// After the iteration count come (value, unit) pairs; benchmarks may
-		// report extra metrics (e.g. vunits), so select by unit.
 		ok := false
 		for i := 2; i+1 < len(fields); i += 2 {
 			v, err := strconv.ParseFloat(fields[i], 64)
@@ -79,34 +117,111 @@ func main() {
 		}
 	}
 	if err := sc.Err(); err != nil {
-		fmt.Fprintln(os.Stderr, "qibenchjson:", err)
-		os.Exit(1)
+		return nil, err
 	}
 	if len(sums) == 0 {
-		fmt.Fprintln(os.Stderr, "qibenchjson: no benchmark lines on stdin")
-		os.Exit(1)
+		return nil, fmt.Errorf("no benchmark lines on stdin")
 	}
 
 	out := make(map[string]Result, len(sums))
-	names := make([]string, 0, len(sums))
 	for name, a := range sums {
 		out[name] = Result{
 			NsPerOp:     round2(a.nsSum / float64(a.reps)),
 			AllocsPerOp: a.allocs,
 			Reps:        a.reps,
 		}
-		names = append(names, name)
 	}
-	sort.Strings(names)
+	return out, nil
+}
 
-	// Emit keys in sorted order so diffs against the committed baseline are
-	// stable. json.Marshal on a map already sorts keys; indent for review.
-	enc, err := json.MarshalIndent(out, "", "  ")
+// runCompare re-runs the benchmarks named in the baseline and reports every
+// ns/op regression beyond the threshold. Returns the process exit code.
+func runCompare(baselinePath, pkg string, short bool, threshold float64) int {
+	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qibenchjson:", err)
-		os.Exit(1)
+		return 1
 	}
-	fmt.Println(string(enc))
+	baseline := make(map[string]Result)
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "qibenchjson: %s: %v\n", baselinePath, err)
+		return 1
+	}
+	if len(baseline) == 0 {
+		fmt.Fprintf(os.Stderr, "qibenchjson: %s: empty baseline\n", baselinePath)
+		return 1
+	}
+
+	// The baseline keys are full sub-benchmark paths; -bench matches on the
+	// top-level function name, so run the union of those.
+	tops := make(map[string]bool)
+	for name := range baseline {
+		tops[strings.SplitN(name, "/", 2)[0]] = true
+	}
+	names := make([]string, 0, len(tops))
+	for t := range tops {
+		names = append(names, t)
+	}
+	sort.Strings(names)
+	pattern := "^(" + strings.Join(names, "|") + ")$"
+
+	benchtime, count := "300ms", "3"
+	if short {
+		benchtime, count = "50ms", "1"
+	}
+	cmd := exec.Command("go", "test", "-run", "^$",
+		"-bench", pattern, "-benchmem", "-benchtime", benchtime, "-count", count, pkg)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "qibenchjson: re-running %s (benchtime %s, count %s)\n",
+		strings.Join(names, " "), benchtime, count)
+	if err := cmd.Run(); err != nil {
+		fmt.Fprintln(os.Stderr, "qibenchjson: benchmark run failed:", err)
+		return 1
+	}
+	fresh, err := parseBench(&out)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qibenchjson:", err)
+		return 1
+	}
+
+	keys := make([]string, 0, len(baseline))
+	for name := range baseline {
+		keys = append(keys, name)
+	}
+	sort.Strings(keys)
+	regressed := 0
+	for _, name := range keys {
+		base := baseline[name]
+		cur, ok := fresh[name]
+		if !ok {
+			// A benchmark that disappeared is a baseline-staleness error, not
+			// a perf regression; flag it so `make bench-json` gets re-run.
+			fmt.Fprintf(os.Stderr, "qibenchjson: FAIL %-55s in baseline but not produced by this run\n", name)
+			regressed++
+			continue
+		}
+		if base.NsPerOp <= 0 {
+			continue
+		}
+		delta := (cur.NsPerOp - base.NsPerOp) / base.NsPerOp * 100
+		status := "ok  "
+		if delta > threshold {
+			status = "FAIL"
+			regressed++
+		}
+		fmt.Fprintf(os.Stderr, "qibenchjson: %s %-55s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
+			status, name, base.NsPerOp, cur.NsPerOp, delta)
+	}
+	if regressed > 0 {
+		fmt.Fprintf(os.Stderr, "qibenchjson: %d benchmark(s) regressed more than %.0f%% against %s\n",
+			regressed, threshold, baselinePath)
+		return 1
+	}
+	fmt.Fprintf(os.Stderr, "qibenchjson: all %d benchmarks within %.0f%% of %s\n",
+		len(keys), threshold, baselinePath)
+	return 0
 }
 
 func round2(v float64) float64 {

@@ -16,6 +16,7 @@ import (
 // thread within the same turn that would have incremented the counter.
 type Cond struct {
 	rt   *Runtime
+	dom  *Domain
 	obj  uint64
 	name string
 
@@ -31,9 +32,9 @@ type Cond struct {
 
 // NewCond creates a condition variable.
 func (rt *Runtime) NewCond(t *Thread, name string) *Cond {
-	c := &Cond{rt: rt, name: name}
+	c := &Cond{rt: rt, dom: t.dom, name: name}
 	if rt.det() {
-		s := rt.sched
+		s := t.dom.sched
 		s.GetTurn(t.ct)
 		c.obj = s.NewObject("cond:" + name)
 		s.TraceOp(t.ct, core.OpCondInit, c.obj, core.StatusOK)
@@ -84,7 +85,7 @@ func (c *Cond) wait(t *Thread, m *Mutex, timeout int64) bool {
 		t.vAdd(t.vCost())
 		return true
 	}
-	s := c.rt.sched
+	s := c.dom.enter(t, "cond", c.name)
 	s.GetTurn(t.ct)
 	op := core.OpCondWait
 	if timeout > 0 {
@@ -97,7 +98,7 @@ func (c *Cond) wait(t *Thread, m *Mutex, timeout int64) bool {
 	m.owner = nil
 	m.real.Unlock()
 	s.Signal(t.ct, m.obj)
-	c.rt.stack.OnRelease(t.ct)
+	c.dom.stack.OnRelease(t.ct)
 	st := t.park(c.obj, timeout)
 	for !m.real.TryLock() {
 		s.TraceOp(t.ct, core.OpMutexLock, m.obj, core.StatusBlocked)
@@ -106,7 +107,7 @@ func (c *Cond) wait(t *Thread, m *Mutex, timeout int64) bool {
 	m.owner = t
 	// Re-entering the critical section re-establishes any CSWhole retention;
 	// the release below then consults the stack's retainers as usual.
-	c.rt.stack.OnAcquire(t.ct)
+	c.dom.stack.OnAcquire(t.ct)
 	s.TraceOp(t.ct, op, c.obj, core.StatusReturn)
 	t.release()
 	return st == core.WaitSignaled
@@ -128,18 +129,18 @@ func (c *Cond) Signal(t *Thread) {
 		}
 		return
 	}
-	s := c.rt.sched
+	s := c.dom.enter(t, "cond", c.name)
 	s.GetTurn(t.ct)
 	left := s.Signal(t.ct, c.obj)
 	s.TraceOp(t.ct, core.OpCondSignal, c.obj, core.StatusOK)
-	if c.rt.stack.NeedWaiters() {
+	if c.dom.stack.NeedWaiters() {
 		// Sticky retention (WakeAMAP): keep the turn — across whatever
 		// operations this thread performs next — while more threads wait
 		// here, so the whole unblocking loop runs before anyone else is
 		// scheduled and the woken threads resume aligned (Section 3.4).
 		// Signal already returned the remaining per-object waiter count, so
 		// no second scheduler call is needed.
-		c.rt.stack.OnSignal(t.ct, left)
+		c.dom.stack.OnSignal(t.ct, left)
 	}
 	t.release()
 }
@@ -157,11 +158,11 @@ func (c *Cond) Broadcast(t *Thread) {
 		}
 		return
 	}
-	s := c.rt.sched
+	s := c.dom.enter(t, "cond", c.name)
 	s.GetTurn(t.ct)
 	s.Broadcast(t.ct, c.obj)
 	s.TraceOp(t.ct, core.OpCondBroadcast, c.obj, core.StatusOK)
-	c.rt.stack.OnBroadcast(t.ct) // nobody is left waiting here
+	c.dom.stack.OnBroadcast(t.ct) // nobody is left waiting here
 	t.release()
 }
 
@@ -171,7 +172,7 @@ func (c *Cond) Destroy(t *Thread) {
 	if !c.rt.det() {
 		return
 	}
-	s := c.rt.sched
+	s := c.dom.enter(t, "cond", c.name)
 	s.GetTurn(t.ct)
 	s.TraceOp(t.ct, core.OpCondDestroy, c.obj, core.StatusOK)
 	s.DestroyObject(t.ct, c.obj)

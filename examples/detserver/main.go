@@ -1,13 +1,19 @@
-// detserver: a deterministic request-processing server built on Pipes.
+// detserver: a deterministic sharded key-value server built on scheduler
+// domains.
 //
 // Parrot wraps network operations so socket traffic joins the deterministic
 // schedule; this reproduction models connections as deterministic message
-// pipes (qithread.Pipe). The example builds a small key-value server — a
-// listener feeding a worker pool over a pipe, workers updating a store under
-// a mutex and answering over per-client response pipes — and shows that the
-// full request/response interleaving is identical on every run, while a
-// native (nondeterministic) execution of the same server is not guaranteed
-// to be.
+// pipes. This example shards the server: each shard is its own scheduler
+// domain hosting a complete engine — clients feeding a worker pool over a
+// Pipe, workers updating the shard's store partition under a mutex — so the
+// shards' synchronization runs genuinely concurrently, each under its own
+// turn. The only cross-domain traffic is each shard publishing its mutation
+// journal to the coordinator over a sequenced XPipe.
+//
+// Determinism is now compositional: instead of one global schedule hash, the
+// execution is fingerprinted by every domain's schedule hash plus the
+// canonical cross-domain delivery log, and the example shows the whole
+// fingerprint is identical on every run.
 package main
 
 import (
@@ -15,7 +21,6 @@ import (
 	"strings"
 
 	"qithread"
-	"qithread/internal/trace"
 )
 
 type request struct {
@@ -25,22 +30,26 @@ type request struct {
 	value  string
 }
 
-func server(rt *qithread.Runtime) string {
-	var journal []string // order in which the store was mutated
-	store := map[string]string{}
-	rt.Run(func(main *qithread.Thread) {
-		reqs := rt.NewPipe(main, "requests", 8)
+const shards = 2
+
+// shardEngine runs one complete key-value engine inside its own domain and
+// sends the shard's store-mutation journal to the coordinator when done.
+func shardEngine(rt *qithread.Runtime, shard int, out *qithread.XPipe) func(*qithread.Thread) {
+	return func(e *qithread.Thread) {
+		var journal []string // order in which this shard's store was mutated
+		store := map[string]string{}
+		reqs := rt.NewPipe(e, "requests", 8)
 		resp := make([]*qithread.Pipe, 3)
 		for i := range resp {
-			resp[i] = rt.NewPipe(main, fmt.Sprintf("resp%d", i), 4)
+			resp[i] = rt.NewPipe(e, fmt.Sprintf("resp%d", i), 4)
 		}
-		storeMu := rt.NewMutex(main, "store")
+		storeMu := rt.NewMutex(e, "store")
 
 		// Worker pool.
 		var workers []*qithread.Thread
 		for i := 0; i < 4; i++ {
-			main.KeepTurn()
-			workers = append(workers, main.Create(fmt.Sprintf("worker%d", i), func(w *qithread.Thread) {
+			e.KeepTurn()
+			workers = append(workers, e.Create(fmt.Sprintf("worker%d", i), func(w *qithread.Thread) {
 				for {
 					v, ok := reqs.Recv(w)
 					if !ok {
@@ -64,14 +73,15 @@ func server(rt *qithread.Runtime) string {
 			}))
 		}
 
-		// Clients, each a thread issuing a deterministic request sequence.
+		// Clients, each a thread issuing a deterministic request sequence
+		// over this shard's slice of the key space.
 		var clients []*qithread.Thread
 		for c := 0; c < 3; c++ {
 			c := c
-			main.KeepTurn()
-			clients = append(clients, main.Create(fmt.Sprintf("client%d", c), func(w *qithread.Thread) {
+			e.KeepTurn()
+			clients = append(clients, e.Create(fmt.Sprintf("client%d", c), func(w *qithread.Thread) {
 				for i := 0; i < 4; i++ {
-					key := fmt.Sprintf("k%d", (c+i)%4)
+					key := fmt.Sprintf("k%d.%d", shard, (c+i)%4)
 					reqs.Send(w, request{client: c, op: "put", key: key, value: fmt.Sprintf("c%d#%d", c, i)})
 					if v, ok := resp[c].Recv(w); !ok || v != "OK" {
 						panic("put failed")
@@ -83,30 +93,67 @@ func server(rt *qithread.Runtime) string {
 			}))
 		}
 		for _, c := range clients {
-			main.Join(c)
+			e.Join(c)
 		}
-		reqs.Close(main)
+		reqs.Close(e)
 		for _, w := range workers {
-			main.Join(w)
+			e.Join(w)
+		}
+		out.Send(e, strings.Join(journal, " "))
+	}
+}
+
+// server runs the sharded server once and returns the per-shard journals
+// (in shard order), the execution fingerprint, and the delivery log.
+func server(cfg qithread.Config) ([]string, qithread.Fingerprint, []qithread.Delivery) {
+	rt := qithread.New(cfg)
+	doms := make([]*qithread.Domain, shards)
+	pipes := make([]*qithread.XPipe, shards)
+	for k := range doms {
+		doms[k] = rt.NewDomain(fmt.Sprintf("shard%d", k))
+	}
+	for k := range pipes {
+		pipes[k] = rt.NewXPipe(fmt.Sprintf("journal%d", k), doms[k], rt.Domain(0), 1)
+	}
+	journals := make([]string, shards)
+	rt.Run(func(main *qithread.Thread) {
+		for k := range doms {
+			doms[k].Start("engine", shardEngine(rt, k, pipes[k]))
+		}
+		for k := range doms {
+			doms[k].Launch()
+		}
+		for k := range pipes {
+			v, ok := pipes[k].Recv(main)
+			if !ok {
+				panic("journal pipe closed early")
+			}
+			journals[k] = v.(string)
 		}
 	})
-	return strings.Join(journal, " ")
+	return journals, rt.Fingerprint(), rt.DeliveryLog()
 }
 
 func main() {
 	cfg := qithread.Config{Mode: qithread.RoundRobin, Policies: qithread.AllPolicies, Record: true}
 
-	rt1 := qithread.New(cfg)
-	j1 := server(rt1)
-	h1 := trace.Hash(rt1.Trace())
-	rt2 := qithread.New(cfg)
-	j2 := server(rt2)
-	h2 := trace.Hash(rt2.Trace())
+	j1, fp1, log1 := server(cfg)
+	j2, fp2, _ := server(cfg)
 
-	fmt.Println("store mutation order, run 1:", j1)
-	fmt.Println("store mutation order, run 2:", j2)
-	fmt.Printf("schedules: %#x vs %#x\n", h1, h2)
-	fmt.Printf("deterministic: %v (same mutation order, same %d-op schedule)\n",
-		j1 == j2 && h1 == h2, len(rt1.Trace()))
-	fmt.Printf("scheduler stats: %s\n", rt1.Stats())
+	for k := range j1 {
+		fmt.Printf("shard %d mutation order, run 1: %s\n", k, j1[k])
+		fmt.Printf("shard %d mutation order, run 2: %s\n", k, j2[k])
+	}
+	fmt.Println("fingerprint, run 1:", fp1)
+	fmt.Println("fingerprint, run 2:", fp2)
+	fmt.Println("cross-domain deliveries:")
+	for _, d := range log1 {
+		fmt.Println("  ", d)
+	}
+	same := fp1.Equal(fp2)
+	for k := range j1 {
+		same = same && j1[k] == j2[k]
+	}
+	fmt.Printf("deterministic: %v (%d per-domain schedules + delivery log identical)\n",
+		same, len(fp1.DomainHashes))
 }

@@ -1,0 +1,49 @@
+package qithread_test
+
+import (
+	"context"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestExamplesSmoke builds every example binary and runs it once, so the
+// example programs — the documentation users actually execute — cannot
+// silently rot as the API evolves. Each example must exit zero within its
+// timeout; output is shown only on failure. Skipped with -short (it shells
+// out to the go tool).
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs every example binary")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bin := t.TempDir()
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		name := ent.Name()
+		t.Run(name, func(t *testing.T) {
+			exe := filepath.Join(bin, name)
+			build := exec.Command("go", "build", "-o", exe, "./examples/"+name)
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+			defer cancel()
+			run := exec.CommandContext(ctx, exe)
+			out, err := run.CombinedOutput()
+			if ctx.Err() != nil {
+				t.Fatalf("example timed out\n%s", out)
+			}
+			if err != nil {
+				t.Fatalf("example exited with error: %v\n%s", err, out)
+			}
+		})
+	}
+}

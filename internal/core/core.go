@@ -119,6 +119,11 @@ type Config struct {
 	// Record enables schedule tracing. Each completed synchronization
 	// operation appends one Event to the trace.
 	Record bool
+	// DomainID identifies the scheduler domain this scheduler instance
+	// serves (see internal/domain). Recorded events carry it, so per-domain
+	// traces of a partitioned execution can be merged and attributed. The
+	// default 0 is the single-domain configuration.
+	DomainID int
 	// SyncClockTick is the amount added to a thread's logical clock per
 	// executed synchronization operation in LogicalClock mode. Zero means 1.
 	// Round-robin mode ignores clocks entirely.

@@ -48,6 +48,12 @@ const (
 	OpDummySync
 	OpSoftBarrier
 	OpSetBaseTime
+	// Cross-domain sequenced-pipe operations (internal/domain). They are
+	// appended after the single-domain ops so existing recorded schedules and
+	// golden fingerprints keep their operation numbering.
+	OpXPipeSend
+	OpXPipeRecv
+	OpXPipeClose
 )
 
 var opNames = map[OpKind]string{
@@ -91,6 +97,9 @@ var opNames = map[OpKind]string{
 	OpDummySync:      "dummy_sync",
 	OpSoftBarrier:    "soft_barrier",
 	OpSetBaseTime:    "set_base_time",
+	OpXPipeSend:      "xpipe_send",
+	OpXPipeRecv:      "xpipe_recv",
+	OpXPipeClose:     "xpipe_close",
 }
 
 // String returns the pthreads-style name of the operation.
@@ -127,18 +136,26 @@ func (st EventStatus) String() string {
 	}
 }
 
-// Event is one synchronization operation in the deterministic total order.
+// Event is one synchronization operation in the deterministic total order of
+// ONE scheduler domain. Seq orders events within the domain; events of
+// different domains are not mutually ordered (cross-domain causality is
+// captured by the sequenced-pipe delivery log, see internal/domain).
 type Event struct {
-	Seq    int64       // position in the total order
-	TID    int         // thread ID (registration order)
+	Seq    int64       // position in the domain-local total order
+	TID    int         // thread ID (registration order within the domain)
 	Op     OpKind      // operation kind
 	Obj    uint64      // synchronization object ID, 0 when not applicable
 	Status EventStatus // blocks / returns annotation
+	Domain int         // scheduler domain the event belongs to (0 = default)
 }
 
-// String renders the event like a row of Figure 1b.
+// String renders the event like a row of Figure 1b. Events of non-default
+// domains carry a d<N> marker so merged listings stay attributable.
 func (e Event) String() string {
 	s := fmt.Sprintf("%4d T%d %s", e.Seq, e.TID, e.Op)
+	if e.Domain != 0 {
+		s = fmt.Sprintf("%4d d%d.T%d %s", e.Seq, e.Domain, e.TID, e.Op)
+	}
 	if e.Obj != 0 {
 		s += fmt.Sprintf("(#%d)", e.Obj)
 	}
@@ -183,6 +200,7 @@ func (s *Scheduler) TraceOp(t *Thread, op OpKind, obj uint64, st EventStatus) {
 		Op:     op,
 		Obj:    obj,
 		Status: st,
+		Domain: s.cfg.DomainID,
 	})
 }
 

@@ -1,0 +1,247 @@
+package domain
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"qithread/internal/core"
+)
+
+// Channel is the sequenced cross-domain FIFO — the only legal way for
+// threads of different domains to communicate. A channel has a fixed sender
+// domain and a fixed receiver domain; any thread of the sender domain may
+// send and any thread of the receiver domain may receive, because each
+// domain's turn already serializes its side into a deterministic order.
+//
+// Boundary semantics: a thread performing a channel operation holds its own
+// domain's turn for the whole operation, blocking in REAL time (not logical
+// time) while the buffer is full (send) or empty-and-open (recv). Holding
+// the turn is what makes the partitioned execution deterministic: the
+// operation occupies exactly one deterministic slot in its domain's
+// schedule, so whether the peer domain is fast or slow can change wall-clock
+// time but never the schedule, the value delivered, or any stamp. The price
+// is that a blocked boundary operation stalls its whole domain — cross-domain
+// pipes are rendezvous points, not free-running queues, and programs should
+// place them off their domains' hot paths (e.g. result collection).
+//
+// Messages are stamped at send with the sender domain's schedule position
+// (send turn, boundary sequence, message sequence) and at receive with the
+// receiver's; the completed stamps form the delivery log, the canonical
+// record of all cross-domain causality.
+type Channel struct {
+	id       uint64
+	name     string
+	from, to *Domain
+	capacity int
+
+	// mu guards the buffer and log. It is a REAL mutex, deliberately outside
+	// any turn mechanism: it orders the two domains' physical accesses while
+	// each side's logical order comes from its own turn.
+	mu     sync.Mutex
+	cond   *sync.Cond
+	buf    []message
+	closed bool
+
+	sendSeq uint64
+	log     []Delivery
+}
+
+// message is one in-flight value with its sender-side stamps.
+type message struct {
+	v        any
+	seq      uint64 // 1-based message sequence within the channel
+	vtime    int64  // sender's virtual clock at the send
+	sendTurn int64  // sender domain's turn count at the send
+	sendXSeq int64  // sender domain's boundary sequence at the send
+}
+
+// Delivery is one completed cross-domain message transfer. Every field is a
+// deterministic function of program + configuration, so two runs must
+// produce identical logs; the determinism checker compares them directly.
+type Delivery struct {
+	Channel  string // channel name
+	ChanID   uint64 // channel id (creation order within the group)
+	Seq      uint64 // message sequence within the channel, 1-based
+	From, To int    // sender and receiver domain ids
+	SendTurn int64  // sender domain's logical time at the send
+	SendXSeq int64  // sender domain's boundary sequence at the send
+	RecvTurn int64  // receiver domain's logical time at the receive
+	RecvXSeq int64  // receiver domain's boundary sequence at the receive
+}
+
+func (d Delivery) String() string {
+	return fmt.Sprintf("%s#%d msg %d: d%d(turn %d, x%d) -> d%d(turn %d, x%d)",
+		d.Channel, d.ChanID, d.Seq, d.From, d.SendTurn, d.SendXSeq, d.To, d.RecvTurn, d.RecvXSeq)
+}
+
+// NewChannel creates a sequenced channel from one domain to another.
+// Channel ids are allocated in creation order; like domains, channels must
+// be created deterministically. Endpoints must differ: within one domain the
+// turn mechanism already orders everything, and a same-domain channel would
+// self-deadlock the first time an operation had to wait for the peer.
+func (g *Group) NewChannel(name string, from, to *Domain, capacity int) *Channel {
+	if from == nil || to == nil {
+		panic("domain: channel endpoints must be non-nil")
+	}
+	if from == to {
+		panic(fmt.Sprintf("domain: channel %q has both endpoints in %v; use an in-domain pipe instead", name, from))
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	c := &Channel{
+		id:       uint64(len(g.channels) + 1),
+		name:     name,
+		from:     from,
+		to:       to,
+		capacity: capacity,
+	}
+	c.cond = sync.NewCond(&c.mu)
+	g.channels = append(g.channels, c)
+	return c
+}
+
+// ID returns the channel's group-wide id. It doubles as the trace object id
+// of the channel's boundary operations (a numbering space separate from each
+// domain's scheduler objects).
+func (c *Channel) ID() uint64 { return c.id }
+
+// Name returns the channel's debugging name.
+func (c *Channel) Name() string { return c.name }
+
+// From returns the sender domain.
+func (c *Channel) From() *Domain { return c.from }
+
+// To returns the receiver domain.
+func (c *Channel) To() *Domain { return c.to }
+
+// requireEndpoint panics deterministically when ct is not registered with
+// the scheduler of the required endpoint domain or does not hold its turn.
+func (c *Channel) requireEndpoint(ct *core.Thread, d *Domain, op string) {
+	if ct.Scheduler() != d.sched {
+		panic(fmt.Sprintf("domain: %s on channel %q by %v, which is not in the %s-endpoint %v",
+			op, c.name, ct, opSide(op), d))
+	}
+	if !d.sched.HasTurn(ct) {
+		panic(fmt.Sprintf("domain: %s on channel %q by %v without holding the turn of %v", op, c.name, ct, d))
+	}
+}
+
+func opSide(op string) string {
+	if op == "Recv" {
+		return "receiver"
+	}
+	return "sender"
+}
+
+// Send enqueues v, blocking in real time (while holding the sender domain's
+// turn) while the channel is full. It reports false if the channel was
+// closed, in which case the message is dropped. The caller must be a
+// sender-domain thread holding that domain's turn.
+func (c *Channel) Send(ct *core.Thread, v any) bool {
+	c.requireEndpoint(ct, c.from, "Send")
+	c.from.xseq++
+	xseq := c.from.xseq
+	c.mu.Lock()
+	for len(c.buf) >= c.capacity && !c.closed {
+		c.cond.Wait()
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return false
+	}
+	c.sendSeq++
+	c.buf = append(c.buf, message{
+		v:        v,
+		seq:      c.sendSeq,
+		vtime:    ct.VTime(),
+		sendTurn: c.from.sched.TurnCount(),
+		sendXSeq: xseq,
+	})
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	return true
+}
+
+// Recv dequeues the next message, blocking in real time (while holding the
+// receiver domain's turn) while the channel is empty and open. It reports
+// false once the channel is closed and drained. The receiver's virtual clock
+// is raised to the sender's send-time clock, recording the cross-domain
+// happens-before edge in the virtual-time model. The caller must be a
+// receiver-domain thread holding that domain's turn.
+func (c *Channel) Recv(ct *core.Thread) (any, bool) {
+	c.requireEndpoint(ct, c.to, "Recv")
+	c.to.xseq++
+	xseq := c.to.xseq
+	c.mu.Lock()
+	for len(c.buf) == 0 && !c.closed {
+		c.cond.Wait()
+	}
+	if len(c.buf) == 0 {
+		c.mu.Unlock()
+		return nil, false
+	}
+	m := c.buf[0]
+	c.buf = c.buf[1:]
+	c.log = append(c.log, Delivery{
+		Channel:  c.name,
+		ChanID:   c.id,
+		Seq:      m.seq,
+		From:     c.from.id,
+		To:       c.to.id,
+		SendTurn: m.sendTurn,
+		SendXSeq: m.sendXSeq,
+		RecvTurn: c.to.sched.TurnCount(),
+		RecvXSeq: xseq,
+	})
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	ct.MeetVTime(m.vtime)
+	return m.v, true
+}
+
+// Close marks the channel closed and wakes any blocked peer. Queued messages
+// remain receivable; further sends fail. Only sender-domain threads may
+// close: the sender domain's schedule then totally orders every send against
+// the close, so whether a given send precedes the close is deterministic.
+// (A receiver-side close would race receiver time against sender time and
+// make Send's result depend on real timing; receivers signal shutdown
+// through a reverse channel instead.)
+func (c *Channel) Close(ct *core.Thread) {
+	c.requireEndpoint(ct, c.from, "Close")
+	c.from.xseq++
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
+// deliveries returns a copy of the channel's delivery log.
+func (c *Channel) deliveries() []Delivery {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]Delivery, len(c.log))
+	copy(out, c.log)
+	return out
+}
+
+// DeliveryLog returns the canonical merged cross-domain delivery log of the
+// group: all channels' completed deliveries ordered by (channel id, message
+// sequence). Two runs of the same program and configuration must produce
+// identical logs. Call it after the program has finished.
+func (g *Group) DeliveryLog() []Delivery {
+	var out []Delivery
+	for _, c := range g.Channels() {
+		out = append(out, c.deliveries()...)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ChanID != out[j].ChanID {
+			return out[i].ChanID < out[j].ChanID
+		}
+		return out[i].Seq < out[j].Seq
+	})
+	return out
+}

@@ -1,0 +1,85 @@
+package domain
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"qithread/internal/trace"
+)
+
+// Fingerprint condenses a partitioned execution for determinism checking. It
+// replaces the single global schedule hash of the one-domain design: a
+// partitioned run has no global total order to hash, but it is fully
+// characterized by each domain's schedule plus the cross-domain delivery
+// log. Two runs of the same program and configuration must produce equal
+// fingerprints.
+type Fingerprint struct {
+	// DomainHashes holds each domain's schedule hash (trace.Hash) in domain
+	// id order.
+	DomainHashes []uint64
+	// Deliveries hashes the canonical merged delivery log.
+	Deliveries uint64
+}
+
+// Equal reports whether two fingerprints describe the same execution.
+func (f Fingerprint) Equal(o Fingerprint) bool {
+	if f.Deliveries != o.Deliveries || len(f.DomainHashes) != len(o.DomainHashes) {
+		return false
+	}
+	for i, h := range f.DomainHashes {
+		if o.DomainHashes[i] != h {
+			return false
+		}
+	}
+	return true
+}
+
+func (f Fingerprint) String() string {
+	var b strings.Builder
+	for i, h := range f.DomainHashes {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "d%d:%016x", i, h)
+	}
+	fmt.Fprintf(&b, " x:%016x", f.Deliveries)
+	return b.String()
+}
+
+// hashDeliveries hashes a delivery log field by field.
+func hashDeliveries(log []Delivery) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		for i := range buf {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:])
+	}
+	for _, d := range log {
+		put(d.ChanID)
+		put(d.Seq)
+		put(uint64(d.From))
+		put(uint64(d.To))
+		put(uint64(d.SendTurn))
+		put(uint64(d.SendXSeq))
+		put(uint64(d.RecvTurn))
+		put(uint64(d.RecvXSeq))
+	}
+	return h.Sum64()
+}
+
+// Fingerprint computes the execution fingerprint: per-domain schedule hashes
+// in id order plus the delivery-log hash. Domains must have Record enabled
+// for the per-domain hashes to be meaningful (a non-recording domain hashes
+// its empty trace). Call it after the program has finished.
+func (g *Group) Fingerprint() Fingerprint {
+	domains := g.Domains()
+	f := Fingerprint{DomainHashes: make([]uint64, len(domains))}
+	for i, d := range domains {
+		f.DomainHashes[i] = trace.Hash(d.sched.Trace())
+	}
+	f.Deliveries = hashDeliveries(g.DeliveryLog())
+	return f
+}

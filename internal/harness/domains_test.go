@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+
+	"qithread"
+	"qithread/internal/workload"
+)
+
+// TestDomainsDeterministic runs the sharded server and map-reduce engines
+// repeatedly at different GOMAXPROCS and asserts that every run produces the
+// identical partitioned-execution fingerprint: per-domain schedule hashes,
+// the full cross-domain delivery log, and the output checksum.
+func TestDomainsDeterministic(t *testing.T) {
+	params := workload.Params{Scale: 0.5, InputSeed: 7}
+	for _, w := range DomainWorkloads() {
+		for _, nd := range []int{2, 4} {
+			app := w.Build(nd, params)
+			var refFP qithread.Fingerprint
+			var refLog []qithread.Delivery
+			var refOut uint64
+			first := true
+			for _, procs := range []int{1, 4} {
+				prev := runtime.GOMAXPROCS(procs)
+				for run := 0; run < 3; run++ {
+					rt := qithread.New(qithread.Config{
+						Mode: qithread.RoundRobin, Policies: qithread.AllPolicies, Record: true,
+					})
+					out := app(rt)
+					fp := rt.Fingerprint()
+					log := rt.DeliveryLog()
+					if first {
+						refFP, refLog, refOut = fp, log, out
+						first = false
+						if len(refLog) != nd {
+							t.Errorf("%s domains=%d: %d deliveries, want %d (one per shard)", w.Name, nd, len(refLog), nd)
+						}
+						if len(fp.DomainHashes) != nd+1 {
+							t.Errorf("%s domains=%d: fingerprint covers %d domains, want %d", w.Name, nd, len(fp.DomainHashes), nd+1)
+						}
+						continue
+					}
+					if out != refOut {
+						t.Errorf("%s domains=%d procs=%d run=%d: output %d, want %d", w.Name, nd, procs, run, out, refOut)
+					}
+					if !fp.Equal(refFP) {
+						t.Errorf("%s domains=%d procs=%d run=%d: fingerprint %v, want %v", w.Name, nd, procs, run, fp, refFP)
+					}
+					if !reflect.DeepEqual(log, refLog) {
+						t.Errorf("%s domains=%d procs=%d run=%d: delivery log diverged:\n got %v\nwant %v", w.Name, nd, procs, run, log, refLog)
+					}
+				}
+				runtime.GOMAXPROCS(prev)
+			}
+		}
+	}
+}
+
+// TestDomainsOutputIndependent asserts the workload checksum is a pure
+// function of the input: the same answer at every domain count.
+func TestDomainsOutputIndependent(t *testing.T) {
+	params := workload.Params{Scale: 1, InputSeed: 11}
+	for _, w := range DomainWorkloads() {
+		var ref uint64
+		for i, nd := range []int{1, 2, 4, 8} {
+			rt := qithread.New(qithread.Config{Mode: qithread.RoundRobin, Policies: qithread.AllPolicies})
+			out := w.Build(nd, params)(rt)
+			if i == 0 {
+				ref = out
+			} else if out != ref {
+				t.Errorf("%s: output %d at %d domains, want %d (domain count must not change the answer)", w.Name, out, nd, ref)
+			}
+		}
+	}
+}
+
+// TestDomainsMakespanMonotonic asserts the virtual-time payoff of the
+// partition: sharding the server across more domains strictly shortens the
+// virtual makespan, because each domain serializes only its own
+// synchronization instead of the whole process sharing one turn chain.
+// Virtual makespans are deterministic, so strict comparison is safe.
+func TestDomainsMakespanMonotonic(t *testing.T) {
+	r := &Runner{Params: workload.Params{Scale: 1, InputSeed: 3}, Repeats: 1}
+	for _, w := range DomainWorkloads() {
+		var last DomainPoint
+		for i, nd := range []int{1, 2, 4} {
+			pt := r.MeasureDomains(w, nd, QiThread())
+			if i > 0 && pt.Makespan >= last.Makespan {
+				t.Errorf("%s: makespan %v at %d domains, not better than %v at %d domains",
+					w.Name, pt.Makespan, nd, last.Makespan, last.Domains)
+			}
+			last = pt
+		}
+	}
+}

@@ -9,39 +9,97 @@ import (
 	"qithread/internal/core"
 )
 
-// Schedule files are plain text, one operation per line:
+// Schedule files are plain text, one operation per line. Two versions exist:
 //
 //	qithread-schedule v1
 //	<seq> <tid> <op-number> <obj> <status>
+//
+//	qithread-schedule v2
+//	<seq> <tid> <op-number> <obj> <status> <domain>
+//
+// v2 adds the scheduler-domain id of each event, so partitioned executions
+// (internal/domain) can persist per-domain schedules and merged listings.
+// Save emits v1 whenever every event belongs to the default domain — keeping
+// single-domain files, and the golden fingerprints derived from them,
+// byte-identical to the original format — and v2 as soon as any event carries
+// a non-zero domain. Load reads both.
+//
+// Parsing is strict: each line must carry exactly the field count of the
+// file's declared version. Earlier revisions used fmt.Sscanf, which silently
+// ignored trailing fields — a v2-style file read as v1 would silently drop
+// the domain ids instead of failing loudly.
 //
 // The format is stable across runs and diff-friendly, so recorded schedules
 // can live next to bug reports and replay them later (the record/replay use
 // case of DMT systems).
 
-const scheduleHeader = "qithread-schedule v1"
+const (
+	scheduleHeaderV1 = "qithread-schedule v1"
+	scheduleHeaderV2 = "qithread-schedule v2"
+)
 
-// Save writes a schedule in the text format.
+// Save writes a schedule in the text format, choosing the lowest version that
+// can represent it: v1 when all events are in the default domain, v2
+// otherwise.
 func Save(w io.Writer, events []core.Event) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, scheduleHeader); err != nil {
-		return err
-	}
+	version := 1
 	for _, e := range events {
-		if _, err := fmt.Fprintf(bw, "%d %d %d %d %d\n", e.Seq, e.TID, uint8(e.Op), e.Obj, uint8(e.Status)); err != nil {
+		if e.Domain != 0 {
+			version = 2
+			break
+		}
+	}
+	return SaveVersion(w, events, version)
+}
+
+// SaveVersion writes a schedule in the requested format version (1 or 2).
+// Version 1 cannot represent non-default domains and returns an error when
+// asked to.
+func SaveVersion(w io.Writer, events []core.Event, version int) error {
+	bw := bufio.NewWriter(w)
+	switch version {
+	case 1:
+		if _, err := fmt.Fprintln(bw, scheduleHeaderV1); err != nil {
 			return err
 		}
+		for _, e := range events {
+			if e.Domain != 0 {
+				return fmt.Errorf("trace: event %d belongs to domain %d, which schedule format v1 cannot represent", e.Seq, e.Domain)
+			}
+			if _, err := fmt.Fprintf(bw, "%d %d %d %d %d\n", e.Seq, e.TID, uint8(e.Op), e.Obj, uint8(e.Status)); err != nil {
+				return err
+			}
+		}
+	case 2:
+		if _, err := fmt.Fprintln(bw, scheduleHeaderV2); err != nil {
+			return err
+		}
+		for _, e := range events {
+			if _, err := fmt.Fprintf(bw, "%d %d %d %d %d %d\n", e.Seq, e.TID, uint8(e.Op), e.Obj, uint8(e.Status), e.Domain); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("trace: unsupported schedule format version %d", version)
 	}
 	return bw.Flush()
 }
 
-// Load reads a schedule written by Save.
+// Load reads a schedule written by Save, accepting both v1 and v2 headers.
+// v1 events load with the default domain 0.
 func Load(r io.Reader) ([]core.Event, error) {
 	sc := bufio.NewScanner(r)
 	if !sc.Scan() {
 		return nil, fmt.Errorf("trace: empty schedule file")
 	}
-	if strings.TrimSpace(sc.Text()) != scheduleHeader {
-		return nil, fmt.Errorf("trace: bad header %q", sc.Text())
+	var fields int
+	switch strings.TrimSpace(sc.Text()) {
+	case scheduleHeaderV1:
+		fields = 5
+	case scheduleHeaderV2:
+		fields = 6
+	default:
+		return nil, fmt.Errorf("trace: bad header %q (want %q or %q)", sc.Text(), scheduleHeaderV1, scheduleHeaderV2)
 	}
 	var out []core.Event
 	line := 1
@@ -51,18 +109,27 @@ func Load(r io.Reader) ([]core.Event, error) {
 		if text == "" {
 			continue
 		}
+		if got := len(strings.Fields(text)); got != fields {
+			return nil, fmt.Errorf("trace: line %d: %d fields, want %d for this format version", line, got, fields)
+		}
 		var seq int64
-		var tid int
+		var tid, domain int
 		var op, status uint8
 		var obj uint64
-		if _, err := fmt.Sscanf(text, "%d %d %d %d %d", &seq, &tid, &op, &obj, &status); err != nil {
+		var err error
+		if fields == 5 {
+			_, err = fmt.Sscanf(text, "%d %d %d %d %d", &seq, &tid, &op, &obj, &status)
+		} else {
+			_, err = fmt.Sscanf(text, "%d %d %d %d %d %d", &seq, &tid, &op, &obj, &status, &domain)
+		}
+		if err != nil {
 			return nil, fmt.Errorf("trace: line %d: %v", line, err)
 		}
 		if int64(len(out)) != seq {
 			return nil, fmt.Errorf("trace: line %d: sequence %d out of order", line, seq)
 		}
 		out = append(out, core.Event{
-			Seq: seq, TID: tid, Op: core.OpKind(op), Obj: obj, Status: core.EventStatus(status),
+			Seq: seq, TID: tid, Op: core.OpKind(op), Obj: obj, Status: core.EventStatus(status), Domain: domain,
 		})
 	}
 	return out, sc.Err()

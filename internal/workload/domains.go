@@ -1,0 +1,204 @@
+package workload
+
+import (
+	"fmt"
+
+	"qithread"
+)
+
+// This file holds the partitioned (multi-domain) workload engines. Each
+// engine shards one of the single-domain synchronization structures across
+// scheduler domains: every shard is an independent domain running the
+// original engine over its slice of the input, and partial results flow back
+// to the coordinator (the main thread, default domain) through sequenced
+// XPipes. Per-item seeds are global — item r is seeded identically no matter
+// which shard processes it — so the output checksum is a pure function of
+// the input, independent of the domain count. That lets tests assert that
+// 1-, 2-, 4- and 8-domain runs all compute the same answer while their
+// virtual makespans shrink: under a single global turn every shard's
+// synchronization serializes through one vLastOp chain, while per-domain
+// turns serialize only within a shard.
+
+// DomainServerConfig describes a sharded request server: Domains independent
+// server engines (each the listener + worker-pool structure of ServerConfig)
+// behind a deterministic request partition, modeling a multi-process server
+// or a sharded in-memory store. Requests is the total across all shards.
+type DomainServerConfig struct {
+	Domains    int
+	Workers    int // per shard
+	Requests   int // total, split contiguously across shards
+	AcceptWork int64
+	ParseWork  int64
+	StateWork  int64
+}
+
+// DomainServer builds the sharded request-server app. Shard k is scheduler
+// domain k+1 (the default domain hosts only the coordinator); each shard
+// sends its partial checksum to the coordinator over a dedicated XPipe.
+func DomainServer(cfg DomainServerConfig, p Params) App {
+	nd := cfg.Domains
+	if nd < 1 {
+		nd = 1
+	}
+	workers := p.threads(cfg.Workers)
+	requests := p.scaleN(cfg.Requests, nd*workers)
+	acceptWork := p.scaleW(cfg.AcceptWork)
+	parseWork := p.scaleW(cfg.ParseWork)
+	stateWork := p.scaleW(cfg.StateWork)
+	return func(rt *qithread.Runtime) uint64 {
+		shards := make([]*qithread.Domain, nd)
+		results := make([]*qithread.XPipe, nd)
+		for k := 0; k < nd; k++ {
+			shards[k] = rt.NewDomain(fmt.Sprintf("shard%d", k))
+		}
+		for k := 0; k < nd; k++ {
+			results[k] = rt.NewXPipe(fmt.Sprintf("result%d", k), shards[k], rt.Domain(0), 1)
+		}
+		engine := func(k int) func(*qithread.Thread) {
+			lo := k * requests / nd
+			hi := (k + 1) * requests / nd
+			pipe := results[k]
+			return func(e *qithread.Thread) {
+				// One full server engine, domain-local: request queue under a
+				// mutex+condvar, a worker pool, shared state under a mutex.
+				parts := make([]uint64, workers)
+				var state uint64
+				m := rt.NewMutex(e, "reqs")
+				notEmpty := rt.NewCond(e, "notEmpty")
+				stateM := rt.NewMutex(e, "state")
+				var queue []int
+				done := false
+				kids := createWorkers(e, workers, "worker", func(i int, w *qithread.Thread) {
+					var acc uint64
+					for {
+						m.Lock(w)
+						for len(queue) == 0 && !done {
+							notEmpty.Wait(w, m)
+						}
+						if len(queue) == 0 && done {
+							m.Unlock(w)
+							break
+						}
+						r := queue[0]
+						queue = queue[1:]
+						m.Unlock(w)
+						acc += w.WorkSeeded(seedFor(p.InputSeed, r), itemWork(parseWork, r, p.InputSeed, p.InputSkew))
+						stateM.Lock(w)
+						state += w.WorkSeeded(seedFor(p.InputSeed, r)+2, stateWork)
+						stateM.Unlock(w)
+					}
+					parts[i] = acc
+				})
+				for r := lo; r < hi; r++ {
+					e.WorkSeeded(seedFor(p.InputSeed, r), acceptWork)
+					m.Lock(e)
+					queue = append(queue, r)
+					m.Unlock(e)
+					notEmpty.Signal(e)
+				}
+				m.Lock(e)
+				done = true
+				m.Unlock(e)
+				notEmpty.Broadcast(e)
+				joinAll(e, kids)
+				pipe.Send(e, sumAll(parts)+state)
+			}
+		}
+		var total uint64
+		rt.Run(func(main *qithread.Thread) {
+			for k := range shards {
+				shards[k].Start("engine", engine(k))
+			}
+			for k := range shards {
+				shards[k].Launch()
+			}
+			// Collect in shard order. Each pipe carries exactly one message
+			// and has capacity 1, so no shard ever blocks sending.
+			for k := range results {
+				v, ok := results[k].Recv(main)
+				if !ok {
+					panic("workload: shard result pipe drained early")
+				}
+				total += v.(uint64)
+			}
+		})
+		return total
+	}
+}
+
+// DomainMapReduceConfig describes a sharded Phoenix-style map-reduce: each
+// shard statically partitions its slice of the map and reduce tasks across a
+// created-then-joined worker round per phase (the Figure 2 structure), as if
+// each shard were an independent map-reduce process.
+type DomainMapReduceConfig struct {
+	Domains     int
+	Workers     int // per shard
+	MapTasks    int // total, split contiguously across shards
+	ReduceTasks int
+	MapWork     int64
+	ReduceWork  int64
+}
+
+// DomainMapReduce builds the sharded map-reduce app.
+func DomainMapReduce(cfg DomainMapReduceConfig, p Params) App {
+	nd := cfg.Domains
+	if nd < 1 {
+		nd = 1
+	}
+	workers := p.threads(cfg.Workers)
+	mapTasks := p.scaleN(cfg.MapTasks, nd*workers)
+	reduceTasks := p.scaleN(cfg.ReduceTasks, nd*workers)
+	mapWork := p.scaleW(cfg.MapWork)
+	reduceWork := p.scaleW(cfg.ReduceWork)
+	return func(rt *qithread.Runtime) uint64 {
+		shards := make([]*qithread.Domain, nd)
+		results := make([]*qithread.XPipe, nd)
+		for k := 0; k < nd; k++ {
+			shards[k] = rt.NewDomain(fmt.Sprintf("shard%d", k))
+		}
+		for k := 0; k < nd; k++ {
+			results[k] = rt.NewXPipe(fmt.Sprintf("result%d", k), shards[k], rt.Domain(0), 1)
+		}
+		engine := func(k int) func(*qithread.Thread) {
+			pipe := results[k]
+			return func(e *qithread.Thread) {
+				parts := make([]uint64, workers)
+				phase := func(tasks int, work int64, salt uint64) {
+					lo := k * tasks / nd
+					hi := (k + 1) * tasks / nd
+					n := hi - lo
+					kids := createWorkers(e, workers, "worker", func(i int, w *qithread.Thread) {
+						wlo := lo + i*n/workers
+						whi := lo + (i+1)*n/workers
+						acc := parts[i]
+						for t := wlo; t < whi; t++ {
+							acc += w.WorkSeeded(seedFor(p.InputSeed+salt, t), itemWork(work, t, p.InputSeed+salt, p.InputSkew))
+						}
+						parts[i] = acc
+					})
+					joinAll(e, kids)
+				}
+				phase(mapTasks, mapWork, 0x11)
+				phase(reduceTasks, reduceWork, 0x22)
+				pipe.Send(e, sumAll(parts))
+			}
+		}
+		var total uint64
+		rt.Run(func(main *qithread.Thread) {
+			for k := range shards {
+				shards[k].Start("engine", engine(k))
+			}
+			for k := range shards {
+				shards[k].Launch()
+			}
+			for k := range results {
+				v, ok := results[k].Recv(main)
+				if !ok {
+					panic("workload: shard result pipe drained early")
+				}
+				total += v.(uint64)
+			}
+		})
+		return total
+	}
+}

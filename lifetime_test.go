@@ -1,0 +1,205 @@
+package qithread
+
+import (
+	"fmt"
+	"testing"
+
+	"qithread/internal/trace"
+)
+
+// Object-lifetime edge cases: destroying objects that still have parked
+// waiters, closing a pipe under blocked readers, and registering new threads
+// after earlier ones exited. Each scenario must not only behave correctly but
+// schedule identically on every run — lifetime transitions exercise the
+// scheduler's bookkeeping teardown paths (DestroyObject, OnExit, wait-list
+// recycling), which are exactly where a stray map iteration or freed-slot
+// reuse would leak nondeterminism. Every scenario runs under both the
+// round-robin and the logical-clock turn mechanisms.
+
+// lifetimeConfigs are the two turn mechanisms with recording on.
+func lifetimeConfigs() []Config {
+	return []Config{
+		{Mode: RoundRobin, Policies: AllPolicies, Record: true},
+		{Mode: LogicalClock, Record: true},
+	}
+}
+
+// runLifetime runs body three times under cfg and asserts every run produces
+// the identical schedule hash.
+func runLifetime(t *testing.T, cfg Config, body func(rt *Runtime)) {
+	t.Helper()
+	var ref uint64
+	for run := 0; run < 3; run++ {
+		rt := New(cfg)
+		body(rt)
+		h := trace.Hash(rt.Trace())
+		if run == 0 {
+			ref = h
+		} else if h != ref {
+			t.Fatalf("run %d: schedule hash %016x, want %016x", run, h, ref)
+		}
+	}
+}
+
+// TestDestroyCondWithParkedWaiters destroys a condition variable while
+// waiters are parked on it — a program bug under pthreads, but one the
+// scheduler must survive deterministically: the non-empty wait list is
+// retained, so the waiters stay wakeable and a later broadcast drains them.
+func TestDestroyCondWithParkedWaiters(t *testing.T) {
+	for _, cfg := range lifetimeConfigs() {
+		t.Run(cfg.Mode.String(), func(t *testing.T) {
+			runLifetime(t, cfg, func(rt *Runtime) {
+				woken := 0
+				rt.Run(func(main *Thread) {
+					m := rt.NewMutex(main, "m")
+					cv := rt.NewCond(main, "cv")
+					ready := rt.NewSem(main, "ready", 0)
+					go_ := false
+					var kids []*Thread
+					for i := 0; i < 3; i++ {
+						kids = append(kids, main.Create(fmt.Sprintf("w%d", i), func(w *Thread) {
+							m.Lock(w)
+							ready.Post(w)
+							for !go_ {
+								cv.Wait(w, m)
+							}
+							woken++
+							m.Unlock(w)
+						}))
+					}
+					for i := 0; i < 3; i++ {
+						ready.Wait(main)
+					}
+					// All three are now parked inside cv.Wait (ready is posted
+					// under m, so each waiter reached Wait before main's Wait
+					// returned). Destroy the cv out from under them.
+					cv.Destroy(main)
+					m.Lock(main)
+					go_ = true
+					m.Unlock(main)
+					cv.Broadcast(main)
+					for _, k := range kids {
+						main.Join(k)
+					}
+				})
+				if woken != 3 {
+					t.Fatalf("%d waiters drained after Destroy, want 3", woken)
+				}
+			})
+		})
+	}
+}
+
+// TestDestroyMutexRecycled destroys mutexes in a churn loop and re-creates
+// fresh ones, checking object teardown does not disturb later scheduling.
+func TestDestroyMutexRecycled(t *testing.T) {
+	for _, cfg := range lifetimeConfigs() {
+		t.Run(cfg.Mode.String(), func(t *testing.T) {
+			runLifetime(t, cfg, func(rt *Runtime) {
+				total := 0
+				rt.Run(func(main *Thread) {
+					for round := 0; round < 4; round++ {
+						m := rt.NewMutex(main, fmt.Sprintf("m%d", round))
+						counter := 0
+						var kids []*Thread
+						for i := 0; i < 3; i++ {
+							kids = append(kids, main.Create("w", func(w *Thread) {
+								m.Lock(w)
+								counter++
+								m.Unlock(w)
+							}))
+						}
+						for _, k := range kids {
+							main.Join(k)
+						}
+						m.Destroy(main)
+						total += counter
+					}
+				})
+				if total != 12 {
+					t.Fatalf("counter %d, want 12", total)
+				}
+			})
+		})
+	}
+}
+
+// TestPipeCloseWithBlockedReaders parks several readers on an empty pipe and
+// closes it: every reader must return (nil, false), on an identical schedule
+// every run.
+func TestPipeCloseWithBlockedReaders(t *testing.T) {
+	for _, cfg := range lifetimeConfigs() {
+		t.Run(cfg.Mode.String(), func(t *testing.T) {
+			runLifetime(t, cfg, func(rt *Runtime) {
+				okCount, closedCount := 0, 0
+				rt.Run(func(main *Thread) {
+					p := rt.NewPipe(main, "p", 2)
+					mu := rt.NewMutex(main, "counts")
+					var kids []*Thread
+					for i := 0; i < 3; i++ {
+						kids = append(kids, main.Create(fmt.Sprintf("r%d", i), func(w *Thread) {
+							for {
+								v, ok := p.Recv(w)
+								mu.Lock(w)
+								if ok {
+									okCount += v.(int)
+								} else {
+									closedCount++
+								}
+								mu.Unlock(w)
+								if !ok {
+									return
+								}
+							}
+						}))
+					}
+					// One message so exactly one reader cycles; the rest park.
+					p.Send(main, 1)
+					main.Yield()
+					p.Close(main)
+					for _, k := range kids {
+						main.Join(k)
+					}
+				})
+				if okCount != 1 || closedCount != 3 {
+					t.Fatalf("okCount=%d closedCount=%d, want 1 and 3", okCount, closedCount)
+				}
+			})
+		})
+	}
+}
+
+// TestCreateAfterExit registers new threads after earlier generations have
+// fully exited, so thread slots go through OnExit and fresh registrations
+// interleave with retired IDs — generation k+1 must schedule identically
+// every run even though it starts from a scheduler that has seen k exits.
+func TestCreateAfterExit(t *testing.T) {
+	for _, cfg := range lifetimeConfigs() {
+		t.Run(cfg.Mode.String(), func(t *testing.T) {
+			runLifetime(t, cfg, func(rt *Runtime) {
+				var order []int
+				rt.Run(func(main *Thread) {
+					m := rt.NewMutex(main, "m")
+					for gen := 0; gen < 3; gen++ {
+						gen := gen
+						var kids []*Thread
+						for i := 0; i < 2; i++ {
+							i := i
+							kids = append(kids, main.Create(fmt.Sprintf("g%dw%d", gen, i), func(w *Thread) {
+								m.Lock(w)
+								order = append(order, gen*10+i)
+								m.Unlock(w)
+							}))
+						}
+						for _, k := range kids {
+							main.Join(k)
+						}
+					}
+				})
+				if len(order) != 6 {
+					t.Fatalf("%d sections ran, want 6", len(order))
+				}
+			})
+		})
+	}
+}

@@ -15,6 +15,7 @@ import (
 // whole critical section is scheduled as one unit (Section 3.3).
 type Mutex struct {
 	rt   *Runtime
+	dom  *Domain
 	obj  uint64
 	name string
 	pcs  bool
@@ -48,9 +49,9 @@ func (rt *Runtime) NewPCSMutex(t *Thread, name string) *Mutex {
 }
 
 func (rt *Runtime) newMutex(t *Thread, name string, pcs bool) *Mutex {
-	m := &Mutex{rt: rt, name: name, pcs: pcs}
+	m := &Mutex{rt: rt, dom: t.dom, name: name, pcs: pcs}
 	if rt.det() {
-		s := rt.sched
+		s := t.dom.sched
 		s.GetTurn(t.ct)
 		m.obj = s.NewObject("mutex:" + name)
 		s.TraceOp(t.ct, core.OpMutexInit, m.obj, core.StatusOK)
@@ -74,7 +75,7 @@ func (m *Mutex) Lock(t *Thread) {
 		t.vAdd(t.vCost())
 		return
 	}
-	s := m.rt.sched
+	s := m.dom.enter(t, "mutex", m.name)
 	s.GetTurn(t.ct)
 	blocked := false
 	for !m.real.TryLock() {
@@ -88,7 +89,7 @@ func (m *Mutex) Lock(t *Thread) {
 		st = core.StatusReturn
 	}
 	s.TraceOp(t.ct, core.OpMutexLock, m.obj, st)
-	if m.rt.stack.OnAcquire(t.ct) {
+	if m.dom.stack.OnAcquire(t.ct) {
 		// A policy (CSWhole) retains the turn at the acquisition site: the
 		// critical section runs as a whole.
 		return
@@ -108,14 +109,14 @@ func (m *Mutex) TryLock(t *Thread) bool {
 		t.vAdd(t.vCost())
 		return ok
 	}
-	s := m.rt.sched
+	s := m.dom.enter(t, "mutex", m.name)
 	s.GetTurn(t.ct)
 	ok := m.real.TryLock()
 	if ok {
 		m.owner = t
 	}
 	s.TraceOp(t.ct, core.OpMutexTryLock, m.obj, core.StatusOK)
-	if ok && m.rt.stack.OnAcquire(t.ct) {
+	if ok && m.dom.stack.OnAcquire(t.ct) {
 		return true
 	}
 	t.release()
@@ -136,7 +137,7 @@ func (m *Mutex) Unlock(t *Thread) {
 		m.real.Unlock()
 		return
 	}
-	s := m.rt.sched
+	s := m.dom.enter(t, "mutex", m.name)
 	s.GetTurn(t.ct)
 	if m.owner != t {
 		panic("qithread: Unlock of mutex " + m.name + " not held by " + t.String())
@@ -145,7 +146,7 @@ func (m *Mutex) Unlock(t *Thread) {
 	m.real.Unlock()
 	s.Signal(t.ct, m.obj)
 	s.TraceOp(t.ct, core.OpMutexUnlock, m.obj, core.StatusOK)
-	m.rt.stack.OnRelease(t.ct)
+	m.dom.stack.OnRelease(t.ct)
 	t.release()
 }
 
@@ -157,7 +158,7 @@ func (m *Mutex) Destroy(t *Thread) {
 	if m.bypass() {
 		return
 	}
-	s := m.rt.sched
+	s := m.dom.enter(t, "mutex", m.name)
 	s.GetTurn(t.ct)
 	s.TraceOp(t.ct, core.OpMutexDestroy, m.obj, core.StatusOK)
 	s.DestroyObject(t.ct, m.obj)

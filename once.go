@@ -12,6 +12,7 @@ import (
 // the turn so it may itself perform synchronization operations.
 type Once struct {
 	rt   *Runtime
+	dom  *Domain
 	obj  uint64
 	name string
 
@@ -25,9 +26,9 @@ type Once struct {
 
 // NewOnce creates a one-time initializer gate.
 func (rt *Runtime) NewOnce(t *Thread, name string) *Once {
-	o := &Once{rt: rt, name: name}
+	o := &Once{rt: rt, dom: t.dom, name: name}
 	if rt.det() {
-		s := rt.sched
+		s := t.dom.sched
 		s.GetTurn(t.ct)
 		o.obj = s.NewObject("once:" + name)
 		s.TraceOp(t.ct, core.OpOnce, o.obj, core.StatusOK)
@@ -48,7 +49,7 @@ func (o *Once) Do(t *Thread, fn func()) {
 		t.vMeet(o.vDone.Load())
 		return
 	}
-	s := o.rt.sched
+	s := o.dom.enter(t, "once", o.name)
 	s.GetTurn(t.ct)
 	for o.running {
 		s.TraceOp(t.ct, core.OpOnce, o.obj, core.StatusBlocked)

@@ -1,5 +1,13 @@
 package qithread
 
+import (
+	"fmt"
+	"sync"
+
+	"qithread/internal/core"
+	"qithread/internal/domain"
+)
+
 // Pipe is a deterministic, bounded, in-order message channel between
 // threads. It is the counterpart of Parrot's network wrappers: where Parrot
 // interposes on socket operations so inter-process byte streams are
@@ -103,4 +111,154 @@ func (p *Pipe) Close(t *Thread) {
 	p.m.Unlock(t)
 	p.notEmpty.Broadcast(t)
 	p.notFull.Broadcast(t)
+}
+
+// XPipe is the sequenced cross-domain pipe: the only legal way for threads
+// of different scheduler domains to communicate. Where a Pipe composes
+// in-domain Mutex and Cond wrappers, an XPipe is a scheduler boundary: a
+// send or receive executes under the calling thread's own domain turn and
+// HOLDS that turn while it blocks in real time for the peer domain, so the
+// operation occupies exactly one deterministic slot in its domain's schedule
+// no matter how the two domains' real speeds interleave. Each completed
+// delivery is stamped with the sender's and receiver's domain-local schedule
+// positions; the stamps form the runtime's delivery log (DeliveryLog), the
+// canonical record of cross-domain causality that, together with the
+// per-domain schedules, fingerprints a partitioned execution.
+//
+// Because a blocked boundary operation stalls its whole domain, XPipes are
+// rendezvous points, not free-running queues: place them off the hot paths
+// (work distribution, result collection). Cross-domain deadlock — two
+// domains blocked on each other's pipes — is possible exactly as in a Kahn
+// process network; it is deterministic (every run hangs identically) but not
+// detected by the per-domain deadlock checkers, which see a turn-holding
+// thread as running.
+//
+// In Nondet mode an XPipe degrades to a plain buffered channel, so
+// partitioned workloads run unchanged under the nondeterministic baseline.
+type XPipe struct {
+	rt       *Runtime
+	name     string
+	from, to *Domain
+	ch       *domain.Channel // nil in Nondet mode
+
+	// Nondet fallback state.
+	nmu      sync.Mutex
+	ncv      *sync.Cond
+	nbuf     []xmsg
+	nclosed  bool
+	capacity int
+}
+
+// xmsg is one Nondet-mode message with the sender's virtual time.
+type xmsg struct {
+	v  any
+	vt int64
+}
+
+// NewXPipe creates a sequenced pipe from one scheduler domain to another
+// (they must differ — within a domain use NewPipe, which the turn already
+// orders). Any sender-domain thread may send, any receiver-domain thread may
+// receive, and only sender-domain threads may close. XPipes must be created
+// deterministically (by setup code or the main thread): creation order
+// assigns the pipe id that orders the delivery log.
+func (rt *Runtime) NewXPipe(name string, from, to *Domain, capacity int) *XPipe {
+	if from == nil || to == nil {
+		panic("qithread: XPipe endpoints must be non-nil")
+	}
+	if from == to {
+		panic(fmt.Sprintf("qithread: XPipe %q has both endpoints in %s; use NewPipe within a domain", name, from.label()))
+	}
+	if capacity < 1 {
+		capacity = 1
+	}
+	p := &XPipe{rt: rt, name: name, from: from, to: to, capacity: capacity}
+	if rt.det() {
+		p.ch = rt.group.NewChannel(name, from.inner, to.inner, capacity)
+	} else {
+		p.ncv = sync.NewCond(&p.nmu)
+	}
+	return p
+}
+
+// From returns the sender domain.
+func (p *XPipe) From() *Domain { return p.from }
+
+// To returns the receiver domain.
+func (p *XPipe) To() *Domain { return p.to }
+
+// Send enqueues v, blocking while the pipe is full. It reports false if the
+// pipe was closed (the message is then dropped). The caller must belong to
+// the sender domain.
+func (p *XPipe) Send(t *Thread, v any) bool {
+	if !p.rt.det() {
+		t.vAdd(t.vCost())
+		p.nmu.Lock()
+		for len(p.nbuf) >= p.capacity && !p.nclosed {
+			p.ncv.Wait()
+		}
+		if p.nclosed {
+			p.nmu.Unlock()
+			return false
+		}
+		p.nbuf = append(p.nbuf, xmsg{v: v, vt: t.VNow()})
+		p.ncv.Broadcast()
+		p.nmu.Unlock()
+		return true
+	}
+	s := p.from.enter(t, "xpipe sender end", p.name)
+	s.GetTurn(t.ct)
+	ok := p.ch.Send(t.ct, v)
+	s.TraceOp(t.ct, core.OpXPipeSend, p.ch.ID(), core.StatusOK)
+	t.release()
+	return ok
+}
+
+// Recv dequeues the next message, blocking while the pipe is empty and open.
+// It reports false once the pipe is closed and drained. The receiver's
+// virtual clock is raised to the sender's send-time clock (the cross-domain
+// happens-before edge). The caller must belong to the receiver domain.
+func (p *XPipe) Recv(t *Thread) (any, bool) {
+	if !p.rt.det() {
+		p.nmu.Lock()
+		for len(p.nbuf) == 0 && !p.nclosed {
+			p.ncv.Wait()
+		}
+		if len(p.nbuf) == 0 {
+			p.nmu.Unlock()
+			return nil, false
+		}
+		m := p.nbuf[0]
+		p.nbuf = p.nbuf[1:]
+		p.ncv.Broadcast()
+		p.nmu.Unlock()
+		t.vMeet(m.vt)
+		t.vAdd(t.vCost())
+		return m.v, true
+	}
+	s := p.to.enter(t, "xpipe receiver end", p.name)
+	s.GetTurn(t.ct)
+	v, ok := p.ch.Recv(t.ct)
+	s.TraceOp(t.ct, core.OpXPipeRecv, p.ch.ID(), core.StatusOK)
+	t.release()
+	return v, ok
+}
+
+// Close marks the pipe closed and wakes blocked peers. Queued messages
+// remain receivable; further sends fail. Only sender-domain threads may
+// close — the sender domain's schedule then totally orders every send
+// against the close, keeping Send's result deterministic (receivers signal
+// shutdown through a reverse XPipe).
+func (p *XPipe) Close(t *Thread) {
+	if !p.rt.det() {
+		p.nmu.Lock()
+		p.nclosed = true
+		p.ncv.Broadcast()
+		p.nmu.Unlock()
+		return
+	}
+	s := p.from.enter(t, "xpipe sender end", p.name)
+	s.GetTurn(t.ct)
+	p.ch.Close(t.ct)
+	s.TraceOp(t.ct, core.OpXPipeClose, p.ch.ID(), core.StatusOK)
+	t.release()
 }

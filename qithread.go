@@ -39,6 +39,7 @@ import (
 	"time"
 
 	"qithread/internal/core"
+	"qithread/internal/domain"
 	"qithread/internal/policy"
 )
 
@@ -126,6 +127,13 @@ type Config struct {
 	// Figure 8).
 	PCS bool
 
+	// Domains is the number of scheduler domains to pre-create (see Domain).
+	// Zero or one means a single-domain runtime, which behaves exactly like
+	// the original global-scheduler design. Additional domains are empty
+	// until populated with Domain.Start + Domain.Launch; more can be added
+	// later with Runtime.NewDomain.
+	Domains int
+
 	// Record enables schedule tracing for determinism and stability
 	// analysis.
 	Record bool
@@ -176,3 +184,11 @@ func (c Config) withDefaults() Config {
 
 // Event re-exports the trace event type.
 type Event = core.Event
+
+// Delivery re-exports one cross-domain XPipe delivery with its sequencing
+// stamps; see Runtime.DeliveryLog.
+type Delivery = domain.Delivery
+
+// Fingerprint re-exports the partitioned-execution determinism fingerprint;
+// see Runtime.Fingerprint.
+type Fingerprint = domain.Fingerprint

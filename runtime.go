@@ -1,10 +1,12 @@
 package qithread
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
 	"qithread/internal/core"
+	"qithread/internal/domain"
 	"qithread/internal/policy"
 )
 
@@ -13,8 +15,12 @@ import (
 // A Runtime is single-use: create it, call Run, read results.
 type Runtime struct {
 	cfg   Config
-	sched *core.Scheduler // nil in Nondet mode
-	stack *policy.Stack   // the scheduler's policy stack; nil in Nondet mode
+	sched *core.Scheduler // default domain's scheduler; nil in Nondet mode
+	stack *policy.Stack   // default domain's policy stack; nil in Nondet mode
+	group *domain.Group   // partition registry; nil in Nondet mode
+
+	domMu   sync.Mutex
+	domains []*Domain // id order; domains[0] is the default domain
 
 	wg      sync.WaitGroup
 	nthread atomic.Int64 // total threads ever created (diagnostics)
@@ -52,18 +58,30 @@ func New(cfg Config) *Runtime {
 		// The policy stack makes every scheduling decision: the bitmask
 		// configuration compiles down to the canonical stack, while a custom
 		// Config.Stack is used as given (its bitmask view is kept for
-		// reporting).
-		stk := cfg.Stack
-		if stk == nil {
-			stk = core.DefaultStack(mode, pol)
-		} else {
-			pol = stk.Set()
+		// reporting). A stack instance carries per-scheduler state and
+		// counters, so each domain gets its own: the custom stack schedules
+		// the default domain and additional domains compile the equivalent
+		// canonical stack.
+		stk0 := cfg.Stack
+		if stk0 != nil {
+			pol = stk0.Set()
 		}
-		rt.stack = stk
-		rt.sched = core.New(core.Config{
-			Mode: mode, Policies: pol, Stack: stk, Record: cfg.Record,
-			VSyncCost: cost,
+		rt.group = domain.NewGroup(domain.Config{
+			NewScheduler: func(id int) (*core.Scheduler, *policy.Stack) {
+				stk := stk0
+				if id != 0 || stk == nil {
+					stk = core.DefaultStack(mode, pol)
+				}
+				sched := core.New(core.Config{
+					Mode: mode, Policies: pol, Stack: stk, Record: cfg.Record,
+					VSyncCost: cost, DomainID: id,
+				})
+				return sched, stk
+			},
 		})
+		d0 := rt.addDomain("main")
+		rt.sched = d0.sched
+		rt.stack = d0.stack
 		if cfg.Replay != nil {
 			rt.sched.SetReplay(cfg.Replay)
 		}
@@ -74,8 +92,61 @@ func New(cfg Config) *Runtime {
 		if cfg.Stack != nil {
 			panic("qithread: Config.Stack requires a deterministic Mode")
 		}
+		rt.addDomain("main")
+	}
+	for i := 1; i < cfg.Domains; i++ {
+		rt.addDomain(fmt.Sprintf("domain%d", i))
 	}
 	return rt
+}
+
+// addDomain appends the next scheduler domain (thread-safe; callers must
+// still create domains in a deterministic order, see NewDomain).
+func (rt *Runtime) addDomain(name string) *Domain {
+	rt.domMu.Lock()
+	defer rt.domMu.Unlock()
+	d := &Domain{rt: rt, id: len(rt.domains), name: name}
+	if rt.group != nil {
+		d.inner = rt.group.Add(name)
+		d.sched = d.inner.Scheduler()
+		d.stack = d.inner.Stack()
+	}
+	rt.domains = append(rt.domains, d)
+	return d
+}
+
+// NewDomain creates an additional scheduler domain (beyond Config.Domains).
+// Domain ids follow creation order, so domains must be created
+// deterministically — in practice by the setup code before Run, or by the
+// main thread. Populate the domain with Domain.Start + Domain.Launch.
+func (rt *Runtime) NewDomain(name string) *Domain {
+	return rt.addDomain(name)
+}
+
+// Domain returns the domain with the given id (0 is the default domain).
+func (rt *Runtime) Domain(id int) *Domain {
+	rt.domMu.Lock()
+	defer rt.domMu.Unlock()
+	if id < 0 || id >= len(rt.domains) {
+		panic(fmt.Sprintf("qithread: no domain %d (have %d)", id, len(rt.domains)))
+	}
+	return rt.domains[id]
+}
+
+// NumDomains returns the number of scheduler domains.
+func (rt *Runtime) NumDomains() int {
+	rt.domMu.Lock()
+	defer rt.domMu.Unlock()
+	return len(rt.domains)
+}
+
+// allDomains snapshots the domain list in id order.
+func (rt *Runtime) allDomains() []*Domain {
+	rt.domMu.Lock()
+	defer rt.domMu.Unlock()
+	out := make([]*Domain, len(rt.domains))
+	copy(out, rt.domains)
+	return out
 }
 
 // VirtualMakespan returns the critical-path estimate of the program's
@@ -84,10 +155,17 @@ func New(cfg Config) *Runtime {
 // virtual makespans so the paper's parallelism results reproduce on any
 // host, including single-core machines.
 func (rt *Runtime) VirtualMakespan() int64 {
-	if rt.sched != nil {
-		return rt.sched.VirtualMakespan()
+	if rt.sched == nil {
+		return rt.vMax.Load()
 	}
-	return rt.vMax.Load()
+	// A partitioned execution finishes when its slowest domain does.
+	var max int64
+	for _, d := range rt.allDomains() {
+		if v := d.sched.VirtualMakespan(); v > max {
+			max = v
+		}
+	}
+	return max
 }
 
 // Config returns the runtime configuration.
@@ -97,10 +175,11 @@ func (rt *Runtime) Config() Config { return rt.cfg }
 // mode). It is intended for tests and tools; programs use the wrappers.
 func (rt *Runtime) Scheduler() *core.Scheduler { return rt.sched }
 
-// Run executes main as the program's main thread and returns when the main
-// thread and every thread it transitively created have finished.
+// Run executes main as the program's main thread and returns when every
+// thread of every domain — the main thread, everything it transitively
+// created, and all launched domain roots — has finished.
 func (rt *Runtime) Run(main func(t *Thread)) {
-	t := rt.newThread("main")
+	t := rt.newThread("main", rt.Domain(0))
 	if rt.sched != nil {
 		t.ct = rt.sched.Register("main")
 	}
@@ -113,12 +192,37 @@ func (rt *Runtime) Run(main func(t *Thread)) {
 	rt.wg.Wait()
 }
 
-// Trace returns the recorded schedule (empty unless Config.Record).
+// Trace returns the default domain's recorded schedule (empty unless
+// Config.Record). For other domains use Domain.Trace; for a whole
+// partitioned execution use Fingerprint.
 func (rt *Runtime) Trace() []Event {
 	if rt.sched == nil {
 		return nil
 	}
 	return rt.sched.Trace()
+}
+
+// Fingerprint condenses the execution for determinism checking: per-domain
+// schedule hashes in id order plus a hash of the cross-domain delivery log.
+// It replaces the single global schedule hash for partitioned executions
+// (and subsumes it: with one domain it is exactly that hash plus an empty
+// log). Valid after Run returns; zero value in Nondet mode.
+func (rt *Runtime) Fingerprint() Fingerprint {
+	if rt.group == nil {
+		return Fingerprint{}
+	}
+	return rt.group.Fingerprint()
+}
+
+// DeliveryLog returns the canonical cross-domain delivery log: every XPipe
+// delivery ordered by (pipe id, message sequence), each stamped with the
+// sender's and receiver's domain-local schedule positions. Valid after Run
+// returns; nil in Nondet mode and in single-domain programs with no XPipes.
+func (rt *Runtime) DeliveryLog() []Delivery {
+	if rt.group == nil {
+		return nil
+	}
+	return rt.group.DeliveryLog()
 }
 
 // TurnCount returns the number of completed scheduling turns (0 in Nondet
@@ -143,10 +247,11 @@ func (rt *Runtime) Stats() core.Stats {
 	return rt.sched.Stats()
 }
 
-func (rt *Runtime) newThread(name string) *Thread {
+func (rt *Runtime) newThread(name string, d *Domain) *Thread {
 	id := rt.nthread.Add(1) - 1
 	return &Thread{
 		rt:         rt,
+		dom:        d,
 		name:       name,
 		id:         int(id),
 		nondetDone: make(chan struct{}),

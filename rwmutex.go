@@ -15,6 +15,7 @@ import (
 // workloads such as the Berkeley DB and OpenLDAP models.
 type RWMutex struct {
 	rt   *Runtime
+	dom  *Domain
 	obj  uint64
 	name string
 
@@ -32,9 +33,9 @@ type RWMutex struct {
 
 // NewRWMutex creates a readers-writer lock.
 func (rt *Runtime) NewRWMutex(t *Thread, name string) *RWMutex {
-	rw := &RWMutex{rt: rt, name: name}
+	rw := &RWMutex{rt: rt, dom: t.dom, name: name}
 	if rt.det() {
-		s := rt.sched
+		s := t.dom.sched
 		s.GetTurn(t.ct)
 		rw.obj = s.NewObject("rwlock:" + name)
 		s.TraceOp(t.ct, core.OpRWInit, rw.obj, core.StatusOK)
@@ -51,7 +52,7 @@ func (rw *RWMutex) RLock(t *Thread) {
 		t.vAdd(t.vCost())
 		return
 	}
-	s := rw.rt.sched
+	s := rw.dom.enter(t, "rwlock", rw.name)
 	s.GetTurn(t.ct)
 	blocked := false
 	for rw.writer || rw.waitingWri > 0 {
@@ -77,7 +78,7 @@ func (rw *RWMutex) TryRLock(t *Thread) bool {
 	if !rw.rt.det() {
 		return rw.nrw.TryRLock()
 	}
-	s := rw.rt.sched
+	s := rw.dom.enter(t, "rwlock", rw.name)
 	s.GetTurn(t.ct)
 	ok := !rw.writer && rw.waitingWri == 0
 	if ok {
@@ -97,7 +98,7 @@ func (rw *RWMutex) WLock(t *Thread) {
 		t.vAdd(t.vCost())
 		return
 	}
-	s := rw.rt.sched
+	s := rw.dom.enter(t, "rwlock", rw.name)
 	s.GetTurn(t.ct)
 	blocked := false
 	rw.waitingWri++
@@ -125,7 +126,7 @@ func (rw *RWMutex) TryWLock(t *Thread) bool {
 	if !rw.rt.det() {
 		return rw.nrw.TryLock()
 	}
-	s := rw.rt.sched
+	s := rw.dom.enter(t, "rwlock", rw.name)
 	s.GetTurn(t.ct)
 	ok := !rw.writer && rw.readers == 0
 	if ok {
@@ -159,7 +160,7 @@ func (rw *RWMutex) WUnlock(t *Thread) {
 }
 
 func (rw *RWMutex) unlock(t *Thread, write bool) {
-	s := rw.rt.sched
+	s := rw.dom.enter(t, "rwlock", rw.name)
 	s.GetTurn(t.ct)
 	if write {
 		if !rw.writer {
@@ -184,7 +185,7 @@ func (rw *RWMutex) Destroy(t *Thread) {
 	if !rw.rt.det() {
 		return
 	}
-	s := rw.rt.sched
+	s := rw.dom.enter(t, "rwlock", rw.name)
 	s.GetTurn(t.ct)
 	s.TraceOp(t.ct, core.OpRWDestroy, rw.obj, core.StatusOK)
 	s.DestroyObject(t.ct, rw.obj)

@@ -14,6 +14,7 @@ import (
 // (Figure 3, Figure 7b).
 type Sem struct {
 	rt   *Runtime
+	dom  *Domain
 	obj  uint64
 	name string
 
@@ -30,9 +31,9 @@ type Sem struct {
 
 // NewSem creates a semaphore with the given initial value.
 func (rt *Runtime) NewSem(t *Thread, name string, value int64) *Sem {
-	sem := &Sem{rt: rt, name: name, val: value}
+	sem := &Sem{rt: rt, dom: t.dom, name: name, val: value}
 	if rt.det() {
-		s := rt.sched
+		s := t.dom.sched
 		s.GetTurn(t.ct)
 		sem.obj = s.NewObject("sem:" + name)
 		s.TraceOp(t.ct, core.OpSemInit, sem.obj, core.StatusOK)
@@ -56,7 +57,7 @@ func (sem *Sem) Wait(t *Thread) {
 		t.vAdd(t.vCost())
 		return
 	}
-	s := sem.rt.sched
+	s := sem.dom.enter(t, "sem", sem.name)
 	s.GetTurn(t.ct)
 	blocked := false
 	for sem.val == 0 {
@@ -85,7 +86,7 @@ func (sem *Sem) TryWait(t *Thread) bool {
 		sem.val--
 		return true
 	}
-	s := sem.rt.sched
+	s := sem.dom.enter(t, "sem", sem.name)
 	s.GetTurn(t.ct)
 	ok := sem.val > 0
 	if ok {
@@ -105,7 +106,7 @@ func (sem *Sem) TimedWait(t *Thread, turns int64) bool {
 		sem.Wait(t)
 		return true
 	}
-	s := sem.rt.sched
+	s := sem.dom.enter(t, "sem", sem.name)
 	s.GetTurn(t.ct)
 	for sem.val == 0 {
 		s.TraceOp(t.ct, core.OpSemTimedWait, sem.obj, core.StatusBlocked)
@@ -137,16 +138,16 @@ func (sem *Sem) Post(t *Thread) {
 		sem.ncv.Signal()
 		return
 	}
-	s := sem.rt.sched
+	s := sem.dom.enter(t, "sem", sem.name)
 	s.GetTurn(t.ct)
 	sem.val++
 	left := s.Signal(t.ct, sem.obj)
 	s.TraceOp(t.ct, core.OpSemPost, sem.obj, core.StatusOK)
-	if sem.rt.stack.NeedWaiters() {
+	if sem.dom.stack.NeedWaiters() {
 		// Sticky retention (WakeAMAP) across the posting loop; see
 		// Cond.Signal. The remaining waiter count comes straight from the
 		// Signal call.
-		sem.rt.stack.OnSignal(t.ct, left)
+		sem.dom.stack.OnSignal(t.ct, left)
 	}
 	t.release()
 }
@@ -158,7 +159,7 @@ func (sem *Sem) Value(t *Thread) int64 {
 		defer sem.nmu.Unlock()
 		return sem.val
 	}
-	s := sem.rt.sched
+	s := sem.dom.enter(t, "sem", sem.name)
 	s.GetTurn(t.ct)
 	v := sem.val
 	s.TraceOp(t.ct, core.OpSemGetValue, sem.obj, core.StatusOK)
@@ -172,7 +173,7 @@ func (sem *Sem) Destroy(t *Thread) {
 	if !sem.rt.det() {
 		return
 	}
-	s := sem.rt.sched
+	s := sem.dom.enter(t, "sem", sem.name)
 	s.GetTurn(t.ct)
 	s.TraceOp(t.ct, core.OpSemDestroy, sem.obj, core.StatusOK)
 	s.DestroyObject(t.ct, sem.obj)

@@ -17,6 +17,7 @@ import (
 // make these hints unnecessary.
 type SoftBarrier struct {
 	rt   *Runtime
+	dom  *Domain
 	obj  uint64
 	name string
 	n    int
@@ -30,9 +31,9 @@ func (rt *Runtime) NewSoftBarrier(t *Thread, name string, n int) *SoftBarrier {
 	if n <= 0 {
 		panic("qithread: soft barrier count must be positive")
 	}
-	sb := &SoftBarrier{rt: rt, name: name, n: n}
+	sb := &SoftBarrier{rt: rt, dom: t.dom, name: name, n: n}
 	if rt.det() && rt.cfg.SoftBarriers {
-		s := rt.sched
+		s := t.dom.sched
 		s.GetTurn(t.ct)
 		sb.obj = s.NewObject("softbarrier:" + name)
 		s.TraceOp(t.ct, core.OpSoftBarrier, sb.obj, core.StatusOK)
@@ -50,7 +51,7 @@ func (sb *SoftBarrier) Arrive(t *Thread) {
 	if !sb.rt.det() || !sb.rt.cfg.SoftBarriers {
 		return
 	}
-	s := sb.rt.sched
+	s := sb.dom.enter(t, "soft barrier", sb.name)
 	s.GetTurn(t.ct)
 	sb.arrived++
 	if sb.arrived >= sb.n {

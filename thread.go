@@ -23,6 +23,7 @@ const workQuantum = 1024
 // policy stack's hooks.
 type Thread struct {
 	rt   *Runtime
+	dom  *Domain      // the scheduler domain the thread belongs to
 	ct   *core.Thread // nil in Nondet mode
 	name string
 	id   int
@@ -85,6 +86,10 @@ func (t *Thread) Name() string { return t.name }
 // ID returns the thread's creation index within its runtime (main is 0).
 func (t *Thread) ID() int { return t.id }
 
+// Domain returns the scheduler domain the thread belongs to: the domain of
+// its creator, or the domain it was Started in.
+func (t *Thread) Domain() *Domain { return t.dom }
+
 func (t *Thread) String() string { return fmt.Sprintf("T%d(%s)", t.id, t.name) }
 
 // Create starts a new thread running fn, mirroring pthread_create. It is a
@@ -93,7 +98,9 @@ func (t *Thread) String() string { return fmt.Sprintf("T%d(%s)", t.id, t.name) }
 // calls. When the CreateAll policy is armed via KeepTurn, the creating thread
 // keeps the turn so a creation loop completes back to back (Figure 7a).
 func (t *Thread) Create(name string, fn func(*Thread)) *Thread {
-	child := t.rt.newThread(name)
+	// The child joins the creator's scheduler domain; populating a different
+	// domain is Domain.Start's job.
+	child := t.rt.newThread(name, t.dom)
 	if !t.rt.det() {
 		t.vAdd(t.vCost())
 		child.nv.Store(t.VNow())
@@ -105,11 +112,11 @@ func (t *Thread) Create(name string, fn func(*Thread)) *Thread {
 		}()
 		return child
 	}
-	s := t.rt.sched
+	s := t.dom.sched
 	s.GetTurn(t.ct)
 	child.ct = s.Register(name)
 	child.joinObj = s.NewObject("thread:" + name)
-	t.rt.stack.OnCreate(t.ct, child.ct)
+	t.dom.stack.OnCreate(t.ct, child.ct)
 	s.TraceOp(t.ct, core.OpCreate, child.joinObj, core.StatusOK)
 	// The child's virtual clock starts at the creator's current virtual
 	// time (it cannot have computed anything earlier).
@@ -129,15 +136,23 @@ func (t *Thread) Create(name string, fn func(*Thread)) *Thread {
 	return child
 }
 
-// Join blocks until c has finished, mirroring pthread_join.
+// Join blocks until c has finished, mirroring pthread_join. Join is
+// domain-local: joining a thread of another domain panics deterministically,
+// because c's exit is ordered by c's domain schedule and observing it from
+// another domain would depend on real timing. Cross-domain completion is
+// communicated through an XPipe instead.
 func (t *Thread) Join(c *Thread) {
+	if c.dom != t.dom {
+		panic(fmt.Sprintf("qithread: %v of %s joins %v of %s; join is domain-local — collect completions through an XPipe",
+			t, t.dom.label(), c, c.dom.label()))
+	}
 	if !t.rt.det() {
 		<-c.nondetDone
 		t.vMeet(c.nv.Load())
 		t.vAdd(t.vCost())
 		return
 	}
-	s := t.rt.sched
+	s := t.dom.sched
 	s.GetTurn(t.ct)
 	blocked := false
 	for !c.done {
@@ -162,7 +177,7 @@ func (t *Thread) exit() {
 		close(t.nondetDone)
 		return
 	}
-	s := t.rt.sched
+	s := t.dom.sched
 	s.GetTurn(t.ct)
 	t.done = true
 	if t.joinObj != 0 {
@@ -179,7 +194,7 @@ func (t *Thread) exit() {
 // uninstrumented ones under other configurations (Figure 7a).
 func (t *Thread) KeepTurn() {
 	if t.rt.det() {
-		t.rt.stack.OnArm(t.ct)
+		t.dom.stack.OnArm(t.ct)
 	}
 }
 
@@ -188,13 +203,13 @@ func (t *Thread) KeepTurn() {
 // operation on a branch (Figure 7b). Without an aligning policy in the stack
 // it is a no-op, i.e. the program is considered uninstrumented.
 func (t *Thread) DummySync() {
-	if !t.rt.det() || !t.rt.stack.WantDummySync() {
+	if !t.rt.det() || !t.dom.stack.WantDummySync() {
 		return
 	}
-	s := t.rt.sched
+	s := t.dom.sched
 	s.GetTurn(t.ct)
 	s.TraceOp(t.ct, core.OpDummySync, 0, core.StatusOK)
-	t.rt.stack.OnDummySync(t.ct)
+	t.dom.stack.OnDummySync(t.ct)
 	t.release()
 }
 
@@ -205,7 +220,7 @@ func (t *Thread) Yield() {
 		runtime.Gosched()
 		return
 	}
-	s := t.rt.sched
+	s := t.dom.sched
 	s.GetTurn(t.ct)
 	s.TraceOp(t.ct, core.OpYield, 0, core.StatusOK)
 	t.release()
@@ -223,7 +238,7 @@ func (t *Thread) Sleep(turns int64) {
 		t.vAdd(turns)
 		return
 	}
-	s := t.rt.sched
+	s := t.dom.sched
 	s.GetTurn(t.ct)
 	s.TraceOp(t.ct, core.OpSleep, 0, core.StatusBlocked)
 	t.park(0, turns) // object 0 is never signaled: pure timeout
@@ -239,7 +254,7 @@ func (t *Thread) SetBaseTime() int64 {
 	if !t.rt.det() {
 		return 0
 	}
-	s := t.rt.sched
+	s := t.dom.sched
 	s.GetTurn(t.ct)
 	s.TraceOp(t.ct, core.OpSetBaseTime, 0, core.StatusOK)
 	base := s.TurnCount()
@@ -270,14 +285,14 @@ func (t *Thread) WorkSeeded(seed uint64, n int64) uint64 {
 				q = n
 			}
 			v = spin.Work(v, q)
-			t.rt.sched.AddWork(t.ct, q)
+			t.dom.sched.AddWork(t.ct, q)
 			n -= q
 		}
 		return v
 	}
 	v := spin.Work(seed, n)
 	if t.rt.det() {
-		t.rt.sched.AddWork(t.ct, n)
+		t.dom.sched.AddWork(t.ct, n)
 	} else {
 		t.nv.Add(n)
 	}
@@ -290,10 +305,10 @@ func (t *Thread) WorkSeeded(seed uint64, n int64) uint64 {
 // synchronization operation; the stack consults its retainers in stack
 // order and the first grant wins.
 func (t *Thread) release() {
-	if t.rt.stack.KeepTurn(t.ct) {
+	if t.dom.stack.KeepTurn(t.ct) {
 		return
 	}
-	t.rt.sched.PutTurn(t.ct)
+	t.dom.sched.PutTurn(t.ct)
 }
 
 // park blocks the thread on the scheduler wait queue. The scheduler's Wait
@@ -301,5 +316,5 @@ func (t *Thread) release() {
 // ("... or the unblocking thread itself gets blocked", Section 3.4), and
 // releases the turn unconditionally.
 func (t *Thread) park(obj uint64, timeout int64) core.WaitStatus {
-	return t.rt.sched.Wait(t.ct, obj, timeout)
+	return t.dom.sched.Wait(t.ct, obj, timeout)
 }
