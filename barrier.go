@@ -40,7 +40,7 @@ func (rt *Runtime) NewBarrier(t *Thread, name string, n int) *Barrier {
 	if rt.det() {
 		s := t.dom.sched
 		s.GetTurn(t.ct)
-		b.obj = s.NewObject("barrier:" + name)
+		b.obj = s.NewObjectKind("barrier:", name)
 		s.TraceOp(t.ct, core.OpBarrierInit, b.obj, core.StatusOK)
 		t.release()
 	} else {

@@ -24,6 +24,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"qithread"
@@ -45,8 +47,38 @@ func main() {
 		chart      = flag.Bool("chart", false, "render Figure 8 as ASCII bars")
 		verbose    = flag.Bool("v", false, "log every measurement")
 		list       = flag.Bool("list", false, "list catalog programs and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this path")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this path on exit")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qibench:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "qibench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		path := *memprofile
+		defer func() {
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "qibench:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "qibench:", err)
+			}
+		}()
+	}
 
 	if *list {
 		for _, s := range programs.All() {
@@ -293,10 +325,15 @@ func runCounters(r *harness.Runner, specs []programs.Spec, out string) {
 	}
 }
 
-// runDomains runs the scheduler-domain scaling experiment: the sharded
-// server and map-reduce workloads at 1, 2, 4, 8 domains under the full
-// QiThread configuration, reporting virtual makespan (deterministic) and
-// wall clock per point, with speedups normalized to the 1-domain run.
+// runDomains runs the scheduler-domain experiments: (1) the sharded server
+// and map-reduce workloads at 1, 2, 4, 8 domains under the full QiThread
+// configuration, with speedups normalized to the 1-domain run; (2) the
+// boundary batch-size sweep — the same workloads in the streaming result
+// shape (every per-item checksum shipped to the coordinator) at a fixed
+// domain count across batch sizes, where batch 1 pays one turn-holding
+// boundary slot per message and larger batches amortize the slot, lock and
+// wake-up over up to batch messages. Virtual makespans are deterministic;
+// wall clock is reported per point for reference.
 func runDomains(r *harness.Runner, out string) {
 	counts := []int{1, 2, 4, 8}
 	fmt.Printf("=== Scheduler domains: sharded scaling (%v domains) ===\n", counts)
@@ -315,6 +352,26 @@ func runDomains(r *harness.Runner, out string) {
 		}
 		fmt.Printf("%-12s %8d %14v %14v %8.2fx\n", pt.Workload, pt.Domains, pt.Makespan, pt.Wall, speedup)
 	}
+
+	const sweepDomains = 4
+	batches := []int{1, 2, 4, 8, 16}
+	fmt.Printf("\n=== Boundary batch sweep: streaming results, %d domains (batch %v) ===\n", sweepDomains, batches)
+	sweep := r.DomainBatchSweep(sweepDomains, batches, harness.QiThread())
+	sbase := make(map[string]float64)
+	for _, pt := range sweep {
+		if pt.Batch == batches[0] {
+			sbase[pt.Workload] = float64(pt.Makespan)
+		}
+	}
+	fmt.Printf("%-12s %8s %14s %14s %12s\n", "workload", "batch", "makespan", "wall", "vs batch=1")
+	for _, pt := range sweep {
+		speedup := 0.0
+		if b := sbase[pt.Workload]; b > 0 && pt.Makespan > 0 {
+			speedup = b / float64(pt.Makespan)
+		}
+		fmt.Printf("%-12s %8d %14v %14v %11.2fx\n", pt.Workload, pt.Batch, pt.Makespan, pt.Wall, speedup)
+	}
+
 	if out != "" {
 		f, err := os.Create(out)
 		if err != nil {
@@ -322,7 +379,7 @@ func runDomains(r *harness.Runner, out string) {
 			os.Exit(1)
 		}
 		defer f.Close()
-		harness.WriteDomainCSV(f, points)
+		harness.WriteDomainCSV(f, append(points, sweep...))
 	}
 }
 

@@ -51,10 +51,11 @@ func main() {
 	pkg := flag.String("pkg", ".", "package whose benchmarks are re-run in -compare mode")
 	short := flag.Bool("short", false, "in -compare mode, use a short benchtime (50ms, 1 rep)")
 	threshold := flag.Float64("threshold", 25, "in -compare mode, maximum tolerated ns/op regression in percent")
+	allocThreshold := flag.Float64("allocthreshold", 25, "in -compare mode, maximum tolerated allocs/op regression in percent")
 	flag.Parse()
 
 	if *compare != "" {
-		os.Exit(runCompare(*compare, *pkg, *short, *threshold))
+		os.Exit(runCompare(*compare, *pkg, *short, *threshold, *allocThreshold))
 	}
 
 	results, err := parseBench(os.Stdin)
@@ -135,8 +136,11 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 }
 
 // runCompare re-runs the benchmarks named in the baseline and reports every
-// ns/op regression beyond the threshold. Returns the process exit code.
-func runCompare(baselinePath, pkg string, short bool, threshold float64) int {
+// ns/op regression beyond threshold and every allocs/op regression beyond
+// allocThreshold. Allocation counts are near-deterministic, so the alloc
+// gate catches garbage-producing changes that wall-clock noise on shared
+// runners would hide. Returns the process exit code.
+func runCompare(baselinePath, pkg string, short bool, threshold, allocThreshold float64) int {
 	raw, err := os.ReadFile(baselinePath)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qibenchjson:", err)
@@ -213,14 +217,24 @@ func runCompare(baselinePath, pkg string, short bool, threshold float64) int {
 		}
 		fmt.Fprintf(os.Stderr, "qibenchjson: %s %-55s %12.0f -> %12.0f ns/op  (%+.1f%%)\n",
 			status, name, base.NsPerOp, cur.NsPerOp, delta)
+		if base.AllocsPerOp > 0 {
+			adelta := float64(cur.AllocsPerOp-base.AllocsPerOp) / float64(base.AllocsPerOp) * 100
+			astatus := "ok  "
+			if adelta > allocThreshold {
+				astatus = "FAIL"
+				regressed++
+			}
+			fmt.Fprintf(os.Stderr, "qibenchjson: %s %-55s %12d -> %12d allocs/op  (%+.1f%%)\n",
+				astatus, name, base.AllocsPerOp, cur.AllocsPerOp, adelta)
+		}
 	}
 	if regressed > 0 {
-		fmt.Fprintf(os.Stderr, "qibenchjson: %d benchmark(s) regressed more than %.0f%% against %s\n",
-			regressed, threshold, baselinePath)
+		fmt.Fprintf(os.Stderr, "qibenchjson: %d measurement(s) regressed beyond thresholds (ns/op %.0f%%, allocs/op %.0f%%) against %s\n",
+			regressed, threshold, allocThreshold, baselinePath)
 		return 1
 	}
-	fmt.Fprintf(os.Stderr, "qibenchjson: all %d benchmarks within %.0f%% of %s\n",
-		len(keys), threshold, baselinePath)
+	fmt.Fprintf(os.Stderr, "qibenchjson: all %d benchmarks within thresholds (ns/op %.0f%%, allocs/op %.0f%%) of %s\n",
+		len(keys), threshold, allocThreshold, baselinePath)
 	return 0
 }
 

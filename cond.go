@@ -36,7 +36,7 @@ func (rt *Runtime) NewCond(t *Thread, name string) *Cond {
 	if rt.det() {
 		s := t.dom.sched
 		s.GetTurn(t.ct)
-		c.obj = s.NewObject("cond:" + name)
+		c.obj = s.NewObjectKind("cond:", name)
 		s.TraceOp(t.ct, core.OpCondInit, c.obj, core.StatusOK)
 		t.release()
 	}

@@ -137,7 +137,7 @@ func (d *Domain) Launch() {
 		t := rt.newThread(r.name, d)
 		if rt.det() {
 			t.ct = d.sched.Register(r.name)
-			t.joinObj = d.sched.NewObject("thread:" + r.name)
+			t.joinObj = d.sched.NewObjectKind("thread:", r.name)
 		}
 		threads[i] = t
 	}
@@ -146,14 +146,14 @@ func (d *Domain) Launch() {
 		fn := r.fn
 		rt.wg.Add(1)
 		if !rt.det() {
-			go func() {
+			spawn(func() {
 				defer rt.wg.Done()
 				fn(t)
 				t.exit()
-			}()
+			})
 			continue
 		}
-		go func() {
+		spawn(func() {
 			defer rt.wg.Done()
 			// thread_begin, exactly like a Create'd child: the root's
 			// initialization is deterministically ordered within its domain.
@@ -163,6 +163,6 @@ func (d *Domain) Launch() {
 			t.release()
 			fn(t)
 			t.exit()
-		}()
+		})
 	}
 }

@@ -7,8 +7,11 @@
 // domain hosting a complete engine — clients feeding a worker pool over a
 // Pipe, workers updating the shard's store partition under a mutex — so the
 // shards' synchronization runs genuinely concurrently, each under its own
-// turn. The only cross-domain traffic is each shard publishing its mutation
-// journal to the coordinator over a sequenced XPipe.
+// turn. The only cross-domain traffic is each shard streaming its mutation
+// journal to the coordinator over a sequenced XPipe, using the batched
+// boundary API: SendAll ships up to the pipe's capacity of journal entries
+// per turn-holding boundary slot, Close ends the stream, and the coordinator
+// drains each shard with RecvUpTo.
 //
 // Determinism is now compositional: instead of one global schedule hash, the
 // execution is fingerprinted by every domain's schedule hash plus the
@@ -32,11 +35,15 @@ type request struct {
 
 const shards = 2
 
+// journalCap is the journal pipes' capacity: the maximum journal entries one
+// batched boundary slot transfers.
+const journalCap = 8
+
 // shardEngine runs one complete key-value engine inside its own domain and
-// sends the shard's store-mutation journal to the coordinator when done.
+// streams the shard's store-mutation journal to the coordinator when done.
 func shardEngine(rt *qithread.Runtime, shard int, out *qithread.XPipe) func(*qithread.Thread) {
 	return func(e *qithread.Thread) {
-		var journal []string // order in which this shard's store was mutated
+		var journal []any // order in which this shard's store was mutated
 		store := map[string]string{}
 		reqs := rt.NewPipe(e, "requests", 8)
 		resp := make([]*qithread.Pipe, 3)
@@ -99,7 +106,10 @@ func shardEngine(rt *qithread.Runtime, shard int, out *qithread.XPipe) func(*qit
 		for _, w := range workers {
 			e.Join(w)
 		}
-		out.Send(e, strings.Join(journal, " "))
+		// Stream the journal: each SendAll moves up to journalCap entries in
+		// one boundary slot; Close ends the shard's stream.
+		out.SendAll(e, journal)
+		out.Close(e)
 	}
 }
 
@@ -113,7 +123,7 @@ func server(cfg qithread.Config) ([]string, qithread.Fingerprint, []qithread.Del
 		doms[k] = rt.NewDomain(fmt.Sprintf("shard%d", k))
 	}
 	for k := range pipes {
-		pipes[k] = rt.NewXPipe(fmt.Sprintf("journal%d", k), doms[k], rt.Domain(0), 1)
+		pipes[k] = rt.NewXPipe(fmt.Sprintf("journal%d", k), doms[k], rt.Domain(0), journalCap)
 	}
 	journals := make([]string, shards)
 	rt.Run(func(main *qithread.Thread) {
@@ -123,19 +133,33 @@ func server(cfg qithread.Config) ([]string, qithread.Fingerprint, []qithread.Del
 		for k := range doms {
 			doms[k].Launch()
 		}
+		// Drain each shard's journal stream in shard order, up to journalCap
+		// entries per boundary slot, until the shard closes its pipe.
+		buf := make([]any, journalCap)
 		for k := range pipes {
-			v, ok := pipes[k].Recv(main)
-			if !ok {
-				panic("journal pipe closed early")
+			var entries []string
+			for {
+				n, ok := pipes[k].RecvUpTo(main, buf)
+				for i := 0; i < n; i++ {
+					entries = append(entries, buf[i].(string))
+				}
+				if !ok {
+					break
+				}
 			}
-			journals[k] = v.(string)
+			journals[k] = strings.Join(entries, " ")
 		}
 	})
 	return journals, rt.Fingerprint(), rt.DeliveryLog()
 }
 
 func main() {
-	cfg := qithread.Config{Mode: qithread.RoundRobin, Policies: qithread.AllPolicies, Record: true}
+	cfg := qithread.Config{
+		Mode: qithread.RoundRobin, Policies: qithread.AllPolicies, Record: true,
+		// The example prints the delivery log, so materialize it; the
+		// fingerprint alone would not need the flag.
+		RetainDeliveryLog: true,
+	}
 
 	j1, fp1, log1 := server(cfg)
 	j2, fp2, _ := server(cfg)

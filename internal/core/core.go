@@ -99,7 +99,7 @@ func DefaultStack(mode Mode, set Policy) *policy.Stack {
 	case VirtualParallel:
 		return policy.New(policy.VirtualClock())
 	default:
-		return policy.FromSet(policy.RoundRobin(), set)
+		return policy.CanonicalStack(set)
 	}
 }
 

@@ -77,7 +77,7 @@ func (s *Scheduler) replayEligibleLocked() *Thread {
 		// the executions have diverged.
 		panic(fmt.Sprintf("%s at op %d: expected T%d to run %v but it is blocked on %s#%d\n%s",
 			ErrReplayDivergence, s.replayPos, want, s.replay[s.replayPos].Op,
-			s.objName[t.wnode.obj], t.wnode.obj, s.dumpLocked()))
+			s.objName[t.wnode.obj].String(), t.wnode.obj, s.dumpLocked()))
 	}
 	panic(fmt.Sprintf("%s at op %d: expected T%d to run %v but it has exited\n%s",
 		ErrReplayDivergence, s.replayPos, want, s.replay[s.replayPos].Op, s.dumpLocked()))

@@ -58,7 +58,7 @@ type Scheduler struct {
 	turn    int64 // logical time: completed scheduling turns
 	nextTID int
 	nextObj uint64
-	objName map[uint64]string
+	objName map[uint64]objLabel // lazily created on first NewObject
 
 	// threads maps thread ID → *Thread for O(1) replay-eligibility lookups.
 	// Entries are cleared on Exit so long-running programs do not accumulate
@@ -93,6 +93,20 @@ type Scheduler struct {
 	onDeadlock func(msg string)
 }
 
+// objLabel is a synchronization object's debugging name, kept as the two
+// parts the wrappers supply ("mutex:" + "reqs") so object creation never
+// concatenates; rendering joins them on demand.
+type objLabel struct {
+	kind, name string
+}
+
+func (l objLabel) String() string {
+	if l.kind == "" {
+		return l.name
+	}
+	return l.kind + l.name
+}
+
 // waiter is one blocked thread's membership in a per-object wait list. It is
 // embedded in Thread (wnode) so parking allocates nothing; heapIdx is the
 // node's position in the deadline heap, -1 while untimed or delisted.
@@ -118,11 +132,11 @@ func New(cfg Config) *Scheduler {
 	if cfg.Stack == nil {
 		cfg.Stack = DefaultStack(cfg.Mode, cfg.Policies)
 	}
+	// objName and waitLists are created lazily: a Runtime constructs one
+	// scheduler per domain, and partitioned programs create domains in bulk.
 	return &Scheduler{
-		cfg:       cfg,
-		stack:     cfg.Stack,
-		objName:   make(map[uint64]string),
-		waitLists: make(map[uint64]*wqueue),
+		cfg:   cfg,
+		stack: cfg.Stack,
 	}
 }
 
@@ -173,7 +187,7 @@ func (s *Scheduler) Register(name string) *Thread {
 	if s.live > s.stats.MaxLiveThreads {
 		s.stats.MaxLiveThreads = s.live
 	}
-	t.pstate = s.stack.NewState()
+	s.stack.InitState(&t.pstate)
 	s.runQ.pushBack(t)
 	s.stack.OnRegister(t)
 	return t
@@ -182,12 +196,21 @@ func (s *Scheduler) Register(name string) *Thread {
 // NewObject allocates a deterministic ID for a synchronization object.
 // Callers must allocate deterministically (under the turn, or before any
 // concurrency), which the qithread wrappers guarantee.
-func (s *Scheduler) NewObject(name string) uint64 {
+func (s *Scheduler) NewObject(name string) uint64 { return s.NewObjectKind("", name) }
+
+// NewObjectKind is NewObject with the name split into a kind prefix and the
+// caller-supplied name ("mutex:", "reqs"). The two parts are stored as-is and
+// only joined when a debugging name is actually rendered, so the wrappers'
+// object creation paths never pay a string concatenation.
+func (s *Scheduler) NewObjectKind(kind, name string) uint64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.nextObj++
 	id := s.nextObj
-	s.objName[id] = name
+	if s.objName == nil {
+		s.objName = make(map[uint64]objLabel)
+	}
+	s.objName[id] = objLabel{kind: kind, name: name}
 	return id
 }
 
@@ -212,7 +235,7 @@ func (s *Scheduler) DestroyObject(t *Thread, obj uint64) {
 func (s *Scheduler) ObjectName(id uint64) string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.objName[id]
+	return s.objName[id].String()
 }
 
 // TurnCount returns the number of completed scheduling turns, the logical
@@ -438,11 +461,15 @@ func (s *Scheduler) requireTurnLocked(t *Thread, op string) {
 	}
 }
 
-// waitListFor returns the wait list of obj, creating it on first use.
+// waitListFor returns the wait list of obj, creating it (and the lazily
+// allocated map) on first use.
 func (s *Scheduler) waitListFor(obj uint64) *wqueue {
 	q := s.waitLists[obj]
 	if q == nil {
 		q = &wqueue{}
+		if s.waitLists == nil {
+			s.waitLists = make(map[uint64]*wqueue)
+		}
 		s.waitLists[obj] = q
 	}
 	return q
@@ -690,7 +717,7 @@ func (s *Scheduler) dumpLocked() string {
 		for w := s.waitLists[k].head; w != nil; w = w.next {
 			names = append(names, w.t.String())
 		}
-		fmt.Fprintf(&b, "  waitQ[%s#%d]: %s\n", s.objName[k], k, strings.Join(names, " "))
+		fmt.Fprintf(&b, "  waitQ[%s#%d]: %s\n", s.objName[k].String(), k, strings.Join(names, " "))
 	}
 	return b.String()
 }

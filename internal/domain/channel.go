@@ -2,7 +2,6 @@ package domain
 
 import (
 	"fmt"
-	"sort"
 	"sync"
 
 	"qithread/internal/core"
@@ -16,35 +15,68 @@ import (
 //
 // Boundary semantics: a thread performing a channel operation holds its own
 // domain's turn for the whole operation, blocking in REAL time (not logical
-// time) while the buffer is full (send) or empty-and-open (recv). Holding
-// the turn is what makes the partitioned execution deterministic: the
-// operation occupies exactly one deterministic slot in its domain's
-// schedule, so whether the peer domain is fast or slow can change wall-clock
-// time but never the schedule, the value delivered, or any stamp. The price
-// is that a blocked boundary operation stalls its whole domain — cross-domain
-// pipes are rendezvous points, not free-running queues, and programs should
-// place them off their domains' hot paths (e.g. result collection).
+// time) while it waits for the peer domain. Holding the turn is what makes
+// the partitioned execution deterministic: the operation occupies exactly
+// one deterministic slot in its domain's schedule, so whether the peer
+// domain is fast or slow can change wall-clock time but never the schedule,
+// the values delivered, or any stamp. The price is that a blocked boundary
+// operation stalls its whole domain — cross-domain pipes are rendezvous
+// points, not free-running queues, and programs should place them off their
+// domains' hot paths (e.g. result collection).
+//
+// The buffer is a fixed ring of capacity message slots, allocated once at
+// channel creation: enqueue and dequeue move head/count indices and reuse
+// the slots, so the steady-state per-message path performs no allocation
+// (the ring is the message pool). Wake-ups are targeted signals on
+// per-direction condition variables — a send can only unblock the receiver
+// side and a receive can only unblock the sender side, so waking everything
+// with a broadcast would just pay O(waiters) for nothing.
+//
+// Batched transfers (SendBatch/RecvBatch) move up to capacity messages in
+// ONE turn-holding boundary slot with one lock acquisition and one wake-up.
+// Batch sizes are deterministic by construction: SendBatch always transfers
+// min(len(vs), capacity) messages (filling the ring incrementally inside
+// its single slot whenever the ring is momentarily full), and RecvBatch
+// blocks until min(len(dst), capacity) messages are present or the channel
+// is closed — and once closed the remainder is fixed by the sender domain's
+// schedule, never by arrival timing. The per-batch stamps (one turn
+// reading, one virtual-time reading) expand into per-message Delivery
+// entries exactly as if the messages had been moved one at a time under a
+// retained turn: consecutive message sequences and boundary sequences, a
+// shared turn stamp.
 //
 // Messages are stamped at send with the sender domain's schedule position
 // (send turn, boundary sequence, message sequence) and at receive with the
-// receiver's; the completed stamps form the delivery log, the canonical
-// record of all cross-domain causality.
+// receiver's. Each completed delivery is folded into a per-channel running
+// FNV-64a hash at receive time, so fingerprinting is O(1) memory in steady
+// state; the materialized Delivery log is retained only when the group is
+// configured with RetainDeliveryLog (a debug facility for qitrace-style
+// inspection and the determinism checker's log diffing).
 type Channel struct {
 	id       uint64
 	name     string
 	from, to *Domain
 	capacity int
+	retain   bool
 
-	// mu guards the buffer and log. It is a REAL mutex, deliberately outside
+	// mu guards the ring and stamps. It is a REAL mutex, deliberately outside
 	// any turn mechanism: it orders the two domains' physical accesses while
 	// each side's logical order comes from its own turn.
-	mu     sync.Mutex
-	cond   *sync.Cond
-	buf    []message
+	mu      sync.Mutex
+	canSend sync.Cond // waited on by a blocked sender (ring full)
+	canRecv sync.Cond // waited on by a blocked receiver (ring short of its batch)
+	sendW   bool       // a sender is parked on canSend
+	recvW   bool       // a receiver is parked on canRecv
+
+	ring   []message // fixed ring of capacity slots
+	head   int       // index of the oldest queued message
+	n      int       // queued message count
 	closed bool
 
-	sendSeq uint64
-	log     []Delivery
+	sendSeq   uint64 // messages ever enqueued (1-based sequence source)
+	delivered uint64 // messages ever delivered
+	hash      uint64 // running FNV-64a over delivered stamps (see fold)
+	log       []Delivery
 }
 
 // message is one in-flight value with its sender-side stamps.
@@ -98,8 +130,12 @@ func (g *Group) NewChannel(name string, from, to *Domain, capacity int) *Channel
 		from:     from,
 		to:       to,
 		capacity: capacity,
+		retain:   g.cfg.RetainDeliveryLog,
+		ring:     make([]message, capacity),
+		hash:     fnvOffset64,
 	}
-	c.cond = sync.NewCond(&c.mu)
+	c.canSend.L = &c.mu
+	c.canRecv.L = &c.mu
 	g.channels = append(g.channels, c)
 	return c
 }
@@ -118,6 +154,10 @@ func (c *Channel) From() *Domain { return c.from }
 // To returns the receiver domain.
 func (c *Channel) To() *Domain { return c.to }
 
+// Capacity returns the ring capacity, the maximum batch size of one
+// boundary slot.
+func (c *Channel) Capacity() int { return c.capacity }
+
 // requireEndpoint panics deterministically when ct is not registered with
 // the scheduler of the required endpoint domain or does not hold its turn.
 func (c *Channel) requireEndpoint(ct *core.Thread, d *Domain, op string) {
@@ -131,10 +171,80 @@ func (c *Channel) requireEndpoint(ct *core.Thread, d *Domain, op string) {
 }
 
 func opSide(op string) string {
-	if op == "Recv" {
+	if op == "Recv" || op == "RecvBatch" {
 		return "receiver"
 	}
 	return "sender"
+}
+
+// enqueueLocked appends one stamped message to the ring tail. The caller
+// holds mu and has established n < capacity.
+func (c *Channel) enqueueLocked(v any, vtime, sendTurn, sendXSeq int64) {
+	tail := c.head + c.n
+	if tail >= c.capacity {
+		tail -= c.capacity
+	}
+	c.sendSeq++
+	c.ring[tail] = message{v: v, seq: c.sendSeq, vtime: vtime, sendTurn: sendTurn, sendXSeq: sendXSeq}
+	c.n++
+}
+
+// dequeueLocked removes the oldest message, records its delivery (hash fold
+// always, materialized log only under RetainDeliveryLog), and returns it.
+// The ring slot's value reference is cleared so the slot is immediately
+// reusable without retaining the message. The caller holds mu and has
+// established n > 0.
+func (c *Channel) dequeueLocked(recvTurn, recvXSeq int64) message {
+	m := c.ring[c.head]
+	c.ring[c.head].v = nil
+	c.head++
+	if c.head == c.capacity {
+		c.head = 0
+	}
+	c.n--
+	c.delivered++
+	h := c.hash
+	h = fnvFold(h, c.id)
+	h = fnvFold(h, m.seq)
+	h = fnvFold(h, uint64(c.from.id))
+	h = fnvFold(h, uint64(c.to.id))
+	h = fnvFold(h, uint64(m.sendTurn))
+	h = fnvFold(h, uint64(m.sendXSeq))
+	h = fnvFold(h, uint64(recvTurn))
+	h = fnvFold(h, uint64(recvXSeq))
+	c.hash = h
+	if c.retain {
+		c.log = append(c.log, Delivery{
+			Channel:  c.name,
+			ChanID:   c.id,
+			Seq:      m.seq,
+			From:     c.from.id,
+			To:       c.to.id,
+			SendTurn: m.sendTurn,
+			SendXSeq: m.sendXSeq,
+			RecvTurn: recvTurn,
+			RecvXSeq: recvXSeq,
+		})
+	}
+	return m
+}
+
+// wakeRecvLocked delivers the one targeted wake-up of a send-side operation:
+// only a parked receiver can make progress from new messages.
+func (c *Channel) wakeRecvLocked() {
+	if c.recvW {
+		c.recvW = false
+		c.canRecv.Signal()
+	}
+}
+
+// wakeSendLocked is the receive-side counterpart: only a parked sender can
+// make progress from freed slots.
+func (c *Channel) wakeSendLocked() {
+	if c.sendW {
+		c.sendW = false
+		c.canSend.Signal()
+	}
 }
 
 // Send enqueues v, blocking in real time (while holding the sender domain's
@@ -143,27 +253,74 @@ func opSide(op string) string {
 // sender-domain thread holding that domain's turn.
 func (c *Channel) Send(ct *core.Thread, v any) bool {
 	c.requireEndpoint(ct, c.from, "Send")
-	c.from.xseq++
-	xseq := c.from.xseq
 	c.mu.Lock()
-	for len(c.buf) >= c.capacity && !c.closed {
-		c.cond.Wait()
+	for c.n == c.capacity && !c.closed {
+		c.sendW = true
+		c.canSend.Wait()
 	}
 	if c.closed {
 		c.mu.Unlock()
 		return false
 	}
-	c.sendSeq++
-	c.buf = append(c.buf, message{
-		v:        v,
-		seq:      c.sendSeq,
-		vtime:    ct.VTime(),
-		sendTurn: c.from.sched.TurnCount(),
-		sendXSeq: xseq,
-	})
-	c.cond.Broadcast()
+	c.from.xseq++
+	c.enqueueLocked(v, ct.VTime(), c.from.sched.TurnCount(), c.from.xseq)
+	c.wakeRecvLocked()
 	c.mu.Unlock()
 	return true
+}
+
+// SendBatch enqueues min(len(vs), capacity) messages in one boundary slot:
+// one lock acquisition, one batch stamp reading (turn, virtual time), one
+// receiver wake-up per ring fill. The calling thread holds its domain's
+// turn throughout, so the batch occupies a single deterministic slot in the
+// sender schedule and its messages carry consecutive boundary sequences —
+// byte-identical stamps to the same messages sent one at a time under a
+// retained turn. The batch size never depends on the receiver's real-time
+// progress: when the ring is momentarily full the call blocks (still inside
+// its one slot) until the receiver frees space, and always transfers the
+// full min(len(vs), capacity) unless the channel is closed. It returns the
+// number of messages enqueued: 0 if the channel was closed (all messages
+// dropped) or vs is empty. Callers with more than capacity messages issue
+// multiple batches.
+func (c *Channel) SendBatch(ct *core.Thread, vs []any) int {
+	c.requireEndpoint(ct, c.from, "SendBatch")
+	k := len(vs)
+	if k > c.capacity {
+		k = c.capacity
+	}
+	if k == 0 {
+		return 0
+	}
+	c.mu.Lock()
+	for c.n == c.capacity && !c.closed {
+		c.sendW = true
+		c.canSend.Wait()
+	}
+	if c.closed {
+		c.mu.Unlock()
+		return 0
+	}
+	vtime := ct.VTime()
+	sendTurn := c.from.sched.TurnCount()
+	sent := 0
+	for sent < k {
+		for c.n == c.capacity {
+			// The ring filled mid-batch: wait, still holding the boundary
+			// slot, until the receiver frees space. Close cannot intervene
+			// (only sender-domain threads close, and this thread holds that
+			// domain's turn).
+			c.sendW = true
+			c.canSend.Wait()
+		}
+		for c.n < c.capacity && sent < k {
+			c.from.xseq++
+			c.enqueueLocked(vs[sent], vtime, sendTurn, c.from.xseq)
+			sent++
+		}
+		c.wakeRecvLocked()
+	}
+	c.mu.Unlock()
+	return sent
 }
 
 // Recv dequeues the next message, blocking in real time (while holding the
@@ -174,33 +331,68 @@ func (c *Channel) Send(ct *core.Thread, v any) bool {
 // receiver-domain thread holding that domain's turn.
 func (c *Channel) Recv(ct *core.Thread) (any, bool) {
 	c.requireEndpoint(ct, c.to, "Recv")
-	c.to.xseq++
-	xseq := c.to.xseq
 	c.mu.Lock()
-	for len(c.buf) == 0 && !c.closed {
-		c.cond.Wait()
+	for c.n == 0 && !c.closed {
+		c.recvW = true
+		c.canRecv.Wait()
 	}
-	if len(c.buf) == 0 {
+	if c.n == 0 {
 		c.mu.Unlock()
 		return nil, false
 	}
-	m := c.buf[0]
-	c.buf = c.buf[1:]
-	c.log = append(c.log, Delivery{
-		Channel:  c.name,
-		ChanID:   c.id,
-		Seq:      m.seq,
-		From:     c.from.id,
-		To:       c.to.id,
-		SendTurn: m.sendTurn,
-		SendXSeq: m.sendXSeq,
-		RecvTurn: c.to.sched.TurnCount(),
-		RecvXSeq: xseq,
-	})
-	c.cond.Broadcast()
+	c.to.xseq++
+	m := c.dequeueLocked(c.to.sched.TurnCount(), c.to.xseq)
+	c.wakeSendLocked()
 	c.mu.Unlock()
 	ct.MeetVTime(m.vtime)
 	return m.v, true
+}
+
+// RecvBatch dequeues up to min(len(dst), capacity) messages in one boundary
+// slot: one lock acquisition, one batch stamp reading, one sender wake-up.
+// It blocks until that many messages are queued OR the channel is closed;
+// once closed the remainder is a pure function of the sender schedule, so
+// the count returned never depends on arrival timing. The receiver's
+// virtual clock is raised to the latest send-time clock among the delivered
+// messages (the batch's cross-domain happens-before edge). It reports
+// ok=false only when the channel is closed and drained; n is the number of
+// messages stored into dst.
+func (c *Channel) RecvBatch(ct *core.Thread, dst []any) (int, bool) {
+	c.requireEndpoint(ct, c.to, "RecvBatch")
+	want := len(dst)
+	if want > c.capacity {
+		want = c.capacity
+	}
+	if want == 0 {
+		return 0, true
+	}
+	c.mu.Lock()
+	for c.n < want && !c.closed {
+		c.recvW = true
+		c.canRecv.Wait()
+	}
+	n := c.n
+	if n > want {
+		n = want
+	}
+	if n == 0 {
+		c.mu.Unlock()
+		return 0, false
+	}
+	recvTurn := c.to.sched.TurnCount()
+	var vmax int64
+	for i := 0; i < n; i++ {
+		c.to.xseq++
+		m := c.dequeueLocked(recvTurn, c.to.xseq)
+		dst[i] = m.v
+		if m.vtime > vmax {
+			vmax = m.vtime
+		}
+	}
+	c.wakeSendLocked()
+	c.mu.Unlock()
+	ct.MeetVTime(vmax)
+	return n, true
 }
 
 // Close marks the channel closed and wakes any blocked peer. Queued messages
@@ -215,33 +407,48 @@ func (c *Channel) Close(ct *core.Thread) {
 	c.from.xseq++
 	c.mu.Lock()
 	c.closed = true
-	c.cond.Broadcast()
+	// A parked receiver must re-evaluate (it may now return its deterministic
+	// closed-remainder); a parked sender cannot exist (closing requires the
+	// sender domain's turn, which a blocked sender would be holding), but a
+	// targeted signal is free when nobody waits.
+	c.wakeRecvLocked()
+	c.wakeSendLocked()
 	c.mu.Unlock()
 }
 
-// deliveries returns a copy of the channel's delivery log.
+// deliveries returns a copy of the channel's retained delivery log (nil
+// unless the group was configured with RetainDeliveryLog).
 func (c *Channel) deliveries() []Delivery {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.log == nil {
+		return nil
+	}
 	out := make([]Delivery, len(c.log))
 	copy(out, c.log)
 	return out
 }
 
+// stamp returns the channel's running delivery hash and delivered count.
+func (c *Channel) stamp() (hash uint64, delivered uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hash, c.delivered
+}
+
 // DeliveryLog returns the canonical merged cross-domain delivery log of the
 // group: all channels' completed deliveries ordered by (channel id, message
-// sequence). Two runs of the same program and configuration must produce
-// identical logs. Call it after the program has finished.
+// sequence). Each channel's log is recorded in delivery order — ascending
+// message sequence — so concatenating the channels in id order yields the
+// canonical order directly. Two runs of the same program and configuration
+// must produce identical logs. The log is materialized only under
+// Config.RetainDeliveryLog (fingerprinting does not need it: deliveries are
+// folded into per-channel running hashes as they happen); without the flag
+// DeliveryLog returns nil. Call it after the program has finished.
 func (g *Group) DeliveryLog() []Delivery {
 	var out []Delivery
 	for _, c := range g.Channels() {
 		out = append(out, c.deliveries()...)
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].ChanID != out[j].ChanID {
-			return out[i].ChanID < out[j].ChanID
-		}
-		return out[i].Seq < out[j].Seq
-	})
 	return out
 }

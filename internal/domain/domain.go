@@ -79,6 +79,13 @@ type Config struct {
 	// set core.Config.DomainID to that id so trace events attribute
 	// correctly.
 	NewScheduler func(id int) (*core.Scheduler, *policy.Stack)
+
+	// RetainDeliveryLog materializes every channel's Delivery log in memory
+	// (Group.DeliveryLog). Fingerprinting does not need it — deliveries are
+	// folded into per-channel running hashes as they complete — so the log
+	// is a debug facility for trace inspection and log diffing, off by
+	// default to keep the boundary O(1) memory in steady state.
+	RetainDeliveryLog bool
 }
 
 // Group is the partition registry of one runtime: it allocates domain ids,

@@ -2,11 +2,30 @@ package domain
 
 import (
 	"fmt"
-	"hash/fnv"
 	"strings"
 
 	"qithread/internal/trace"
 )
+
+// FNV-64a parameters, matching hash/fnv. The channel hashes are maintained
+// incrementally (one fold per delivered message, at receive time), so the
+// streaming hash.Hash64 interface buys nothing; open-coding the fold keeps
+// the per-delivery cost to a handful of multiplies with no interface calls
+// or write buffers.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvFold folds one uint64 into an FNV-64a state, little-endian byte order
+// (the byte order the original log hash used).
+func fnvFold(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	return h
+}
 
 // Fingerprint condenses a partitioned execution for determinism checking. It
 // replaces the single global schedule hash of the one-domain design: a
@@ -18,7 +37,13 @@ type Fingerprint struct {
 	// DomainHashes holds each domain's schedule hash (trace.Hash) in domain
 	// id order.
 	DomainHashes []uint64
-	// Deliveries hashes the canonical merged delivery log.
+	// Deliveries hashes the cross-domain delivery history: an FNV-64a stream
+	// of (channel id, delivered count, channel delivery hash) per channel in
+	// channel-id order, where each channel's delivery hash is the running
+	// FNV-64a over its delivery stamps folded at receive time. Per channel
+	// the delivery order IS the message-sequence order (FIFO), so this
+	// commits to exactly the same information as hashing the canonical
+	// merged log — without materializing, copying, or sorting it.
 	Deliveries uint64
 }
 
@@ -47,39 +72,45 @@ func (f Fingerprint) String() string {
 	return b.String()
 }
 
-// hashDeliveries hashes a delivery log field by field.
-func hashDeliveries(log []Delivery) uint64 {
-	h := fnv.New64a()
-	var buf [8]byte
-	put := func(v uint64) {
-		for i := range buf {
-			buf[i] = byte(v >> (8 * i))
-		}
-		h.Write(buf[:])
-	}
+// HashDeliveries hashes a delivery log field by field: the running hash a
+// channel maintains incrementally equals HashDeliveries of that channel's
+// log. Exported for tests that cross-check the incremental fold against the
+// materialized log.
+func HashDeliveries(log []Delivery) uint64 {
+	h := uint64(fnvOffset64)
 	for _, d := range log {
-		put(d.ChanID)
-		put(d.Seq)
-		put(uint64(d.From))
-		put(uint64(d.To))
-		put(uint64(d.SendTurn))
-		put(uint64(d.SendXSeq))
-		put(uint64(d.RecvTurn))
-		put(uint64(d.RecvXSeq))
+		h = fnvFold(h, d.ChanID)
+		h = fnvFold(h, d.Seq)
+		h = fnvFold(h, uint64(d.From))
+		h = fnvFold(h, uint64(d.To))
+		h = fnvFold(h, uint64(d.SendTurn))
+		h = fnvFold(h, uint64(d.SendXSeq))
+		h = fnvFold(h, uint64(d.RecvTurn))
+		h = fnvFold(h, uint64(d.RecvXSeq))
 	}
-	return h.Sum64()
+	return h
 }
 
 // Fingerprint computes the execution fingerprint: per-domain schedule hashes
-// in id order plus the delivery-log hash. Domains must have Record enabled
-// for the per-domain hashes to be meaningful (a non-recording domain hashes
-// its empty trace). Call it after the program has finished.
+// in id order plus the combined delivery hash. The delivery component reads
+// each channel's running hash and count — O(channels), independent of how
+// many messages crossed the boundary, and independent of whether the debug
+// delivery log was retained. Domains must have Record enabled for the
+// per-domain hashes to be meaningful (a non-recording domain hashes its
+// empty trace). Call it after the program has finished.
 func (g *Group) Fingerprint() Fingerprint {
 	domains := g.Domains()
 	f := Fingerprint{DomainHashes: make([]uint64, len(domains))}
 	for i, d := range domains {
 		f.DomainHashes[i] = trace.Hash(d.sched.Trace())
 	}
-	f.Deliveries = hashDeliveries(g.DeliveryLog())
+	h := uint64(fnvOffset64)
+	for _, c := range g.Channels() {
+		ch, nd := c.stamp()
+		h = fnvFold(h, c.id)
+		h = fnvFold(h, nd)
+		h = fnvFold(h, ch)
+	}
+	f.Deliveries = h
 	return f
 }

@@ -19,22 +19,28 @@ import (
 // fingerprints stay fixed. Wall-clock medians are reported alongside for
 // reference, as everywhere else in the harness.
 
-// DomainPoint is one (workload, domain count) measurement.
+// DomainPoint is one (workload, domain count, batch size) measurement.
 type DomainPoint struct {
 	Workload string
 	Domains  int
+	// Batch is the boundary batch size: 0 is the aggregate shape (one
+	// message per shard), B>=1 streams per-item results through a
+	// capacity-B pipe (see workload.DomainServerConfig.Batch).
+	Batch int
 	// Makespan is the median virtual makespan (1 work unit = 1ns).
 	Makespan time.Duration
 	// Wall is the median host wall-clock time.
 	Wall time.Duration
-	// Output is the workload checksum, identical across domain counts.
+	// Output is the workload checksum, identical across domain counts and
+	// batch sizes.
 	Output uint64
 }
 
-// DomainWorkload names one sharded engine at a given domain count.
+// DomainWorkload names one sharded engine at a given domain count and
+// boundary batch size.
 type DomainWorkload struct {
 	Name  string
-	Build func(domains int, p workload.Params) workload.App
+	Build func(domains, batch int, p workload.Params) workload.App
 }
 
 // DomainWorkloads returns the sharded engines of the scaling experiment:
@@ -45,30 +51,32 @@ func DomainWorkloads() []DomainWorkload {
 	return []DomainWorkload{
 		{
 			Name: "server",
-			Build: func(nd int, p workload.Params) workload.App {
+			Build: func(nd, batch int, p workload.Params) workload.App {
 				return workload.DomainServer(workload.DomainServerConfig{
 					Domains: nd, Workers: 3, Requests: 48,
 					AcceptWork: 60, ParseWork: 420, StateWork: 90,
+					Batch: batch,
 				}, p)
 			},
 		},
 		{
 			Name: "mapreduce",
-			Build: func(nd int, p workload.Params) workload.App {
+			Build: func(nd, batch int, p workload.Params) workload.App {
 				return workload.DomainMapReduce(workload.DomainMapReduceConfig{
 					Domains: nd, Workers: 3, MapTasks: 96, ReduceTasks: 48,
 					MapWork: 380, ReduceWork: 260,
+					Batch: batch,
 				}, p)
 			},
 		},
 	}
 }
 
-// MeasureDomains measures one sharded workload at one domain count under one
-// mode, returning median virtual makespan and wall time over the runner's
-// repeats.
-func (r *Runner) MeasureDomains(w DomainWorkload, domains int, mode Mode) DomainPoint {
-	app := w.Build(domains, r.Params)
+// MeasureDomains measures one sharded workload at one domain count and batch
+// size under one mode, returning median virtual makespan and wall time over
+// the runner's repeats.
+func (r *Runner) MeasureDomains(w DomainWorkload, domains, batch int, mode Mode) DomainPoint {
+	app := w.Build(domains, batch, r.Params)
 	if r.Warmup {
 		app(qithread.New(mode.Cfg))
 	}
@@ -85,6 +93,7 @@ func (r *Runner) MeasureDomains(w DomainWorkload, domains int, mode Mode) Domain
 	return DomainPoint{
 		Workload: w.Name,
 		Domains:  domains,
+		Batch:    batch,
 		Makespan: stats.Median(vts),
 		Wall:     stats.Median(wts),
 		Output:   out,
@@ -92,12 +101,13 @@ func (r *Runner) MeasureDomains(w DomainWorkload, domains int, mode Mode) Domain
 }
 
 // DomainScaling runs every sharded workload at every domain count under the
-// given mode and returns the points in (workload, count) order.
+// given mode, in the aggregate result shape (batch 0), and returns the
+// points in (workload, count) order.
 func (r *Runner) DomainScaling(counts []int, mode Mode) []DomainPoint {
 	var points []DomainPoint
 	for _, w := range DomainWorkloads() {
 		for _, nd := range counts {
-			pt := r.MeasureDomains(w, nd, mode)
+			pt := r.MeasureDomains(w, nd, 0, mode)
 			points = append(points, pt)
 			r.logf("%-12s domains=%d  makespan=%10v  wall=%10v\n", w.Name, nd, pt.Makespan, pt.Wall)
 		}
@@ -105,13 +115,32 @@ func (r *Runner) DomainScaling(counts []int, mode Mode) []DomainPoint {
 	return points
 }
 
+// DomainBatchSweep runs every sharded workload in the streaming result shape
+// at a fixed domain count across boundary batch sizes. Streaming ships every
+// per-item checksum to the coordinator, so the boundary cost dominates at
+// batch 1 (one turn-holding slot, lock acquisition and wake-up per message)
+// and amortizes as the batch grows; the output checksum stays identical
+// across the sweep.
+func (r *Runner) DomainBatchSweep(domains int, batches []int, mode Mode) []DomainPoint {
+	var points []DomainPoint
+	for _, w := range DomainWorkloads() {
+		for _, b := range batches {
+			pt := r.MeasureDomains(w, domains, b, mode)
+			points = append(points, pt)
+			r.logf("%-12s domains=%d batch=%-3d  makespan=%10v  wall=%10v\n", w.Name, domains, b, pt.Makespan, pt.Wall)
+		}
+	}
+	return points
+}
+
 // WriteDomainCSV writes the scaling points as CSV, with makespans normalized
-// to each workload's 1-domain run.
+// to each workload's first point (the 1-domain run for a scaling sweep, the
+// batch-1 run for a batch sweep).
 func WriteDomainCSV(w io.Writer, points []DomainPoint) {
-	fmt.Fprintln(w, "workload,domains,makespan_ms,wall_ms,speedup")
+	fmt.Fprintln(w, "workload,domains,batch,makespan_ms,wall_ms,speedup")
 	base := make(map[string]time.Duration)
 	for _, pt := range points {
-		if pt.Domains == 1 {
+		if _, seen := base[pt.Workload]; !seen {
 			base[pt.Workload] = pt.Makespan
 		}
 	}
@@ -120,6 +149,6 @@ func WriteDomainCSV(w io.Writer, points []DomainPoint) {
 		if b := base[pt.Workload]; b > 0 && pt.Makespan > 0 {
 			speedup = float64(b) / float64(pt.Makespan)
 		}
-		fmt.Fprintf(w, "%s,%d,%.3f,%.3f,%.3f\n", pt.Workload, pt.Domains, ms(pt.Makespan), ms(pt.Wall), speedup)
+		fmt.Fprintf(w, "%s,%d,%d,%.3f,%.3f,%.3f\n", pt.Workload, pt.Domains, pt.Batch, ms(pt.Makespan), ms(pt.Wall), speedup)
 	}
 }

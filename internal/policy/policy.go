@@ -84,8 +84,14 @@ type View interface {
 //
 // words[0] is the retain-hint mask (one bit per slot, maintained through
 // Base.HintRetain); the state word of the policy at slot i is words[i+1].
+//
+// inline is the in-place backing used by Stack.InitState when the stack fits
+// (every canonical stack does), so threads carry their policy state without a
+// separate heap block. A PerThread initialized that way must not be copied —
+// words would keep pointing into the original.
 type PerThread struct {
-	words []uint64
+	words  []uint64
+	inline [8]uint64
 }
 
 // Word returns the state word for the given slot.

@@ -37,7 +37,38 @@ type Stack struct {
 	all      []Policy
 	counters []*Counters
 	slots    int
+
+	// buf is the inline backing for every slice above. Stacks of up to
+	// stackInlinePolicies policies — every canonical stack — construct with a
+	// single allocation: the tables slice into buf instead of the heap. A
+	// stack is built per scheduler domain per Runtime, so construction cost
+	// is measurable on benchmarks that build runtimes in a loop.
+	buf stackBuf
 }
+
+// stackInlinePolicies bounds the stack size served by the inline backing
+// (base + the five semantic layers fit with headroom).
+const stackInlinePolicies = 8
+
+type stackBuf struct {
+	all      [stackInlinePolicies]Policy
+	counters [stackInlinePolicies]Counters
+	cptrs    [stackInlinePolicies]*Counters
+
+	pickers      [stackInlinePolicies]Picker
+	wakers       [stackInlinePolicies]Waker
+	blockers     [stackInlinePolicies]Blocker
+	registrars   [stackInlinePolicies]Registrar
+	exiters      [stackInlinePolicies]Exiter
+	retainers    [stackInlinePolicies]Retainer
+	acquirers    [stackInlinePolicies]Acquirer
+	signalers    [stackInlinePolicies]Signaler
+	broadcasters [stackInlinePolicies]Broadcaster
+	armers       [stackInlinePolicies]Armer
+	creators     [stackInlinePolicies]Creator
+	aligners     [stackInlinePolicies]Aligner
+}
+
 
 // New composes a stack from a base turn policy (which must implement
 // Picker) and semantics-aware layers in stack order. Every policy object is
@@ -48,26 +79,99 @@ func New(base Policy, layers ...Policy) *Stack {
 	if _, ok := base.(Picker); !ok {
 		panic(fmt.Sprintf("policy: base policy %q does not implement Picker", base.Name()))
 	}
-	s := &Stack{base: base, layers: layers}
-	s.all = append(append([]Policy{}, layers...), base)
-	s.slots = len(s.all)
-	s.counters = make([]*Counters, len(s.all))
+	s := &Stack{base: base}
+	n := len(layers) + 1
+	if n <= stackInlinePolicies {
+		s.all = s.buf.all[:n]
+		s.counters = s.buf.cptrs[:n]
+	} else {
+		s.all = make([]Policy, n)
+		s.counters = make([]*Counters, n)
+	}
+	copy(s.all, layers)
+	s.all[n-1] = base
+	s.layers = s.all[:n-1]
+	s.slots = n
+	// One backing array for every policy's counter block, inline when it
+	// fits: construction-heavy benchmarks see every per-element heap
+	// allocation here.
+	backing := s.buf.counters[:]
+	if n > stackInlinePolicies {
+		backing = make([]Counters, n)
+	}
 	for i, p := range s.all {
-		c := &Counters{}
-		s.counters[i] = c
-		p.Attach(i, c)
+		s.counters[i] = &backing[i]
+		p.Attach(i, &backing[i])
 	}
 	// Layers dispatch in stack order; the base picker runs after all layer
-	// pickers so it only decides when no layer does.
-	for _, p := range layers {
-		s.index(p)
-	}
-	s.index(base)
+	// pickers so it only decides when no layer does (index iterates s.all,
+	// which has the base last).
+	s.index()
 	return s
 }
 
-// index registers p in the dispatch table of every hook it implements.
-func (s *Stack) index(p Policy) {
+// index builds the dispatch table of every hook from s.all in one pass.
+// Inline-backed stacks (every canonical one) append directly into buf —
+// statically large enough — so no table grows; oversized custom stacks
+// append with ordinary slice growth. Tables dispatch in stack order, which
+// the per-policy append preserves within each table.
+func (s *Stack) index() {
+	if len(s.all) <= stackInlinePolicies {
+		s.pickers = s.buf.pickers[:0]
+		s.wakers = s.buf.wakers[:0]
+		s.blockers = s.buf.blockers[:0]
+		s.registrars = s.buf.registrars[:0]
+		s.exiters = s.buf.exiters[:0]
+		s.retainers = s.buf.retainers[:0]
+		s.acquirers = s.buf.acquirers[:0]
+		s.signalers = s.buf.signalers[:0]
+		s.broadcasters = s.buf.broadcasters[:0]
+		s.armers = s.buf.armers[:0]
+		s.creators = s.buf.creators[:0]
+		s.aligners = s.buf.aligners[:0]
+	}
+	for _, p := range s.all {
+		s.indexOne(p)
+	}
+}
+
+// indexOne files p into the dispatch tables of the hooks it implements. The
+// canonical policy types are switched on concretely — twelve interface
+// satisfaction checks per policy per stack are measurable when partitioned
+// runtimes build one stack per domain — with the generic interface walk as
+// the fallback for custom policies. TestIndexFastPathParity pins each
+// concrete case to the hook set the generic walk computes, so a hook added
+// to a canonical policy cannot silently miss its table.
+func (s *Stack) indexOne(p Policy) {
+	switch q := p.(type) {
+	case *roundRobin:
+		s.pickers = append(s.pickers, q)
+	case *minClock:
+		s.pickers = append(s.pickers, q)
+	case *boostBlocked:
+		s.pickers = append(s.pickers, q)
+		s.wakers = append(s.wakers, q)
+	case *createAll:
+		s.retainers = append(s.retainers, q)
+		s.armers = append(s.armers, q)
+	case *csWhole:
+		s.retainers = append(s.retainers, q)
+		s.acquirers = append(s.acquirers, q)
+	case *wakeAMAP:
+		s.blockers = append(s.blockers, q)
+		s.retainers = append(s.retainers, q)
+		s.signalers = append(s.signalers, q)
+		s.broadcasters = append(s.broadcasters, q)
+	case *branchedWake:
+		s.aligners = append(s.aligners, q)
+	default:
+		s.indexGeneric(p)
+	}
+}
+
+// indexGeneric files p by interface satisfaction — the path for policies
+// outside the canonical set.
+func (s *Stack) indexGeneric(p Policy) {
 	if h, ok := p.(Picker); ok {
 		s.pickers = append(s.pickers, h)
 	}
@@ -107,8 +211,28 @@ func (s *Stack) index(p Policy) {
 }
 
 // NewState allocates the per-thread state block for threads scheduled under
-// this stack: the retain-hint mask plus one word per policy slot.
+// this stack: the retain-hint mask plus one word per policy slot. It always
+// heap-allocates the block, because the returned value is copied; callers
+// that own the PerThread's final resting place use InitState instead.
 func (s *Stack) NewState() PerThread { return PerThread{words: make([]uint64, s.slots+1)} }
+
+// InitState initializes pt in place as the per-thread state block for this
+// stack. Stacks of up to len(pt.inline)-1 policies — every canonical stack —
+// use the block embedded in pt itself, so registering a thread allocates no
+// separate state; larger custom stacks fall back to the heap.
+//
+// pt must not be copied after InitState: the words slice may alias pt.inline.
+// The scheduler initializes the block embedded in core.Thread in place,
+// which never moves.
+func (s *Stack) InitState(pt *PerThread) {
+	n := s.slots + 1
+	if n <= len(pt.inline) {
+		pt.words = pt.inline[:n]
+		clear(pt.words)
+		return
+	}
+	pt.words = make([]uint64, n)
+}
 
 // --- scheduler-level dispatch ---
 
@@ -306,13 +430,51 @@ func (s *Stack) String() string {
 // callers in internal/core gate semantic layers to the round-robin base,
 // matching the original implementation.
 func FromSet(base Policy, set Set) *Stack {
-	var layers []Policy
-	for _, n := range setNames {
-		if set.Has(n.p) {
-			layers = append(layers, newSemantic(n.p))
-		}
+	b := &semBundle{}
+	return New(base, b.layers(set)...)
+}
+
+// CanonicalStack is FromSet with a fresh round-robin base, the configuration
+// every additional scheduler domain compiles to. Base, layers, and layer
+// buffer come out of one bundle allocation.
+func CanonicalStack(set Set) *Stack {
+	b := &semBundle{}
+	return New(&b.rr, b.layers(set)...)
+}
+
+// semBundle backs one canonical stack's policy objects with a single
+// allocation. Partitioned runtimes build one stack per domain, so the five
+// separate policy allocations of the naive construction are measurable.
+type semBundle struct {
+	rr   roundRobin
+	bb   boostBlocked
+	ca   createAll
+	csw  csWhole
+	wam  wakeAMAP
+	bw   branchedWake
+	lbuf [5]Policy
+}
+
+// layers materializes the enabled semantic policies in canonical order,
+// pointing into the bundle.
+func (b *semBundle) layers(set Set) []Policy {
+	out := b.lbuf[:0]
+	if set.Has(BoostBlocked) {
+		out = append(out, &b.bb)
 	}
-	return New(base, layers...)
+	if set.Has(CreateAll) {
+		out = append(out, &b.ca)
+	}
+	if set.Has(CSWhole) {
+		out = append(out, &b.csw)
+	}
+	if set.Has(WakeAMAP) {
+		out = append(out, &b.wam)
+	}
+	if set.Has(BranchedWake) {
+		out = append(out, &b.bw)
+	}
+	return out
 }
 
 // StackFromAdvice builds a ready-to-run stack from an advisor
@@ -320,5 +482,5 @@ func FromSet(base Policy, set Set) *Stack {
 // canonical order. It is the diagnose → configure → rerun bridge used by
 // qidoctor.
 func StackFromAdvice(recommended Set) *Stack {
-	return FromSet(RoundRobin(), recommended)
+	return CanonicalStack(recommended)
 }

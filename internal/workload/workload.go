@@ -21,7 +21,7 @@
 package workload
 
 import (
-	"fmt"
+	"strconv"
 
 	"qithread"
 )
@@ -132,7 +132,10 @@ func createWorkers(main *qithread.Thread, n int, name string, fn func(i int, w *
 			main.KeepTurn()
 		}
 		i := i
-		kids[i] = main.Create(fmt.Sprintf("%s%d", name, i), func(w *qithread.Thread) {
+		// strconv, not Sprintf: worker creation is on the hot construction
+		// path of every engine and Sprintf's formatting machinery shows up
+		// in runtime-construction profiles.
+		kids[i] = main.Create(name+strconv.Itoa(i), func(w *qithread.Thread) {
 			fn(i, w)
 		})
 	}

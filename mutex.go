@@ -53,7 +53,7 @@ func (rt *Runtime) newMutex(t *Thread, name string, pcs bool) *Mutex {
 	if rt.det() {
 		s := t.dom.sched
 		s.GetTurn(t.ct)
-		m.obj = s.NewObject("mutex:" + name)
+		m.obj = s.NewObjectKind("mutex:", name)
 		s.TraceOp(t.ct, core.OpMutexInit, m.obj, core.StatusOK)
 		t.release()
 	}

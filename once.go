@@ -30,7 +30,7 @@ func (rt *Runtime) NewOnce(t *Thread, name string) *Once {
 	if rt.det() {
 		s := t.dom.sched
 		s.GetTurn(t.ct)
-		o.obj = s.NewObject("once:" + name)
+		o.obj = s.NewObjectKind("once:", name)
 		s.TraceOp(t.ct, core.OpOnce, o.obj, core.StatusOK)
 		t.release()
 	}

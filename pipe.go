@@ -243,6 +243,113 @@ func (p *XPipe) Recv(t *Thread) (any, bool) {
 	return v, ok
 }
 
+// SendAll sends every message of vs in order, moving up to the pipe's
+// capacity per turn-holding boundary slot: each batch costs one schedule
+// slot, one channel lock acquisition, and one receiver wake-up, instead of
+// one of each per message. When len(vs) <= capacity — the intended shape:
+// size the pipe for the program's natural transfer unit — the whole call is
+// a single boundary slot. Batch sizes are deterministic (always
+// min(remaining, capacity), never dependent on the receiver's real-time
+// progress), and the per-batch stamps expand into per-message Delivery
+// entries identical to the same messages sent one Send at a time under a
+// retained turn. It returns the number of messages sent: len(vs), or fewer
+// if the pipe was closed (the rest are dropped). An empty vs sends nothing
+// and occupies no schedule slot. The caller must belong to the sender
+// domain.
+func (p *XPipe) SendAll(t *Thread, vs []any) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	if !p.rt.det() {
+		sent := 0
+		p.nmu.Lock()
+		for sent < len(vs) {
+			for len(p.nbuf) >= p.capacity && !p.nclosed {
+				p.ncv.Wait()
+			}
+			if p.nclosed {
+				break
+			}
+			vt := t.VNow()
+			for len(p.nbuf) < p.capacity && sent < len(vs) {
+				p.nbuf = append(p.nbuf, xmsg{v: vs[sent], vt: vt})
+				sent++
+			}
+			p.ncv.Broadcast()
+			t.vAdd(t.vCost())
+		}
+		p.nmu.Unlock()
+		return sent
+	}
+	s := p.from.enter(t, "xpipe sender end", p.name)
+	sent := 0
+	for sent < len(vs) {
+		s.GetTurn(t.ct)
+		n := p.ch.SendBatch(t.ct, vs[sent:])
+		s.TraceOp(t.ct, core.OpXPipeSend, p.ch.ID(), core.StatusOK)
+		t.release()
+		if n == 0 {
+			break // closed: the remaining messages are dropped
+		}
+		sent += n
+	}
+	return sent
+}
+
+// RecvUpTo receives up to min(len(dst), capacity) messages into dst in one
+// turn-holding boundary slot: one schedule slot, one channel lock
+// acquisition, one sender wake-up. It blocks until that many messages are
+// queued or the pipe is closed; once closed the remainder is fixed by the
+// sender domain's schedule, so the count returned is deterministic either
+// way. The receiver's virtual clock is raised to the latest send-time clock
+// among the delivered messages. It reports ok=false only once the pipe is
+// closed and drained; n is the number of messages stored into dst. An empty
+// dst receives nothing and occupies no schedule slot. The caller must
+// belong to the receiver domain.
+func (p *XPipe) RecvUpTo(t *Thread, dst []any) (n int, ok bool) {
+	if len(dst) == 0 {
+		return 0, true
+	}
+	if !p.rt.det() {
+		want := len(dst)
+		if want > p.capacity {
+			want = p.capacity
+		}
+		p.nmu.Lock()
+		for len(p.nbuf) < want && !p.nclosed {
+			p.ncv.Wait()
+		}
+		n = len(p.nbuf)
+		if n > want {
+			n = want
+		}
+		if n == 0 {
+			p.nmu.Unlock()
+			return 0, false
+		}
+		var vmax int64
+		for i := 0; i < n; i++ {
+			m := p.nbuf[i]
+			dst[i] = m.v
+			if m.vt > vmax {
+				vmax = m.vt
+			}
+		}
+		p.nbuf = p.nbuf[n:]
+		p.ncv.Broadcast()
+		p.nmu.Unlock()
+		t.vMeet(vmax)
+		t.vAdd(t.vCost())
+		return n, true
+	}
+	s := p.to.enter(t, "xpipe receiver end", p.name)
+	s.GetTurn(t.ct)
+	n, ok = p.ch.RecvBatch(t.ct, dst)
+	s.TraceOp(t.ct, core.OpXPipeRecv, p.ch.ID(), core.StatusOK)
+	t.release()
+	return n, ok
+}
+
 // Close marks the pipe closed and wakes blocked peers. Queued messages
 // remain receivable; further sends fail. Only sender-domain threads may
 // close — the sender domain's schedule then totally orders every send

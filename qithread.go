@@ -138,6 +138,14 @@ type Config struct {
 	// analysis.
 	Record bool
 
+	// RetainDeliveryLog materializes the cross-domain delivery log
+	// (Runtime.DeliveryLog) in memory as messages cross XPipes. Off by
+	// default: fingerprinting folds every delivery into per-pipe running
+	// hashes at receive time, so the boundary is O(1) memory in steady state
+	// and the log itself is only needed for debugging — trace inspection and
+	// the determinism checker's log diffing.
+	RetainDeliveryLog bool
+
 	// SoftBarrierTimeout is the deterministic logical timeout, in turns,
 	// after which an incomplete soft-barrier group is released. Zero means
 	// 256 turns.

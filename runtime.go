@@ -2,6 +2,7 @@ package qithread
 
 import (
 	"fmt"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -67,6 +68,7 @@ func New(cfg Config) *Runtime {
 			pol = stk0.Set()
 		}
 		rt.group = domain.NewGroup(domain.Config{
+			RetainDeliveryLog: cfg.RetainDeliveryLog,
 			NewScheduler: func(id int) (*core.Scheduler, *policy.Stack) {
 				stk := stk0
 				if id != 0 || stk == nil {
@@ -95,7 +97,7 @@ func New(cfg Config) *Runtime {
 		rt.addDomain("main")
 	}
 	for i := 1; i < cfg.Domains; i++ {
-		rt.addDomain(fmt.Sprintf("domain%d", i))
+		rt.addDomain("domain" + strconv.Itoa(i))
 	}
 	return rt
 }
@@ -216,7 +218,9 @@ func (rt *Runtime) Fingerprint() Fingerprint {
 
 // DeliveryLog returns the canonical cross-domain delivery log: every XPipe
 // delivery ordered by (pipe id, message sequence), each stamped with the
-// sender's and receiver's domain-local schedule positions. Valid after Run
+// sender's and receiver's domain-local schedule positions. The log is
+// materialized only under Config.RetainDeliveryLog (fingerprinting does not
+// need it); without the flag DeliveryLog returns nil. Valid after Run
 // returns; nil in Nondet mode and in single-domain programs with no XPipes.
 func (rt *Runtime) DeliveryLog() []Delivery {
 	if rt.group == nil {
@@ -249,13 +253,18 @@ func (rt *Runtime) Stats() core.Stats {
 
 func (rt *Runtime) newThread(name string, d *Domain) *Thread {
 	id := rt.nthread.Add(1) - 1
-	return &Thread{
-		rt:         rt,
-		dom:        d,
-		name:       name,
-		id:         int(id),
-		nondetDone: make(chan struct{}),
+	t := &Thread{
+		rt:   rt,
+		dom:  d,
+		name: name,
+		id:   int(id),
 	}
+	if !rt.det() {
+		// Only Nondet-mode Join reads the done channel; deterministic modes
+		// order exit observation under the turn, so they skip the allocation.
+		t.nondetDone = make(chan struct{})
+	}
+	return t
 }
 
 // det reports whether the runtime schedules deterministically.

@@ -37,7 +37,7 @@ func (rt *Runtime) NewRWMutex(t *Thread, name string) *RWMutex {
 	if rt.det() {
 		s := t.dom.sched
 		s.GetTurn(t.ct)
-		rw.obj = s.NewObject("rwlock:" + name)
+		rw.obj = s.NewObjectKind("rwlock:", name)
 		s.TraceOp(t.ct, core.OpRWInit, rw.obj, core.StatusOK)
 		t.release()
 	}

@@ -35,7 +35,7 @@ func (rt *Runtime) NewSem(t *Thread, name string, value int64) *Sem {
 	if rt.det() {
 		s := t.dom.sched
 		s.GetTurn(t.ct)
-		sem.obj = s.NewObject("sem:" + name)
+		sem.obj = s.NewObjectKind("sem:", name)
 		s.TraceOp(t.ct, core.OpSemInit, sem.obj, core.StatusOK)
 		t.release()
 	} else {

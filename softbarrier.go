@@ -35,7 +35,7 @@ func (rt *Runtime) NewSoftBarrier(t *Thread, name string, n int) *SoftBarrier {
 	if rt.det() && rt.cfg.SoftBarriers {
 		s := t.dom.sched
 		s.GetTurn(t.ct)
-		sb.obj = s.NewObject("softbarrier:" + name)
+		sb.obj = s.NewObjectKind("softbarrier:", name)
 		s.TraceOp(t.ct, core.OpSoftBarrier, sb.obj, core.StatusOK)
 		t.release()
 	}

@@ -105,24 +105,24 @@ func (t *Thread) Create(name string, fn func(*Thread)) *Thread {
 		t.vAdd(t.vCost())
 		child.nv.Store(t.VNow())
 		t.rt.wg.Add(1)
-		go func() {
+		spawn(func() {
 			defer t.rt.wg.Done()
 			fn(child)
 			child.exit()
-		}()
+		})
 		return child
 	}
 	s := t.dom.sched
 	s.GetTurn(t.ct)
 	child.ct = s.Register(name)
-	child.joinObj = s.NewObject("thread:" + name)
+	child.joinObj = s.NewObjectKind("thread:", name)
 	t.dom.stack.OnCreate(t.ct, child.ct)
 	s.TraceOp(t.ct, core.OpCreate, child.joinObj, core.StatusOK)
 	// The child's virtual clock starts at the creator's current virtual
 	// time (it cannot have computed anything earlier).
 	child.ct.SetVTime(t.ct.VTime())
 	t.rt.wg.Add(1)
-	go func() {
+	spawn(func() {
 		defer t.rt.wg.Done()
 		// thread_begin: DMT systems add this implicit operation so child
 		// initialization is deterministically ordered (Figure 1b).
@@ -131,7 +131,7 @@ func (t *Thread) Create(name string, fn func(*Thread)) *Thread {
 		child.release()
 		fn(child)
 		child.exit()
-	}()
+	})
 	t.release()
 	return child
 }
@@ -185,7 +185,6 @@ func (t *Thread) exit() {
 	}
 	s.TraceOp(t.ct, core.OpThreadEnd, 0, core.StatusOK)
 	s.Exit(t.ct)
-	close(t.nondetDone)
 }
 
 // KeepTurn arms the CreateAll policy: the turn is retained across the next
