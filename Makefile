@@ -4,7 +4,7 @@ GO ?= go
 # Performance changes should also refresh the committed baseline with
 # `make bench-json` and include the BENCH_sched.json diff in the review.
 .PHONY: check
-check: build vet race
+check: build vet race shuffle
 
 # What .github/workflows/ci.yml runs: the full gate plus the performance
 # gate, which re-runs the BENCH_sched.json benchmarks at a short benchtime
@@ -32,6 +32,12 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Shuffled test order: catches inter-test state leaks (shared runtimes,
+# leftover goroutines) that a fixed order can mask.
+.PHONY: shuffle
+shuffle:
+	$(GO) test -shuffle=on ./...
+
 # Mechanism and policy-dispatch micro-benchmarks (see EXPERIMENTS.md E9/E13).
 .PHONY: bench
 bench:
@@ -43,7 +49,7 @@ bench:
 # does not steal CPU from the benchmarks.
 .PHONY: bench-json
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkMechanism|BenchmarkPolicyDispatch|BenchmarkBroadcastStorm|BenchmarkTimedWaitChurn|BenchmarkTurnHandoff|BenchmarkDomains' \
+	$(GO) test -run '^$$' -bench 'BenchmarkMechanism|BenchmarkPolicyDispatch|BenchmarkBroadcastStorm|BenchmarkTimedWaitChurn|BenchmarkTurnHandoff|BenchmarkDomains|BenchmarkIngress' \
 		-benchmem -benchtime 300ms -count 3 . > .bench_sched.out
 	$(GO) run ./cmd/qibenchjson < .bench_sched.out > BENCH_sched.json
 	@rm -f .bench_sched.out

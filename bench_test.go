@@ -26,6 +26,9 @@
 //     Yield is exactly one turn handoff.
 //   - BenchmarkDomains            — the sharded server at 1–8 scheduler
 //     domains; wall time per full execution, vunits = virtual makespan.
+//   - BenchmarkIngress            — the ingress-driven server (E17): live
+//     free-running sources admitted through a deterministic gateway, across
+//     admission batch sizes; wall time per full execution.
 //
 // Run with: go test -bench=. -benchmem
 package qithread_test
@@ -319,6 +322,33 @@ func BenchmarkDomains(b *testing.B) {
 			app := workload.DomainServer(workload.DomainServerConfig{
 				Domains: nd, Workers: 3, Requests: 48,
 				AcceptWork: 60, ParseWork: 420, StateWork: 90,
+			}, benchParams)
+			mode := harness.QiThread()
+			var makespan int64
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt := qithread.New(mode.Cfg)
+				app(rt)
+				makespan = rt.VirtualMakespan()
+			}
+			b.ReportMetric(float64(makespan), "vunits")
+		})
+	}
+}
+
+// BenchmarkIngress measures the ingress-driven request server (`qibench
+// -experiment ingress`): four free-running sources feeding a deterministic
+// gateway, a three-worker pool consuming the admitted events. Each iteration
+// is one complete execution including source goroutines, so wall time is the
+// end-to-end cost of the admission boundary at the given batch bound; batch 1
+// pays one turn-holding admission slot per event, larger batches amortize it.
+func BenchmarkIngress(b *testing.B) {
+	for _, batch := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("server/batch=%d", batch), func(b *testing.B) {
+			app := workload.IngressServer(workload.IngressServerConfig{
+				Sources: 4, Events: 256, Workers: 3,
+				ParseWork: 320, StateWork: 80,
+				MaxBatch: batch,
 			}, benchParams)
 			mode := harness.QiThread()
 			var makespan int64

@@ -13,6 +13,7 @@
 //	qibench -experiment x264
 //	qibench -experiment counters [-o counters.csv]
 //	qibench -experiment domains [-o domains.csv]
+//	qibench -experiment ingress [-o ingress.csv]
 //	qibench -experiment all
 //
 // All measurements are virtual makespans (critical-path model, see DESIGN.md)
@@ -37,7 +38,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "fig8", "fig8 | policies | scalability | stability | x264 | counters | domains | all")
+		experiment = flag.String("experiment", "fig8", "fig8 | policies | scalability | stability | x264 | counters | domains | ingress | all")
 		suite      = flag.String("suite", "", "restrict to one suite (splash2x npb parsec phoenix realworld imagemagick stl)")
 		program    = flag.String("program", "", "restrict to one program (Figure 8 label)")
 		scale      = flag.Float64("scale", 0.25, "workload scale factor (1.0 = paper-sized)")
@@ -128,6 +129,8 @@ func main() {
 		runCounters(r, specs, *out)
 	case "domains":
 		runDomains(r, *out)
+	case "ingress":
+		runIngress(r, *out)
 	case "all":
 		runFig8(r, specs, *out)
 		fmt.Println()
@@ -142,6 +145,8 @@ func main() {
 		runAblation(r, ablationDefaults())
 		fmt.Println()
 		runDomains(r, "")
+		fmt.Println()
+		runIngress(r, "")
 	default:
 		fmt.Fprintf(os.Stderr, "qibench: unknown experiment %q\n", *experiment)
 		os.Exit(1)
@@ -380,6 +385,45 @@ func runDomains(r *harness.Runner, out string) {
 		}
 		defer f.Close()
 		harness.WriteDomainCSV(f, append(points, sweep...))
+	}
+}
+
+// runIngress runs the ingress-admission experiment (E17): the ingress-driven
+// request server with free-running sources across admission batch sizes, one
+// overload point with a deliberately tight admission queue (deterministic
+// shedding), and a record/replay determinism gate — a jittered live run whose
+// log is replayed with every observable compared. Unlike the virtual-makespan
+// experiments these measurements are wall-clock (the sources run in real
+// time), so the throughput numbers vary between hosts; the determinism gate
+// does not.
+func runIngress(r *harness.Runner, out string) {
+	batches := []int{1, 4, 16, 64}
+	fmt.Printf("=== Ingress admission: batch sweep + overload shedding (batch %v) ===\n", batches)
+	points := r.IngressSweep(batches, harness.QiThread())
+	fmt.Printf("%-10s %-10s %10s %8s %8s %14s %14s\n", "max_batch", "queue", "admitted", "shed", "epochs", "wall", "admit/s")
+	for _, pt := range points {
+		q := "default"
+		if pt.QueueCap > 0 {
+			q = fmt.Sprintf("%d", pt.QueueCap)
+		}
+		fmt.Printf("%-10d %-10s %10d %8d %8d %14v %14.0f\n",
+			pt.MaxBatch, q, pt.Admitted, pt.Shed, pt.Epochs, pt.Wall, pt.Throughput)
+	}
+	fmt.Print("record/replay gate: ")
+	if err := harness.IngressReplayCheck(r.Params, harness.QiThread().Cfg, 5); err != nil {
+		fmt.Println("FAILED:", err)
+		os.Exit(1)
+	}
+	fmt.Println("5 jittered-log replays identical")
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qibench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		harness.WriteIngressCSV(f, points)
 	}
 }
 

@@ -1,0 +1,179 @@
+// Command qireplay records and replays externally-driven runs. In record
+// mode it executes the ingress-driven request server live — free-running
+// sources pacing themselves with random jitter, so arrival timing genuinely
+// differs between invocations — and saves the ingress log plus a fingerprint
+// sidecar (<log>.fp). In replay mode it re-feeds the recorded log any number
+// of times and diffs every run's observables (output checksum, determinism
+// fingerprint, admitted/shed hashes) against the sidecar and against each
+// other, exiting nonzero on any divergence.
+//
+// Usage:
+//
+//	qireplay -record run.qlog [-jitter 500us] [-events 256] [-queue 64]
+//	qireplay -replay run.qlog [-runs 20]
+//
+// The workload knobs (-sources -events -workers -batch -queue -scale -mode)
+// must match between the recording and the replay: the log captures the
+// external input, not the program.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"qithread"
+	"qithread/internal/workload"
+)
+
+func main() {
+	var (
+		record  = flag.String("record", "", "run live and write the ingress log to this path")
+		replay  = flag.String("replay", "", "re-feed a recorded ingress log")
+		runs    = flag.Int("runs", 20, "replay count (with -replay)")
+		mode    = flag.String("mode", "qithread", "scheduling configuration (qithread | no-hint | logical-clock)")
+		sources = flag.Int("sources", 4, "free-running event sources")
+		events  = flag.Int("events", 256, "total events across sources")
+		workers = flag.Int("workers", 3, "worker pool size")
+		batch   = flag.Int("batch", 16, "admission batch bound")
+		queue   = flag.Int("queue", 0, "admission queue bound (0 = default; small values shed)")
+		jitter  = flag.Duration("jitter", 500*time.Microsecond, "max random inter-event pacing per source (record mode)")
+		scale   = flag.Float64("scale", 0.25, "workload scale factor")
+		verbose = flag.Bool("v", false, "print per-run observables")
+	)
+	flag.Parse()
+
+	if (*record == "") == (*replay == "") {
+		fmt.Fprintln(os.Stderr, "qireplay: exactly one of -record or -replay is required")
+		os.Exit(2)
+	}
+
+	var cfg qithread.Config
+	switch *mode {
+	case "qithread", "all-policies":
+		cfg = qithread.Config{Mode: qithread.RoundRobin, Policies: qithread.AllPolicies}
+	case "no-hint", "round-robin":
+		cfg = qithread.Config{Mode: qithread.RoundRobin}
+	case "logical-clock", "kendo":
+		cfg = qithread.Config{Mode: qithread.LogicalClock}
+	default:
+		fmt.Fprintf(os.Stderr, "qireplay: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+	wcfg := workload.IngressServerConfig{
+		Sources: *sources, Events: *events, Workers: *workers,
+		MaxBatch: *batch, QueueCap: *queue,
+		ParseWork: 320, StateWork: 80,
+	}
+	p := workload.Params{Scale: *scale, InputSeed: 42}
+
+	if *record != "" {
+		wcfg.Jitter = *jitter
+		run := workload.RunIngressServer(wcfg, p, cfg, nil)
+		if err := saveLog(*record, *mode, run); err != nil {
+			fmt.Fprintln(os.Stderr, "qireplay:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("recorded %d events in %d batches over %d epochs -> %s\n",
+			run.Log.Events(), len(run.Log.Batches), run.Stats.Epochs, *record)
+		fmt.Printf("stats:       %s\n", run.Stats)
+		fmt.Printf("output:      %d\n", run.Output)
+		fmt.Printf("fingerprint: %s\n", run.Fingerprint)
+		fmt.Printf("admit/shed:  %016x / %016x\n", run.AdmitHash, run.ShedHash)
+		return
+	}
+
+	f, err := os.Open(*replay)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qireplay:", err)
+		os.Exit(1)
+	}
+	log, err := qithread.LoadIngressLog(f)
+	f.Close()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qireplay:", err)
+		os.Exit(1)
+	}
+	want, recMode, haveSidecar := loadSidecar(*replay + ".fp")
+	if haveSidecar && recMode != "" && recMode != *mode {
+		// A different scheduler produces a different (equally deterministic)
+		// schedule from the same ingress log, so the recorded fingerprint
+		// does not apply — only replay-vs-replay agreement is checkable.
+		fmt.Fprintf(os.Stderr, "qireplay: recording was made under -mode %s, replaying under -mode %s; schedule fingerprints legitimately differ, comparing replays only with each other\n", recMode, *mode)
+		haveSidecar = false
+	}
+
+	var ref string
+	fail := false
+	for i := 0; i < *runs; i++ {
+		run := workload.RunIngressServer(wcfg, p, cfg, log)
+		got := observables(run)
+		if *verbose {
+			fmt.Printf("replay %2d: %s\n", i, got)
+		}
+		if i == 0 {
+			ref = got
+			if haveSidecar && got != want {
+				fmt.Fprintf(os.Stderr, "qireplay: replay diverged from recording:\n  recorded: %s\n  replayed: %s\n", want, got)
+				fail = true
+			}
+		} else if got != ref {
+			fmt.Fprintf(os.Stderr, "qireplay: replay %d diverged from replay 0:\n  replay 0: %s\n  replay %d: %s\n", i, ref, i, got)
+			fail = true
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+	src := "each other"
+	if haveSidecar {
+		src = "the recording"
+	}
+	fmt.Printf("%d replays of %d events identical to %s\n  %s\n", *runs, log.Events(), src, ref)
+}
+
+// observables condenses a run's determinism-relevant results into one
+// comparable line (also the sidecar format).
+func observables(run workload.IngressRun) string {
+	return fmt.Sprintf("output=%d fingerprint=[%s] admit=%016x shed=%016x",
+		run.Output, run.Fingerprint, run.AdmitHash, run.ShedHash)
+}
+
+func saveLog(path, mode string, run workload.IngressRun) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = run.Log.Save(f)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return err
+	}
+	sidecar := fmt.Sprintf("mode=%s\n%s\n", mode, observables(run))
+	return os.WriteFile(path+".fp", []byte(sidecar), 0o644)
+}
+
+// loadSidecar returns the recorded observables line, the scheduling mode the
+// recording ran under (empty for sidecars without a mode line), and whether a
+// sidecar was found at all.
+func loadSidecar(path string) (obs, mode string, ok bool) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qireplay: no fingerprint sidecar %s; comparing replays only with each other\n", path)
+		return "", "", false
+	}
+	s := string(b)
+	for len(s) > 0 && (s[len(s)-1] == '\n' || s[len(s)-1] == '\r') {
+		s = s[:len(s)-1]
+	}
+	if rest, found := strings.CutPrefix(s, "mode="); found {
+		if m, o, split := strings.Cut(rest, "\n"); split {
+			return o, m, true
+		}
+	}
+	return s, "", true
+}

@@ -3,6 +3,8 @@
 // Section 5.1 aggregate comparison of QiThread against Parrot without PCS
 // hints. Given a counters.csv from -experiment counters it reports aggregate
 // per-policy decision counters — which policy earned its keep, and where.
+// Given an ingress.csv from -experiment ingress it reports admission
+// throughput per batch size and the shed fraction of the overload points.
 // The file kind is detected from the header.
 //
 // Usage:
@@ -11,6 +13,8 @@
 //	qistat results.csv
 //	qibench -experiment counters -o counters.csv
 //	qistat counters.csv
+//	qibench -experiment ingress -o ingress.csv
+//	qistat ingress.csv
 package main
 
 import (
@@ -43,6 +47,10 @@ func main() {
 	header := rows[0]
 	if len(header) >= 7 && header[0] == "program" && header[1] == "policy" {
 		summarizeCounters(rows)
+		return
+	}
+	if len(header) >= 8 && header[0] == "max_batch" && header[1] == "queue_cap" {
+		summarizeIngress(rows)
 		return
 	}
 	col := func(name string) int {
@@ -93,6 +101,52 @@ func main() {
 	c := stats.Compare(ratios)
 	fmt.Printf("\nQiThread vs Parrot w/o PCS (%d programs): comparable(<=110%%) %d, speedup(<90%%) %d, slower(>110%%) %d\n",
 		c.Total, c.Comparable, c.Speedup, c.Slower)
+}
+
+// summarizeIngress reports an ingress.csv (max_batch,queue_cap,events,
+// admitted,shed,epochs,wall_ms,admit_per_sec): per-row admission throughput
+// with events-per-slot amortization, shed fraction for the overload rows, and
+// the sweep's best batch size.
+func summarizeIngress(rows [][]string) {
+	parseI := func(s string) int64 {
+		v, _ := strconv.ParseInt(s, 10, 64)
+		return v
+	}
+	parseF := func(s string) float64 {
+		v, _ := strconv.ParseFloat(s, 64)
+		return v
+	}
+	fmt.Printf("%-10s %-10s %10s %8s %10s %12s %8s\n",
+		"max_batch", "queue", "admitted", "shed", "ev/epoch", "admit/s", "shed%")
+	bestBatch, bestRate := int64(0), 0.0
+	for _, row := range rows[1:] {
+		if len(row) < 8 {
+			continue
+		}
+		batch, queue := parseI(row[0]), parseI(row[1])
+		events, admitted, shed, epochs := parseI(row[2]), parseI(row[3]), parseI(row[4]), parseI(row[5])
+		rate := parseF(row[7])
+		perEpoch := 0.0
+		if epochs > 0 {
+			perEpoch = float64(admitted) / float64(epochs)
+		}
+		shedPct := 0.0
+		if events > 0 {
+			shedPct = 100 * float64(shed) / float64(events)
+		}
+		q := "default"
+		if queue > 0 {
+			q = row[1]
+		}
+		fmt.Printf("%-10d %-10s %10d %8d %10.1f %12.0f %7.1f%%\n",
+			batch, q, admitted, shed, perEpoch, rate, shedPct)
+		if queue == 0 && rate > bestRate {
+			bestRate, bestBatch = rate, batch
+		}
+	}
+	if bestBatch > 0 {
+		fmt.Printf("\nbest admission throughput: batch %d at %.0f admitted events/s\n", bestBatch, bestRate)
+	}
 }
 
 // summarizeCounters aggregates a counters.csv (program,policy,picks,

@@ -54,6 +54,11 @@ const (
 	OpXPipeSend
 	OpXPipeRecv
 	OpXPipeClose
+	// OpIngressAdmit is the turn-holding admission slot of a deterministic
+	// ingress gateway (internal/ingress): one epoch boundary where collected
+	// external events enter the deterministic order. Appended after the
+	// existing ops so recorded schedules keep their numbering.
+	OpIngressAdmit
 )
 
 var opNames = map[OpKind]string{
@@ -100,6 +105,7 @@ var opNames = map[OpKind]string{
 	OpXPipeSend:      "xpipe_send",
 	OpXPipeRecv:      "xpipe_recv",
 	OpXPipeClose:     "xpipe_close",
+	OpIngressAdmit:   "ingress_admit",
 }
 
 // String returns the pthreads-style name of the operation.

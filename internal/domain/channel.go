@@ -65,8 +65,8 @@ type Channel struct {
 	mu      sync.Mutex
 	canSend sync.Cond // waited on by a blocked sender (ring full)
 	canRecv sync.Cond // waited on by a blocked receiver (ring short of its batch)
-	sendW   bool       // a sender is parked on canSend
-	recvW   bool       // a receiver is parked on canRecv
+	sendW   bool      // a sender is parked on canSend
+	recvW   bool      // a receiver is parked on canRecv
 
 	ring   []message // fixed ring of capacity slots
 	head   int       // index of the oldest queued message

@@ -1,0 +1,130 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"qithread"
+	"qithread/internal/stats"
+	"qithread/internal/workload"
+)
+
+// This file runs the ingress-admission experiment (E17): the ingress-driven
+// request server with free-running sources, measured across admission batch
+// sizes and — separately — under deliberate overload with a tight admission
+// queue. Every admission slot is a turn-holding boundary op, so small batches
+// pay one deterministic slot per few events while large batches amortize it;
+// the overload point shows the deterministic shedding policy rejecting a
+// replayable subset instead of stalling the sources.
+
+// IngressPoint is one ingress-server measurement.
+type IngressPoint struct {
+	// MaxBatch is the admission batch bound of this point.
+	MaxBatch int
+	// QueueCap is the deterministic admission queue bound (0 = default).
+	QueueCap int
+	// Events is the total events the sources produced.
+	Events int64
+	// Admitted and Shed partition the collected events.
+	Admitted int64
+	Shed     int64
+	// Epochs is the number of admission slots taken.
+	Epochs int64
+	// Wall is the median host wall-clock time of the run.
+	Wall time.Duration
+	// Throughput is admitted events per second of median wall time.
+	Throughput float64
+	// Output is the workload checksum (fixed across batch sizes while no
+	// event is shed).
+	Output uint64
+}
+
+// ingressServerConfig is the experiment's fixed workload shape; MaxBatch and
+// QueueCap vary per point.
+func ingressServerConfig(maxBatch, queueCap int) workload.IngressServerConfig {
+	return workload.IngressServerConfig{
+		Sources: 4, Events: 256, Workers: 3,
+		ParseWork: 320, StateWork: 80,
+		MaxBatch: maxBatch, QueueCap: queueCap,
+	}
+}
+
+// MeasureIngress measures the ingress server at one admission batch size and
+// queue bound under one mode, reporting medians over the runner's repeats.
+func (r *Runner) MeasureIngress(maxBatch, queueCap int, mode Mode) IngressPoint {
+	cfg := ingressServerConfig(maxBatch, queueCap)
+	if r.Warmup {
+		workload.RunIngressServer(cfg, r.Params, mode.Cfg, nil)
+	}
+	wts := make([]time.Duration, 0, r.repeats())
+	var last workload.IngressRun
+	for i := 0; i < r.repeats(); i++ {
+		last = workload.RunIngressServer(cfg, r.Params, mode.Cfg, nil)
+		wts = append(wts, last.Wall)
+	}
+	wall := stats.Median(wts)
+	pt := IngressPoint{
+		MaxBatch: maxBatch,
+		QueueCap: queueCap,
+		Events:   last.Stats.Collected,
+		Admitted: last.Stats.Admitted,
+		Shed:     last.Stats.Shed,
+		Epochs:   last.Stats.Epochs,
+		Wall:     wall,
+		Output:   last.Output,
+	}
+	if wall > 0 {
+		pt.Throughput = float64(pt.Admitted) / wall.Seconds()
+	}
+	return pt
+}
+
+// IngressSweep measures the ingress server across admission batch sizes under
+// the given mode, then appends one overload point: the largest batch size with
+// an admission queue deliberately smaller than the sources' burst, so a
+// deterministic fraction of the input is shed.
+func (r *Runner) IngressSweep(batches []int, mode Mode) []IngressPoint {
+	var points []IngressPoint
+	for _, b := range batches {
+		pt := r.MeasureIngress(b, 0, mode)
+		points = append(points, pt)
+		r.logf("ingress batch=%-3d  admitted=%d shed=%d epochs=%-5d wall=%10v  %.0f ev/s\n",
+			b, pt.Admitted, pt.Shed, pt.Epochs, pt.Wall, pt.Throughput)
+	}
+	if len(batches) > 0 {
+		b := batches[len(batches)-1]
+		pt := r.MeasureIngress(b, 8, mode)
+		points = append(points, pt)
+		r.logf("ingress batch=%-3d queue=8 (overload)  admitted=%d shed=%d wall=%10v\n",
+			b, pt.Admitted, pt.Shed, pt.Wall)
+	}
+	return points
+}
+
+// IngressReplayCheck records one jittered live run and replays its log,
+// returning an error if any replay observable (checksum, fingerprint,
+// admitted/shed hashes) diverges — the experiment's determinism gate.
+func IngressReplayCheck(p workload.Params, cfg qithread.Config, replays int) error {
+	wcfg := ingressServerConfig(16, 0)
+	wcfg.Jitter = 200 * time.Microsecond
+	rec := workload.RunIngressServer(wcfg, p, cfg, nil)
+	for i := 0; i < replays; i++ {
+		rep := workload.RunIngressServer(wcfg, p, cfg, rec.Log)
+		if rep.Output != rec.Output || !rep.Fingerprint.Equal(rec.Fingerprint) ||
+			rep.AdmitHash != rec.AdmitHash || rep.ShedHash != rec.ShedHash {
+			return fmt.Errorf("ingress replay %d diverged: output %d vs %d, fingerprint %v vs %v",
+				i, rep.Output, rec.Output, rep.Fingerprint, rec.Fingerprint)
+		}
+	}
+	return nil
+}
+
+// WriteIngressCSV writes the sweep as CSV for qistat.
+func WriteIngressCSV(w io.Writer, points []IngressPoint) {
+	fmt.Fprintln(w, "max_batch,queue_cap,events,admitted,shed,epochs,wall_ms,admit_per_sec")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%.3f,%.0f\n",
+			pt.MaxBatch, pt.QueueCap, pt.Events, pt.Admitted, pt.Shed, pt.Epochs, ms(pt.Wall), pt.Throughput)
+	}
+}

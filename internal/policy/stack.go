@@ -69,7 +69,6 @@ type stackBuf struct {
 	aligners     [stackInlinePolicies]Aligner
 }
 
-
 // New composes a stack from a base turn policy (which must implement
 // Picker) and semantics-aware layers in stack order. Every policy object is
 // attached to exactly one stack; passing a policy to two stacks panics via

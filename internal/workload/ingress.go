@@ -1,0 +1,173 @@
+package workload
+
+import (
+	"math/rand"
+	"strconv"
+	"time"
+
+	"qithread"
+	"qithread/internal/ingress"
+)
+
+// This file holds the ingress-driven server workload: the first engine whose
+// input arrives from OUTSIDE the deterministic execution. Free-running
+// sources (one goroutine per source, optionally pacing themselves with
+// random jitter to model real arrival nondeterminism) push request events
+// into a Gateway; the main thread is the gateway thread, admitting
+// epoch-stamped batches inside the turn and dispatching them to an in-domain
+// worker pool over a Pipe. Each request's payload encodes its global index,
+// and per-request seeds are derived from the index alone, so the output
+// checksum is a pure function of the ADMITTED request set: runs without
+// shedding produce the same checksum no matter how arrival timing batched
+// the events, and a recorded run replays to an identical checksum,
+// fingerprint, and shed set.
+
+// IngressServerConfig describes the ingress-driven request server.
+type IngressServerConfig struct {
+	Sources int // free-running event producers
+	Events  int // total requests across all sources
+	Workers int // in-domain worker pool size
+	// Gateway shape (zero values take the gateway defaults).
+	StageCap int
+	MaxBatch int
+	QueueCap int
+	// Per-request compute.
+	ParseWork int64
+	StateWork int64
+	// Jitter, when positive, paces each source with a random sleep of up to
+	// Jitter between pushes — deliberate real-time nondeterminism, so tests
+	// can show that recorded runs replay identically anyway. Benchmarks
+	// leave it zero (sources push at full speed).
+	Jitter time.Duration
+}
+
+// IngressRun is one execution's observable result: the output checksum, the
+// recorded (or replayed) ingress log, the determinism fingerprint and the
+// admission bookkeeping, everything the record/replay round-trip compares.
+type IngressRun struct {
+	Output      uint64
+	Fingerprint qithread.Fingerprint
+	Log         *qithread.IngressLog
+	AdmitHash   uint64
+	ShedHash    uint64
+	Stats       qithread.IngressStats
+	Wall        time.Duration
+}
+
+// IngressServer builds the ingress-driven server as a plain App (live
+// sources, log discarded) for benchmarks and the experiment harness.
+func IngressServer(cfg IngressServerConfig, p Params) App {
+	return func(rt *qithread.Runtime) uint64 {
+		r := runIngressServer(rt, cfg, p, nil)
+		return r.Output
+	}
+}
+
+// RunIngressServer runs the ingress server once on a fresh runtime. With
+// replay nil the sources run live and the returned Log is the recording;
+// with a replay log the sources are ignored and the run reproduces the
+// recorded execution. Record is forced on so the fingerprint is meaningful.
+func RunIngressServer(cfg IngressServerConfig, p Params, rtcfg qithread.Config, replay *qithread.IngressLog) IngressRun {
+	rtcfg.Record = true
+	rt := qithread.New(rtcfg)
+	return runIngressServer(rt, cfg, p, replay)
+}
+
+func runIngressServer(rt *qithread.Runtime, cfg IngressServerConfig, p Params, replay *qithread.IngressLog) IngressRun {
+	sources := cfg.Sources
+	if sources < 1 {
+		sources = 1
+	}
+	workers := p.threads(cfg.Workers)
+	events := p.scaleN(cfg.Events, sources*workers)
+	parseWork := p.scaleW(cfg.ParseWork)
+	stateWork := p.scaleW(cfg.StateWork)
+	maxBatch := cfg.MaxBatch
+	if maxBatch <= 0 {
+		maxBatch = 16
+	}
+
+	gw := rt.NewGateway("ingress", rt.Domain(0), qithread.GatewayConfig{
+		StageCap: cfg.StageCap,
+		MaxBatch: maxBatch,
+		QueueCap: cfg.QueueCap,
+		Replay:   replay,
+	})
+	for s := 0; s < sources; s++ {
+		s := s
+		lo := s * events / sources
+		hi := (s + 1) * events / sources
+		gw.AddSource(ingress.FuncSource("feed"+strconv.Itoa(s), func(port *ingress.Port) {
+			// Jitter seeds from the wall clock on purpose: arrival timing is
+			// the nondeterminism the gateway exists to fence off.
+			var rng *rand.Rand
+			if cfg.Jitter > 0 {
+				rng = rand.New(rand.NewSource(time.Now().UnixNano() + int64(s)))
+			}
+			for r := lo; r < hi; r++ {
+				if rng != nil {
+					time.Sleep(time.Duration(rng.Int63n(int64(cfg.Jitter) + 1)))
+				}
+				port.Push([]byte(strconv.Itoa(r)))
+			}
+		}))
+	}
+
+	var state uint64
+	var total uint64
+	start := time.Now()
+	rt.Run(func(main *qithread.Thread) {
+		reqs := rt.NewPipe(main, "reqs", 2*maxBatch)
+		stateM := rt.NewMutex(main, "state")
+		parts := make([]uint64, workers)
+		kids := createWorkers(main, workers, "worker", func(i int, w *qithread.Thread) {
+			var acc uint64
+			for {
+				v, ok := reqs.Recv(w)
+				if !ok {
+					break
+				}
+				r := v.(int)
+				pv := w.WorkSeeded(seedFor(p.InputSeed, r), itemWork(parseWork, r, p.InputSeed, p.InputSkew))
+				acc += pv
+				stateM.Lock(w)
+				sv := w.WorkSeeded(seedFor(p.InputSeed, r)+2, stateWork)
+				state += sv
+				stateM.Unlock(w)
+				acc += sv
+			}
+			parts[i] = acc
+		})
+		// The gateway thread: admit epoch batches inside the turn, dispatch
+		// each admitted request to the worker pool.
+		buf := make([]qithread.IngressEvent, maxBatch)
+		for {
+			n, ok := gw.Admit(main, buf)
+			for i := 0; i < n; i++ {
+				r, err := strconv.Atoi(string(buf[i].Data))
+				if err != nil {
+					panic("workload: bad ingress payload " + strconv.Quote(string(buf[i].Data)))
+				}
+				reqs.Send(main, r)
+			}
+			if !ok {
+				break
+			}
+		}
+		reqs.Close(main)
+		joinAll(main, kids)
+		total = sumAll(parts)
+	})
+	wall := time.Since(start)
+
+	admit, shed := gw.Hashes()
+	return IngressRun{
+		Output:      total,
+		Fingerprint: rt.Fingerprint(),
+		Log:         gw.Log(),
+		AdmitHash:   admit,
+		ShedHash:    shed,
+		Stats:       gw.IngressStats(),
+		Wall:        wall,
+	}
+}

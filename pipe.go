@@ -44,9 +44,14 @@ func (rt *Runtime) NewPipe(t *Thread, name string, capacity int) *Pipe {
 	}
 }
 
-// Send enqueues v, blocking while the pipe is full. It reports false if the
-// pipe was closed (the message is then dropped, like writing to a closed
-// socket).
+// Send enqueues v, blocking while the pipe is full. It reports false once
+// the pipe is closed — whether it was closed before the call or concurrently,
+// while the sender was still blocked waiting for space. In both cases the
+// message is dropped: a false return guarantees no receiver ever observes v,
+// and a true return guarantees v was enqueued, mirroring the closed-socket
+// write semantics this type models. (Like the rest of the pipe, the outcome
+// is deterministic: whether a given Send beats a given Close is fixed by the
+// schedule, not by real-time racing.)
 func (p *Pipe) Send(t *Thread, v any) bool {
 	p.m.Lock(t)
 	for len(p.buf) >= p.capacity && !p.closed {
@@ -101,6 +106,71 @@ func (p *Pipe) Len(t *Thread) int {
 	n := len(p.buf)
 	p.m.Unlock(t)
 	return n
+}
+
+// SendAll sends every message of vs in order, moving up to the pipe's
+// capacity per mutex acquisition — the in-domain analogue of XPipe.SendAll:
+// one lock round and one receiver wake-up per batch instead of one per
+// message. It returns the number of messages sent: len(vs), or fewer if the
+// pipe was closed while the sender was blocked (the remainder is dropped, as
+// with Send). An empty vs sends nothing. Messages beyond the pipe's capacity
+// are delivered across several batches, so a single SendAll may interleave
+// with other senders at batch granularity (each batch itself is atomic).
+func (p *Pipe) SendAll(t *Thread, vs []any) int {
+	if len(vs) == 0 {
+		return 0
+	}
+	sent := 0
+	p.m.Lock(t)
+	for sent < len(vs) {
+		for len(p.buf) >= p.capacity && !p.closed {
+			p.notFull.Wait(t, p.m)
+		}
+		if p.closed {
+			break
+		}
+		for len(p.buf) < p.capacity && sent < len(vs) {
+			p.buf = append(p.buf, vs[sent])
+			sent++
+		}
+		p.notEmpty.Broadcast(t)
+	}
+	p.m.Unlock(t)
+	return sent
+}
+
+// RecvUpTo receives up to min(len(dst), capacity) messages into dst in one
+// mutex acquisition, blocking until that many are queued or the pipe is
+// closed — the in-domain analogue of XPipe.RecvUpTo, with the same contract:
+// n is the number of messages stored, ok is false only once the pipe is
+// closed and drained, and an empty dst receives nothing. A request larger
+// than the pipe's capacity is clamped to the capacity (it could otherwise
+// never be satisfied by a full pipe).
+func (p *Pipe) RecvUpTo(t *Thread, dst []any) (n int, ok bool) {
+	if len(dst) == 0 {
+		return 0, true
+	}
+	want := len(dst)
+	if want > p.capacity {
+		want = p.capacity
+	}
+	p.m.Lock(t)
+	for len(p.buf) < want && !p.closed {
+		p.notEmpty.Wait(t, p.m)
+	}
+	n = len(p.buf)
+	if n > want {
+		n = want
+	}
+	if n == 0 {
+		p.m.Unlock(t)
+		return 0, false
+	}
+	copy(dst, p.buf[:n])
+	p.buf = p.buf[n:]
+	p.m.Unlock(t)
+	p.notFull.Broadcast(t)
+	return n, true
 }
 
 // Close marks the pipe closed and wakes all blocked senders and receivers.

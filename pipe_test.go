@@ -164,3 +164,176 @@ func formatInts(xs []int) string {
 	}
 	return s
 }
+
+// pipeEdgeModes are the two deterministic turn modes the edge-case tests run
+// under (the satellite matrix: vanilla-policy round robin and the
+// logical-clock baseline).
+func pipeEdgeModes() []Config {
+	return []Config{
+		{Mode: RoundRobin, Policies: AllPolicies},
+		{Mode: LogicalClock},
+	}
+}
+
+// TestPipeCloseWakesSendersAndReceivers: one Close wakes blocked senders
+// (full pipe) and blocked receivers (empty pipe) alike; the senders' messages
+// are dropped, the pre-close messages stay receivable.
+func TestPipeCloseWakesSendersAndReceivers(t *testing.T) {
+	for _, cfg := range pipeEdgeModes() {
+		t.Run(cfg.Mode.String(), func(t *testing.T) {
+			rt := New(cfg)
+			rt.Run(func(main *Thread) {
+				full := rt.NewPipe(main, "full", 1)
+				empty := rt.NewPipe(main, "empty", 1)
+				full.Send(main, 0) // fill: subsequent senders block
+				var sent [2]bool
+				var recvOK [2]bool
+				var kids []*Thread
+				for i := 0; i < 2; i++ {
+					i := i
+					kids = append(kids, main.Create("s", func(w *Thread) {
+						sent[i] = full.Send(w, 100+i)
+					}))
+					kids = append(kids, main.Create("r", func(w *Thread) {
+						_, recvOK[i] = empty.Recv(w)
+					}))
+				}
+				for i := 0; i < 8; i++ {
+					main.Yield() // let every child reach its blocking op
+				}
+				full.Close(main)
+				empty.Close(main)
+				for _, k := range kids {
+					main.Join(k)
+				}
+				if sent[0] || sent[1] {
+					t.Errorf("blocked senders should fail after close: %v", sent)
+				}
+				if recvOK[0] || recvOK[1] {
+					t.Errorf("blocked receivers should fail after close: %v", recvOK)
+				}
+				if v, ok := full.Recv(main); !ok || v != 0 {
+					t.Errorf("pre-close message lost: %v %v", v, ok)
+				}
+				if _, ok := full.Recv(main); ok {
+					t.Error("dropped message of a woken sender was delivered")
+				}
+			})
+		})
+	}
+}
+
+// TestPipeSendConcurrentCloseDrops: the satellite's doc/behaviour contract —
+// a message passed to Send on a concurrently-closed pipe is dropped and false
+// returned, so a false Send guarantees no receiver observes the message.
+func TestPipeSendConcurrentCloseDrops(t *testing.T) {
+	for _, cfg := range pipeEdgeModes() {
+		t.Run(cfg.Mode.String(), func(t *testing.T) {
+			rt := New(cfg)
+			rt.Run(func(main *Thread) {
+				p := rt.NewPipe(main, "p", 1)
+				p.Send(main, "keep")
+				var sent bool
+				sender := main.Create("sender", func(w *Thread) {
+					sent = p.Send(w, "dropped") // blocks on the full pipe
+				})
+				for i := 0; i < 6; i++ {
+					main.Yield()
+				}
+				p.Close(main)
+				main.Join(sender)
+				if sent {
+					t.Error("Send on a concurrently-closed pipe reported true")
+				}
+				var drained []any
+				for {
+					v, ok := p.Recv(main)
+					if !ok {
+						break
+					}
+					drained = append(drained, v)
+				}
+				if len(drained) != 1 || drained[0] != "keep" {
+					t.Errorf("drained %v, want just the pre-close message", drained)
+				}
+				if p.Send(main, "late") {
+					t.Error("Send after close reported true")
+				}
+				if n := p.SendAll(main, []any{"x", "y"}); n != 0 {
+					t.Errorf("SendAll after close sent %d", n)
+				}
+			})
+		})
+	}
+}
+
+// TestPipeBatchEdgeCases: SendAll/RecvUpTo with zero-length and
+// over-capacity slices, and a SendAll cut short by a concurrent Close.
+func TestPipeBatchEdgeCases(t *testing.T) {
+	for _, cfg := range pipeEdgeModes() {
+		t.Run(cfg.Mode.String(), func(t *testing.T) {
+			rt := New(cfg)
+			rt.Run(func(main *Thread) {
+				p := rt.NewPipe(main, "p", 2)
+				if n := p.SendAll(main, nil); n != 0 {
+					t.Errorf("empty SendAll sent %d", n)
+				}
+				if n, ok := p.RecvUpTo(main, nil); n != 0 || !ok {
+					t.Errorf("empty RecvUpTo = %d, %v", n, ok)
+				}
+				// Over-capacity in both directions: 5 messages through a
+				// capacity-2 pipe, received into a length-5 dst (clamped to
+				// the capacity per call). Order and completeness must hold.
+				var got []any
+				consumer := main.Create("c", func(w *Thread) {
+					buf := make([]any, 5)
+					for {
+						n, ok := p.RecvUpTo(w, buf)
+						if n > 2 {
+							t.Errorf("RecvUpTo returned %d > capacity", n)
+						}
+						got = append(got, buf[:n]...)
+						if !ok {
+							return
+						}
+					}
+				})
+				vs := []any{1, 2, 3, 4, 5}
+				if n := p.SendAll(main, vs); n != 5 {
+					t.Errorf("SendAll sent %d of 5", n)
+				}
+				p.Close(main)
+				main.Join(consumer)
+				if len(got) != 5 {
+					t.Fatalf("received %v, want 5 messages", got)
+				}
+				for i, v := range got {
+					if v != i+1 {
+						t.Errorf("got[%d] = %v, want %d", i, v, i+1)
+					}
+				}
+			})
+			// A SendAll blocked mid-batch is cut short by Close: it reports
+			// the messages actually delivered and drops the rest.
+			rt2 := New(cfg)
+			rt2.Run(func(main *Thread) {
+				p := rt2.NewPipe(main, "p", 2)
+				var n int
+				sender := main.Create("s", func(w *Thread) {
+					n = p.SendAll(w, []any{1, 2, 3, 4, 5}) // fills, then blocks
+				})
+				for i := 0; i < 6; i++ {
+					main.Yield()
+				}
+				p.Close(main)
+				main.Join(sender)
+				if n != 2 {
+					t.Errorf("interrupted SendAll reported %d, want 2", n)
+				}
+				if v, ok := p.Recv(main); !ok || v != 1 {
+					t.Errorf("first queued message: %v %v", v, ok)
+				}
+			})
+		})
+	}
+}
