@@ -1,7 +1,10 @@
 // Command qibenchjson converts `go test -bench` output on stdin into a
-// machine-readable JSON baseline: benchmark name → {ns/op, allocs/op}.
-// Repetitions of the same benchmark (-count N) are averaged for ns/op so the
-// emitted numbers are less noisy than any single run. The result is written
+// machine-readable JSON baseline: benchmark name → {ns/op, allocs/op,
+// gomaxprocs}. Repetitions of the same benchmark (-count N) are averaged for
+// ns/op so the emitted numbers are less noisy than any single run. The
+// GOMAXPROCS suffix the testing package appends to names is kept (and also
+// recorded as a structured field), so one baseline can hold the same
+// benchmark at several -cpu values side by side. The result is written
 // to stdout; `make bench-json` redirects it to BENCH_sched.json, the
 // committed scheduler-performance baseline referenced by EXPERIMENTS.md E14.
 //
@@ -34,17 +37,25 @@ import (
 	"strings"
 )
 
-// Result is one benchmark's aggregated measurement.
+// Result is one benchmark's aggregated measurement. GOMAXPROCS is the proc
+// count the benchmark ran at, recovered from the -N suffix the testing
+// package appends when GOMAXPROCS != 1 (absent suffix means 1). It is kept
+// as a structured field — and the suffix kept in the key — so single-core
+// and multi-core baselines of the same benchmark coexist in one file
+// instead of colliding under a stripped name.
 type Result struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	Reps        int     `json:"reps"`
+	GOMAXPROCS  int     `json:"gomaxprocs"`
 }
 
 // gomaxprocsSuffix is the -N the testing package appends to benchmark names
-// when GOMAXPROCS != 1. Stripping it keeps baselines comparable across
-// machines.
-var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+// when GOMAXPROCS != 1. It is parsed into Result.GOMAXPROCS (and left in the
+// map key); it is only stripped when deriving the top-level -bench pattern
+// in -compare mode. No sub-benchmark in this repo ends in "-<digits>" (they
+// use "key=value" parts), so the suffix is unambiguous.
+var gomaxprocsSuffix = regexp.MustCompile(`-(\d+)$`)
 
 func main() {
 	compare := flag.String("compare", "", "baseline JSON to compare a fresh benchmark run against")
@@ -79,6 +90,7 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 		nsSum  float64
 		allocs int64
 		reps   int
+		procs  int
 	}
 	sums := make(map[string]*acc)
 
@@ -93,10 +105,14 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 		if len(fields) < 4 {
 			continue
 		}
-		name := gomaxprocsSuffix.ReplaceAllString(fields[0], "")
+		name := fields[0]
+		procs := 1
+		if m := gomaxprocsSuffix.FindStringSubmatch(name); m != nil {
+			procs, _ = strconv.Atoi(m[1])
+		}
 		a := sums[name]
 		if a == nil {
-			a = &acc{}
+			a = &acc{procs: procs}
 			sums[name] = a
 		}
 		ok := false
@@ -130,6 +146,7 @@ func parseBench(r io.Reader) (map[string]Result, error) {
 			NsPerOp:     round2(a.nsSum / float64(a.reps)),
 			AllocsPerOp: a.allocs,
 			Reps:        a.reps,
+			GOMAXPROCS:  a.procs,
 		}
 	}
 	return out, nil
@@ -156,11 +173,17 @@ func runCompare(baselinePath, pkg string, short bool, threshold, allocThreshold 
 		return 1
 	}
 
-	// The baseline keys are full sub-benchmark paths; -bench matches on the
-	// top-level function name, so run the union of those.
+	// The baseline keys are full sub-benchmark paths (with any GOMAXPROCS
+	// suffix); -bench matches on the top-level function name, so run the
+	// union of those with the suffix stripped.
 	tops := make(map[string]bool)
-	for name := range baseline {
-		tops[strings.SplitN(name, "/", 2)[0]] = true
+	procSet := make(map[int]bool)
+	for name, res := range baseline {
+		top := strings.SplitN(name, "/", 2)[0]
+		tops[gomaxprocsSuffix.ReplaceAllString(top, "")] = true
+		if res.GOMAXPROCS > 0 {
+			procSet[res.GOMAXPROCS] = true
+		}
 	}
 	names := make([]string, 0, len(tops))
 	for t := range tops {
@@ -168,13 +191,30 @@ func runCompare(baselinePath, pkg string, short bool, threshold, allocThreshold 
 	}
 	sort.Strings(names)
 	pattern := "^(" + strings.Join(names, "|") + ")$"
+	// Re-run at exactly the proc counts the baseline was recorded at, so the
+	// fresh run reproduces the baseline's keys (suffixes included). Legacy
+	// baselines without gomaxprocs fields run at the host default.
+	procs := make([]int, 0, len(procSet))
+	for p := range procSet {
+		procs = append(procs, p)
+	}
+	sort.Ints(procs)
 
 	benchtime, count := "300ms", "3"
 	if short {
 		benchtime, count = "50ms", "1"
 	}
-	cmd := exec.Command("go", "test", "-run", "^$",
-		"-bench", pattern, "-benchmem", "-benchtime", benchtime, "-count", count, pkg)
+	args := []string{"test", "-run", "^$",
+		"-bench", pattern, "-benchmem", "-benchtime", benchtime, "-count", count}
+	if len(procs) > 0 {
+		cpuList := make([]string, len(procs))
+		for i, p := range procs {
+			cpuList[i] = strconv.Itoa(p)
+		}
+		args = append(args, "-cpu", strings.Join(cpuList, ","))
+	}
+	args = append(args, pkg)
+	cmd := exec.Command("go", args...)
 	var out bytes.Buffer
 	cmd.Stdout = &out
 	cmd.Stderr = os.Stderr

@@ -105,8 +105,8 @@ func (c *Cond) wait(t *Thread, m *Mutex, timeout int64) bool {
 		t.park(m.obj, core.NoTimeout)
 	}
 	m.owner = t
-	// Re-entering the critical section re-establishes any CSWhole retention;
-	// the release below then consults the stack's retainers as usual.
+	// Re-entering the critical section re-grants any CSWhole lease; the
+	// release below then consults the stack's leasers as usual.
 	c.dom.stack.OnAcquire(t.ct)
 	s.TraceOp(t.ct, op, c.obj, core.StatusReturn)
 	t.release()
@@ -134,7 +134,7 @@ func (c *Cond) Signal(t *Thread) {
 	left := s.Signal(t.ct, c.obj)
 	s.TraceOp(t.ct, core.OpCondSignal, c.obj, core.StatusOK)
 	if c.dom.stack.NeedWaiters() {
-		// Sticky retention (WakeAMAP): keep the turn — across whatever
+		// Sticky wake lease (WakeAMAP): hold the turn lease — across whatever
 		// operations this thread performs next — while more threads wait
 		// here, so the whole unblocking loop runs before anyone else is
 		// scheduled and the woken threads resume aligned (Section 3.4).

@@ -1,5 +1,7 @@
 package qithread
 
+import "qithread/internal/spin"
+
 // Goroutine pool for thread bodies. A Runtime is single-use, so without
 // pooling every run of a partitioned program pays a fresh goroutine spawn —
 // and, worse, a fresh stack growth to the program's working depth — for
@@ -36,7 +38,10 @@ func poolWorker(fn func()) {
 		fn()
 		select {
 		case idleWorkers <- self:
-			fn = <-self
+			// Spin-then-park wakeup, shared with the scheduler's grant path
+			// (internal/spin): create→run handoffs usually arrive within the
+			// spin window when another core is driving the program.
+			fn = spin.Recv(self)
 		default:
 			return
 		}

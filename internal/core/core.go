@@ -133,6 +133,18 @@ type Config struct {
 	// scheduler queue manipulation). Zero means 12. See the virtual-time
 	// model below.
 	VSyncCost int64
+	// NoLease disables the scheduler's solo-thread turn lease (see
+	// Scheduler.PutTurn). The lease is trace-neutral — it only short-circuits
+	// handoffs the thread would win anyway — so this switch exists for
+	// determinism tests (lease on vs off must fingerprint identically) and
+	// for isolating lease effects in benchmarks.
+	NoLease bool
+	// LeaseVeto, when non-nil, is consulted before every lease grant and
+	// extension; returning true forces the slow release path for that one
+	// decision. It is a chaos hook for the lease property tests: any veto
+	// interleaving must leave the trace byte-identical. Production
+	// configurations leave it nil.
+	LeaseVeto func() bool
 }
 
 // Virtual time. The scheduler maintains a critical-path ("virtual time")

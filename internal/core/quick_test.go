@@ -23,7 +23,12 @@ func (sc script) ops() int     { return int(sc.NOps)%12 + 3 }
 // runScript executes the script under cfg and returns the recorded trace.
 func runScript(sc script, cfg Config) []Event {
 	cfg.Record = true
-	s := New(cfg)
+	return runScriptOn(New(cfg), sc)
+}
+
+// runScriptOn executes the script on an existing scheduler (which the caller
+// can then inspect for stats or turn counts) and returns the recorded trace.
+func runScriptOn(s *Scheduler, sc script) []Event {
 	n := sc.threads()
 	ths := make([]*Thread, n)
 	for i := range ths {

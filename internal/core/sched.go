@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"qithread/internal/policy"
+	"qithread/internal/spin"
 )
 
 // Scheduler is the deterministic user-space scheduler. It maintains the three
@@ -55,7 +56,24 @@ type Scheduler struct {
 	// peek per turn advance and the idle-time jump reads the heap top.
 	timers dheap
 
-	turn    int64 // logical time: completed scheduling turns
+	// turn is logical time: completed scheduling turns. It is atomic because
+	// the lease fast path of PutTurn advances it without the mutex; all other
+	// writers run under mu (and never concurrently with a lease holder, see
+	// leaseableLocked for the invariant).
+	turn atomic.Int64
+
+	// Turn-leasing state. leased is set while the current holder has a
+	// scheduler lease: the solo-thread case where every queue-and-handoff
+	// release would deterministically return the turn to the same thread, so
+	// PutTurn short-circuits to a mutex-free time advance. The lease is
+	// granted and revoked only under mu; leased is atomic so the holder's
+	// mutex-free fast path and concurrent Register calls stay race-free.
+	// leaseExtends counts fast-path releases (atomic for the same reason);
+	// leaseHash folds every grant/revoke decision under mu (see Stats).
+	leased       atomic.Bool
+	leaseExtends atomic.Int64
+	leaseHash    uint64
+
 	nextTID int
 	nextObj uint64
 	objName map[uint64]objLabel // lazily created on first NewObject
@@ -181,6 +199,14 @@ func (s *Scheduler) Register(name string) *Thread {
 	}
 	t.wnode.t = t
 	t.wnode.heapIdx = -1
+	// A new runnable thread invalidates the solo condition: the holder's next
+	// release must queue and hand off normally or the newcomer never runs.
+	// Registration during a lease only happens from the lease holder itself
+	// (Create runs under the turn), so the revocation is ordered before the
+	// holder's next PutTurn.
+	if s.leased.Load() {
+		s.revokeLeaseLocked()
+	}
 	s.nextTID++
 	s.threads = append(s.threads, t)
 	s.live++
@@ -240,11 +266,7 @@ func (s *Scheduler) ObjectName(id uint64) string {
 
 // TurnCount returns the number of completed scheduling turns, the logical
 // time base used for deterministic timeouts.
-func (s *Scheduler) TurnCount() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.turn
-}
+func (s *Scheduler) TurnCount() int64 { return s.turn.Load() }
 
 // Live returns the number of registered, not yet exited threads.
 func (s *Scheduler) Live() int {
@@ -284,17 +306,59 @@ func (s *Scheduler) GetTurn(t *Thread) {
 	s.mu.Unlock()
 	// Exactly one grant token is sent per handoff, and the granter sets
 	// holder = t before sending, so one receive suffices: on return t holds
-	// the turn without re-taking the scheduler mutex.
-	<-t.grant
+	// the turn without re-taking the scheduler mutex. The channel is polled
+	// briefly before parking (spin-then-park): on multi-core hosts the
+	// handoff usually lands within the spin window, which is what lets
+	// OS-thread-pinned domains trade a park/unpark round trip for a few
+	// loads.
+	spin.Recv(t.grant)
 }
 
 // PutTurn releases the turn held by t: t moves to the tail of the run queue
 // and the next eligible thread is granted the turn.
+//
+// When t is the only live thread of the scheduler — no other runnable
+// thread, no waiter — every such release deterministically returns the turn
+// to t itself: the baseline path would move t to the (otherwise empty) run
+// queue, find nobody asking for the turn, store holder = nil, and t's next
+// GetTurn would re-grant it. PutTurn therefore grants t a lease
+// (leaseableLocked) and subsequent releases take the mutex-free fast path
+// below: advance logical time, count the extension, keep the turn. The lease
+// is trace-neutral — the same thread executes the same operations in the
+// same turn order, so recorded schedules, replay, and fingerprints are
+// byte-identical with leasing on or off — and is revoked the moment the solo
+// condition can break (a thread registers, t blocks or exits).
 func (s *Scheduler) PutTurn(t *Thread) {
+	if s.leased.Load() {
+		if s.holder.Load() != t {
+			panic(fmt.Sprintf("core: PutTurn by %v which does not hold the turn (holder=%v)", t, s.holder.Load()))
+		}
+		if s.cfg.LeaseVeto == nil || !s.cfg.LeaseVeto() {
+			// Lease extension: the whole turn completes with one atomic add.
+			// Timed waiters cannot exist (the lease requires nWaiting == 0,
+			// and only the holder could add one), so skipping expiry is
+			// exact, not an approximation.
+			s.turn.Add(1)
+			if s.cfg.Mode == LogicalClock {
+				t.clock.Add(s.cfg.SyncClockTick)
+			}
+			s.leaseExtends.Add(1)
+			return
+		}
+		// Vetoed: fall through to the slow path, which revokes or re-grants
+		// under the mutex. Any veto interleaving is trace-neutral because
+		// both paths schedule the same next thread.
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.requireTurnLocked(t, "PutTurn")
 	s.advanceTimeLocked(t)
+	if s.leaseableLocked(t) {
+		if !s.leased.Load() {
+			s.grantLeaseLocked(t)
+		}
+		return
+	}
 	s.removeRunnableLocked(t)
 	t.queue = qRun
 	s.runQ.pushBack(t)
@@ -320,7 +384,7 @@ func (s *Scheduler) Wait(t *Thread, obj uint64, timeout int64) WaitStatus {
 	w.obj = obj
 	w.deadline = 0
 	if timeout > 0 {
-		w.deadline = s.turn + timeout
+		w.deadline = s.turn.Load() + timeout
 	}
 	s.waitSeq++
 	w.seq = s.waitSeq
@@ -336,7 +400,7 @@ func (s *Scheduler) Wait(t *Thread, obj uint64, timeout int64) WaitStatus {
 	t.wantTurn = true
 	s.releaseTurnLocked()
 	s.mu.Unlock()
-	<-t.grant
+	spin.Recv(t.grant)
 	// waitStatus was written by wakeLocked before the grant was sent; the
 	// channel receive provides the happens-before edge.
 	return t.waitStatus
@@ -488,13 +552,57 @@ func (s *Scheduler) detachLocked(w *waiter) {
 
 // advanceTimeLocked completes a scheduling turn: logical time advances, the
 // logical clock of the departing holder ticks (LogicalClock mode), and
-// expired timed waiters are woken in FIFO order.
+// expired timed waiters are woken in FIFO order. The lease fast path of
+// PutTurn performs exactly this — minus the expiry scan, which is vacuous
+// with no waiters — without the mutex.
 func (s *Scheduler) advanceTimeLocked(t *Thread) {
-	s.turn++
+	s.turn.Add(1)
 	if s.cfg.Mode == LogicalClock {
 		t.clock.Add(s.cfg.SyncClockTick)
 	}
 	s.expireLocked()
+}
+
+// leaseableLocked reports whether t, the current holder with its turn just
+// advanced, may hold the scheduler lease: t is the sole runnable thread (the
+// run queue is exactly [t], the wake-up queue is empty) and nobody waits —
+// i.e. t is the only live thread, so every release deterministically
+// re-selects t until a new thread registers. Replay runs never lease (the
+// recorded schedule drives eligibility), NoLease disables it, and the veto
+// hook can refuse a single decision.
+func (s *Scheduler) leaseableLocked(t *Thread) bool {
+	return !s.cfg.NoLease &&
+		s.replay == nil &&
+		s.runQ.head == t && t.qnext == nil &&
+		s.wakeQ.head == nil &&
+		s.nWaiting == 0 &&
+		(s.cfg.LeaseVeto == nil || !s.cfg.LeaseVeto())
+}
+
+// grantLeaseLocked records a lease-grant decision and activates the fast
+// release path. t stays the holder and stays where it is in the run queue,
+// which is exactly the state the baseline release would have restored.
+func (s *Scheduler) grantLeaseLocked(t *Thread) {
+	s.leased.Store(true)
+	s.stats.LeaseGrants++
+	s.leaseHash = leaseHashFold(s.leaseHash, s.turn.Load(), int64(t.id))
+}
+
+// revokeLeaseLocked records a lease-revoke decision and deactivates the fast
+// path. The holder (if any) keeps the turn; it simply releases through the
+// normal queue-and-handoff path from now on.
+func (s *Scheduler) revokeLeaseLocked() {
+	s.leased.Store(false)
+	s.stats.LeaseRevokes++
+	s.leaseHash = leaseHashFold(s.leaseHash, s.turn.Load(), -1)
+}
+
+// leaseHashFold mixes one lease decision — the turn it was taken at and the
+// thread it applied to (-1 for a revoke) — into the running decision hash
+// (an FNV/Fibonacci-style mix; only determinism matters, not distribution).
+func leaseHashFold(h uint64, turn, tid int64) uint64 {
+	h ^= uint64(turn) * 0x9e3779b97f4a7c15
+	return (h ^ uint64(tid)) * 1099511628211
 }
 
 // expireLocked wakes every timed waiter whose deadline has passed: heap pops
@@ -505,7 +613,7 @@ func (s *Scheduler) advanceTimeLocked(t *Thread) {
 func (s *Scheduler) expireLocked() {
 	for s.timers.len() > 0 {
 		w := s.timers.top()
-		if w.deadline > s.turn {
+		if w.deadline > s.turn.Load() {
 			return
 		}
 		s.detachLocked(w)
@@ -638,7 +746,7 @@ func (s *Scheduler) kickLocked(self *Thread) {
 			s.deadlockLocked()
 			return
 		}
-		s.turn = s.timers.top().deadline
+		s.turn.Store(s.timers.top().deadline)
 		s.expireLocked()
 	}
 }
@@ -653,6 +761,11 @@ func (s *Scheduler) kickLocked(self *Thread) {
 // holder == self, and the releasing thread — the only one that could match —
 // is busy executing this call.
 func (s *Scheduler) releaseTurnLocked() {
+	// Any lease ends here: Wait, Exit, and the vetoed or no-longer-solo
+	// PutTurn all release through this path.
+	if s.leased.Load() {
+		s.revokeLeaseLocked()
+	}
 	for {
 		if e := s.eligibleLocked(); e != nil {
 			if e.wantTurn {
@@ -677,7 +790,7 @@ func (s *Scheduler) releaseTurnLocked() {
 			s.deadlockLocked()
 			return
 		}
-		s.turn = s.timers.top().deadline
+		s.turn.Store(s.timers.top().deadline)
 		s.expireLocked()
 	}
 }
@@ -701,7 +814,7 @@ func (s *Scheduler) deadlockLocked() {
 // each object's wait list straight from the per-object structures.
 func (s *Scheduler) dumpLocked() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "  turn=%d holder=%v stack=%v\n", s.turn, s.holder.Load(), s.stack)
+	fmt.Fprintf(&b, "  turn=%d holder=%v stack=%v\n", s.turn.Load(), s.holder.Load(), s.stack)
 	fmt.Fprintf(&b, "  runQ: %s\n", threadNames(&s.runQ))
 	fmt.Fprintf(&b, "  wakeQ: %s\n", threadNames(&s.wakeQ))
 	keys := make([]uint64, 0, len(s.waitLists))

@@ -27,6 +27,22 @@ type Stats struct {
 	// set the holder and released the parked grantee in one step, without
 	// the grantee re-taking the scheduler mutex.
 	Handoffs int64
+	// LeaseGrants counts scheduler lease grants: release points where the
+	// solo holder was handed a lease instead of a queue round trip.
+	LeaseGrants int64
+	// LeaseExtends counts turn releases absorbed by an active lease (the
+	// mutex-free PutTurn fast path).
+	LeaseExtends int64
+	// LeaseRevokes counts lease revocations (a competitor registered, the
+	// holder blocked or exited, or a veto forced the slow path).
+	LeaseRevokes int64
+	// LeaseHash folds every lease grant and revocation decision — with the
+	// turn count and thread it applied to — into one running hash: the
+	// recorded lease decision trail. Because the lease is trace-neutral it
+	// adds no schedule events; this hash is the determinism observable that
+	// the decisions themselves (not just their effects) were identical
+	// across runs.
+	LeaseHash uint64
 	// MaxLiveThreads is the high-water mark of registered live threads.
 	MaxLiveThreads int
 	// MaxTimedWaiters is the high-water mark of the deadline heap: the most
@@ -55,7 +71,9 @@ func (s *Scheduler) Stats() Stats {
 	st.Ops = s.ops.Load()
 	st.Signals = s.signals.Load()
 	st.Broadcasts = s.broadcasts.Load()
-	st.Turns = s.turn
+	st.Turns = s.turn.Load()
+	st.LeaseExtends = s.leaseExtends.Load()
+	st.LeaseHash = s.leaseHash
 	st.PolicyMetrics = s.stack.Metrics()
 	return st
 }

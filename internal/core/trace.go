@@ -182,6 +182,11 @@ func (e Event) String() string {
 // Record and replay are fixed before any thread runs (SetReplay panics once
 // threads exist), so the branch below is stable for a whole execution and
 // the two paths never interleave.
+//
+// The scheduler lease (see PutTurn) never changes what is traced: a leased
+// release keeps holder == t, so a leased run drives the same TraceOp path
+// with the same arguments in the same order as the queue-and-handoff run,
+// and recorded schedules stay byte-identical.
 func (s *Scheduler) TraceOp(t *Thread, op OpKind, obj uint64, st EventStatus) {
 	if s.replay == nil && !s.cfg.Record {
 		if s.holder.Load() != t {

@@ -4,7 +4,7 @@ import "fmt"
 
 // Count is a decision counter. It is deliberately not atomic: every counter
 // field is incremented from exactly one serialized context — Picks and
-// WakeBoosts under the scheduler mutex, the keep-turn counters under the
+// WakeBoosts under the scheduler mutex, the lease counters under the
 // turn — and turn handoffs synchronize through the scheduler mutex, so plain
 // increments are race-free and keep the hot dispatch path at seed cost
 // (an atomic add per lock acquisition measurably regressed
@@ -27,9 +27,9 @@ type Counters struct {
 	Picks Count
 	// WakeBoosts counts wake-ups this policy routed to the wake-up queue.
 	WakeBoosts Count
-	// TurnsRetained counts release points where this policy kept the turn
-	// with the current thread (keep-turn grants).
-	TurnsRetained Count
+	// LeaseExtends counts release points where this policy's lease kept the
+	// turn with the current thread (lease extensions).
+	LeaseExtends Count
 	// Arms counts keep_turn arming requests this policy honored.
 	Arms Count
 	// DummySyncs counts dummy synchronization alignments executed under
@@ -39,23 +39,23 @@ type Counters struct {
 
 // Metrics is a plain snapshot of one policy's Counters.
 type Metrics struct {
-	Policy        string
-	Picks         int64
-	WakeBoosts    int64
-	TurnsRetained int64
-	Arms          int64
-	DummySyncs    int64
+	Policy       string
+	Picks        int64
+	WakeBoosts   int64
+	LeaseExtends int64
+	Arms         int64
+	DummySyncs   int64
 }
 
 // snapshot captures the counter values.
 func (c *Counters) snapshot(name string) Metrics {
 	return Metrics{
-		Policy:        name,
-		Picks:         c.Picks.Load(),
-		WakeBoosts:    c.WakeBoosts.Load(),
-		TurnsRetained: c.TurnsRetained.Load(),
-		Arms:          c.Arms.Load(),
-		DummySyncs:    c.DummySyncs.Load(),
+		Policy:       name,
+		Picks:        c.Picks.Load(),
+		WakeBoosts:   c.WakeBoosts.Load(),
+		LeaseExtends: c.LeaseExtends.Load(),
+		Arms:         c.Arms.Load(),
+		DummySyncs:   c.DummySyncs.Load(),
 	}
 }
 
@@ -64,11 +64,11 @@ func (c *Counters) reset() { *c = Counters{} }
 
 // Total is the number of decisions of any kind.
 func (m Metrics) Total() int64 {
-	return m.Picks + m.WakeBoosts + m.TurnsRetained + m.Arms + m.DummySyncs
+	return m.Picks + m.WakeBoosts + m.LeaseExtends + m.Arms + m.DummySyncs
 }
 
 // String summarizes the metrics on one line.
 func (m Metrics) String() string {
-	return fmt.Sprintf("%-13s picks=%d wake-boosts=%d turns-retained=%d keep-turn-arms=%d dummy-syncs=%d",
-		m.Policy, m.Picks, m.WakeBoosts, m.TurnsRetained, m.Arms, m.DummySyncs)
+	return fmt.Sprintf("%-13s picks=%d wake-boosts=%d lease-extends=%d keep-turn-arms=%d dummy-syncs=%d",
+		m.Policy, m.Picks, m.WakeBoosts, m.LeaseExtends, m.Arms, m.DummySyncs)
 }

@@ -38,7 +38,7 @@ func TestIndexFastPathParity(t *testing.T) {
 			check("Blocker", len(fast.blockers), len(slow.blockers))
 			check("Registrar", len(fast.registrars), len(slow.registrars))
 			check("Exiter", len(fast.exiters), len(slow.exiters))
-			check("Retainer", len(fast.retainers), len(slow.retainers))
+			check("Leaser", len(fast.leasers), len(slow.leasers))
 			check("Acquirer", len(fast.acquirers), len(slow.acquirers))
 			check("Signaler", len(fast.signalers), len(slow.signalers))
 			check("Broadcaster", len(fast.broadcasters), len(slow.broadcasters))

@@ -14,17 +14,25 @@
 //	---------   ------------------------------   --------------------------------
 //	PickNext    scheduler, turn grant            which runnable thread runs next
 //	OnWake      scheduler, wait-queue wake-up    run queue vs wake-up queue
-//	OnBlock     scheduler, Wait                  (observes; WakeAMAP drops hold)
+//	OnBlock     scheduler, Wait                  (observes; revokes a wake lease)
 //	OnRegister  scheduler, Register              (observes)
 //	OnExit      scheduler, Exit                  (observes)
-//	KeepTurn    wrappers, every release point    whether the turn is retained
-//	OnAcquire   wrappers, lock acquisition       whether the CS runs as one turn
-//	OnRelease   wrappers, lock release           (ends an OnAcquire retention)
-//	OnSignal    wrappers, signal/post            retention while waiters remain
-//	OnBroadcast wrappers, cond broadcast         (ends a signal retention)
-//	OnArm       wrappers, keep_turn request      one-shot retention (CreateAll)
+//	ExtendLease wrappers, every release point    whether the turn lease extends
+//	OnAcquire   wrappers, lock acquisition       whether a CS-scoped lease begins
+//	OnRelease   wrappers, lock release           (revokes an OnAcquire lease)
+//	OnSignal    wrappers, signal/post            wake lease while waiters remain
+//	OnBroadcast wrappers, cond broadcast         (revokes a wake lease)
+//	OnArm       wrappers, keep_turn request      one-shot lease (CreateAll)
 //	OnCreate    wrappers, thread creation        (observes)
 //	OnDummySync wrappers, dummy_sync             branch re-alignment accounting
+//
+// The lease hooks (ExtendLease, OnAcquire/OnRelease, OnSignal/OnBroadcast,
+// OnArm, OnBlock) together form the policy half of the turn-leasing design:
+// a policy grants a lease at a semantic site (critical-section entry, a wake
+// burst with waiters remaining, an armed creation loop), ExtendLease is the
+// per-release-point validation that the lease still stands, and the revoking
+// hooks end it. The scheduler (internal/core) layers its own solo-thread
+// lease underneath; see the lease state machine in DESIGN.md §4.6.
 //
 // A policy implements only the hooks it needs; the stack precomputes, per
 // hook, the ordered list of policies that implement it, so dispatch is a
@@ -82,8 +90,8 @@ type View interface {
 // intrusively on the thread (no map lookups on the hot path) while remaining
 // fully generic: a sixth policy gets a slot like the first five.
 //
-// words[0] is the retain-hint mask (one bit per slot, maintained through
-// Base.HintRetain); the state word of the policy at slot i is words[i+1].
+// words[0] is the lease-hint mask (one bit per slot, maintained through
+// Base.HintLease); the state word of the policy at slot i is words[i+1].
 //
 // inline is the in-place backing used by Stack.InitState when the stack fits
 // (every canonical stack does), so threads carry their policy state without a
@@ -97,12 +105,12 @@ type PerThread struct {
 // Word returns the state word for the given slot.
 func (pt *PerThread) Word(slot int) *uint64 { return &pt.words[slot+1] }
 
-// retainHint returns the retain-hint mask word.
-func (pt *PerThread) retainHint() *uint64 { return &pt.words[0] }
+// leaseHint returns the lease-hint mask word.
+func (pt *PerThread) leaseHint() *uint64 { return &pt.words[0] }
 
 // Policy is one composable scheduling policy. Implementations embed Base and
 // additionally implement the hook interfaces they need (Picker, Waker,
-// Retainer, ...). All hooks run either under the scheduler mutex or under
+// Leaser, ...). All hooks run either under the scheduler mutex or under
 // the turn, so implementations need no locking of their own; each Counters
 // field must only be incremented from one of the two contexts (see Count).
 type Policy interface {
@@ -132,18 +140,18 @@ func (b *Base) Counters() *Counters { return b.c }
 // word returns this policy's state word on t.
 func (b *Base) word(t Thread) *uint64 { return t.PolicyState().Word(b.slot) }
 
-// HintRetain publishes whether this policy may currently retain the turn for
-// t. KeepTurn is consulted at every turn-release point — far more often than
-// retention state changes — so the stack short-circuits release points whose
-// hint mask is clear with a single load instead of dispatching to every
-// retainer. A Retainer must keep its hint bit set whenever its KeepTurn
-// could return true, or the stack will skip asking it.
-func (b *Base) HintRetain(t Thread, on bool) { b.hintRetainIn(t.PolicyState(), on) }
+// HintLease publishes whether this policy may currently hold a lease on the
+// turn for t. ExtendLease is consulted at every turn-release point — far more
+// often than lease state changes — so the stack short-circuits release points
+// whose hint mask is clear with a single load instead of dispatching to every
+// leaser. A Leaser must keep its hint bit set whenever its ExtendLease could
+// return true, or the stack will skip asking it.
+func (b *Base) HintLease(t Thread, on bool) { b.hintLeaseIn(t.PolicyState(), on) }
 
-// hintRetainIn is HintRetain on an already-fetched state block, for hot
+// hintLeaseIn is HintLease on an already-fetched state block, for hot
 // hooks that touch both their word and the mask in one call.
-func (b *Base) hintRetainIn(ps *PerThread, on bool) {
-	w := ps.retainHint()
+func (b *Base) hintLeaseIn(ps *PerThread, on bool) {
+	w := ps.leaseHint()
 	if on {
 		*w |= 1 << uint(b.slot)
 	} else {
@@ -184,22 +192,23 @@ type Exiter interface {
 	OnExit(t Thread)
 }
 
-// Retainer is consulted, in stack order, at every turn-release point. The
-// first retainer returning true keeps the turn with the current thread.
-// Implementations must publish a retain hint (Base.HintRetain) whenever
-// their KeepTurn could return true: the stack answers release points with a
+// Leaser is consulted, in stack order, at every turn-release point to
+// validate a lease on the turn. The first leaser returning true extends the
+// lease: the current thread keeps the turn across the release point.
+// Implementations must publish a lease hint (Base.HintLease) whenever their
+// ExtendLease could return true: the stack answers release points with a
 // clear hint mask without dispatching.
-type Retainer interface {
+type Leaser interface {
 	Policy
-	KeepTurn(t Thread) bool
+	ExtendLease(t Thread) bool
 }
 
 // Acquirer observes exclusive critical-section entry and exit. OnAcquire
-// returning true retains the turn at the acquisition site (the critical
-// section is scheduled as one turn); OnRelease ends that retention.
+// returning true grants a critical-section-scoped lease at the acquisition
+// site (the critical section is scheduled as one turn); OnRelease revokes it.
 type Acquirer interface {
 	Policy
-	OnAcquire(t Thread) (retain bool)
+	OnAcquire(t Thread) (lease bool)
 	OnRelease(t Thread)
 }
 

@@ -56,7 +56,8 @@ func (v *fakeView) NextRunnable(after Thread) Thread {
 }
 
 // fakeLayer is a configurable layer policy: a fixed PickNext decision, a
-// fixed OnWake decision, a fixed KeepTurn/OnAcquire answer, and call counts.
+// fixed OnWake decision, a fixed ExtendLease/OnAcquire answer, and call
+// counts.
 type fakeLayer struct {
 	Base
 	name     string
@@ -75,7 +76,7 @@ func (p *fakeLayer) PickNext(View) Thread { return p.pick }
 
 func (p *fakeLayer) OnWake(Thread, bool) (Queue, bool) { return p.wakeQ, p.wakeOK }
 
-func (p *fakeLayer) KeepTurn(Thread) bool { return p.keep }
+func (p *fakeLayer) ExtendLease(Thread) bool { return p.keep }
 
 func (p *fakeLayer) OnAcquire(Thread) bool { p.acquires++; return p.retain }
 
@@ -194,9 +195,9 @@ func TestQuickWakeQueueFirstOKWins(t *testing.T) {
 	}
 }
 
-// TestQuickRetainAndAcquireSemantics: KeepTurn grants iff any retainer with
-// a published hint grants (the hint mask gates dispatch); OnAcquire retains
-// iff any acquirer retains AND always notifies every acquirer (no
+// TestQuickRetainAndAcquireSemantics: ExtendLease grants iff any leaser with
+// a published hint grants (the hint mask gates dispatch); OnAcquire leases
+// iff any acquirer leases AND always notifies every acquirer (no
 // short-circuit — acquirers track critical-section depth and must see every
 // acquisition); OnRelease notifies every acquirer.
 func TestQuickRetainAndAcquireSemantics(t *testing.T) {
@@ -215,9 +216,9 @@ func TestQuickRetainAndAcquireSemantics(t *testing.T) {
 		th := &fakeThread{ps: stk.NewState()}
 		for i := range layers {
 			l := layers[i].(*fakeLayer)
-			l.HintRetain(th, l.keep) // Retainer contract: hint when KeepTurn may grant
+			l.HintLease(th, l.keep) // Leaser contract: hint when ExtendLease may grant
 		}
-		if stk.KeepTurn(th) != anyKeep {
+		if stk.ExtendLease(th) != anyKeep {
 			return false
 		}
 		if stk.OnAcquire(th) != anyRetain {
@@ -246,7 +247,7 @@ func TestQuickSlotIsolation(t *testing.T) {
 		stk := FromSet(RoundRobin(), set)
 		all := append(stk.Layers(), stk.Base())
 		pt := stk.NewState()
-		if len(pt.words) != len(all)+1 { // +1: the retain-hint mask word
+		if len(pt.words) != len(all)+1 { // +1: the lease-hint mask word
 			return false
 		}
 		seen := map[int]bool{}

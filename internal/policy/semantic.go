@@ -27,9 +27,10 @@ func (p *boostBlocked) OnWake(t Thread, timedOut bool) (Queue, bool) {
 	return QueueWake, true
 }
 
-// createAll implements Section 3.2 (Figure 7a): an armed keep_turn makes the
-// thread's next turn release a no-op, so a creation loop completes back to
-// back. The per-thread word is the pending-arm flag.
+// createAll implements Section 3.2 (Figure 7a) as a one-shot lease: an armed
+// keep_turn grants a lease that covers exactly the thread's next release
+// point, so a creation loop completes back to back. The per-thread word is
+// the pending-arm flag.
 type createAll struct{ Base }
 
 // NewCreateAll returns the CreateAll policy layer.
@@ -39,24 +40,26 @@ func (*createAll) Name() string { return "CreateAll" }
 
 func (p *createAll) OnArm(t Thread) {
 	*p.word(t) = 1
-	p.HintRetain(t, true)
+	p.HintLease(t, true)
 	p.Counters().Arms.Add(1)
 }
 
-func (p *createAll) KeepTurn(t Thread) bool {
+func (p *createAll) ExtendLease(t Thread) bool {
 	w := p.word(t)
 	if *w == 0 {
 		return false
 	}
-	*w = 0 // one-shot: the arm covers exactly the next release point
-	p.HintRetain(t, false)
-	p.Counters().TurnsRetained.Add(1)
+	*w = 0 // one-shot: the lease covers exactly the next release point
+	p.HintLease(t, false)
+	p.Counters().LeaseExtends.Add(1)
 	return true
 }
 
-// csWhole implements Section 3.3: a critical section (lock ... unlock) is
-// scheduled as a single turn. The per-thread word is the nesting depth of
-// exclusive sections currently held.
+// csWhole implements Section 3.3 as a critical-section-scoped lease: lock
+// acquisition grants it, every release point inside the section extends it,
+// and the matching unlock revokes it, so the whole section is scheduled as a
+// single turn. The per-thread word is the nesting depth of exclusive sections
+// currently held (the lease ends when the outermost section does).
 type csWhole struct{ Base }
 
 // NewCSWhole returns the CSWhole policy layer.
@@ -69,9 +72,9 @@ func (p *csWhole) OnAcquire(t Thread) bool {
 	w := ps.Word(p.Slot())
 	*w++
 	if *w == 1 {
-		p.hintRetainIn(ps, true)
+		p.hintLeaseIn(ps, true)
 	}
-	p.Counters().TurnsRetained.Add(1)
+	p.Counters().LeaseExtends.Add(1)
 	return true
 }
 
@@ -80,25 +83,25 @@ func (p *csWhole) OnRelease(t Thread) {
 	if w := ps.Word(p.Slot()); *w > 0 {
 		*w--
 		if *w == 0 {
-			p.hintRetainIn(ps, false)
+			p.hintLeaseIn(ps, false)
 		}
 	}
 }
 
-func (p *csWhole) KeepTurn(t Thread) bool {
+func (p *csWhole) ExtendLease(t Thread) bool {
 	if *p.word(t) == 0 {
 		return false
 	}
-	p.Counters().TurnsRetained.Add(1)
+	p.Counters().LeaseExtends.Add(1)
 	return true
 }
 
-// wakeAMAP implements Section 3.4: a thread executing unblocking operations
-// keeps the turn while more threads are waiting on the same object, so the
-// whole unblocking loop runs before anyone else is scheduled and the woken
-// threads resume aligned. The per-thread word is the sticky hold flag; it
-// clears when a wake-up finds no more waiters, when the thread broadcasts,
-// or when the thread itself blocks.
+// wakeAMAP implements Section 3.4 as a sticky wake lease: a thread executing
+// unblocking operations holds the lease while more threads are waiting on the
+// same object, so the whole unblocking loop runs before anyone else is
+// scheduled and the woken threads resume aligned. The per-thread word is the
+// lease flag; it is revoked when a wake-up finds no more waiters, when the
+// thread broadcasts, or when the thread itself blocks.
 type wakeAMAP struct{ Base }
 
 // NewWakeAMAP returns the WakeAMAP policy layer.
@@ -113,24 +116,24 @@ func (p *wakeAMAP) OnSignal(t Thread, waitersLeft int) {
 	} else {
 		*p.word(t) = 0
 	}
-	p.HintRetain(t, hold)
+	p.HintLease(t, hold)
 }
 
 func (p *wakeAMAP) OnBroadcast(t Thread) {
 	*p.word(t) = 0
-	p.HintRetain(t, false)
+	p.HintLease(t, false)
 }
 
 func (p *wakeAMAP) OnBlock(t Thread) {
 	*p.word(t) = 0
-	p.HintRetain(t, false)
+	p.HintLease(t, false)
 }
 
-func (p *wakeAMAP) KeepTurn(t Thread) bool {
+func (p *wakeAMAP) ExtendLease(t Thread) bool {
 	if *p.word(t) == 0 {
 		return false
 	}
-	p.Counters().TurnsRetained.Add(1)
+	p.Counters().LeaseExtends.Add(1)
 	return true
 }
 

@@ -26,7 +26,7 @@ type Stack struct {
 	blockers     []Blocker
 	registrars   []Registrar
 	exiters      []Exiter
-	retainers    []Retainer
+	leasers      []Leaser
 	acquirers    []Acquirer
 	signalers    []Signaler
 	broadcasters []Broadcaster
@@ -60,7 +60,7 @@ type stackBuf struct {
 	blockers     [stackInlinePolicies]Blocker
 	registrars   [stackInlinePolicies]Registrar
 	exiters      [stackInlinePolicies]Exiter
-	retainers    [stackInlinePolicies]Retainer
+	leasers      [stackInlinePolicies]Leaser
 	acquirers    [stackInlinePolicies]Acquirer
 	signalers    [stackInlinePolicies]Signaler
 	broadcasters [stackInlinePolicies]Broadcaster
@@ -121,7 +121,7 @@ func (s *Stack) index() {
 		s.blockers = s.buf.blockers[:0]
 		s.registrars = s.buf.registrars[:0]
 		s.exiters = s.buf.exiters[:0]
-		s.retainers = s.buf.retainers[:0]
+		s.leasers = s.buf.leasers[:0]
 		s.acquirers = s.buf.acquirers[:0]
 		s.signalers = s.buf.signalers[:0]
 		s.broadcasters = s.buf.broadcasters[:0]
@@ -151,14 +151,14 @@ func (s *Stack) indexOne(p Policy) {
 		s.pickers = append(s.pickers, q)
 		s.wakers = append(s.wakers, q)
 	case *createAll:
-		s.retainers = append(s.retainers, q)
+		s.leasers = append(s.leasers, q)
 		s.armers = append(s.armers, q)
 	case *csWhole:
-		s.retainers = append(s.retainers, q)
+		s.leasers = append(s.leasers, q)
 		s.acquirers = append(s.acquirers, q)
 	case *wakeAMAP:
 		s.blockers = append(s.blockers, q)
-		s.retainers = append(s.retainers, q)
+		s.leasers = append(s.leasers, q)
 		s.signalers = append(s.signalers, q)
 		s.broadcasters = append(s.broadcasters, q)
 	case *branchedWake:
@@ -186,8 +186,8 @@ func (s *Stack) indexGeneric(p Policy) {
 	if h, ok := p.(Exiter); ok {
 		s.exiters = append(s.exiters, h)
 	}
-	if h, ok := p.(Retainer); ok {
-		s.retainers = append(s.retainers, h)
+	if h, ok := p.(Leaser); ok {
+		s.leasers = append(s.leasers, h)
 	}
 	if h, ok := p.(Acquirer); ok {
 		s.acquirers = append(s.acquirers, h)
@@ -210,7 +210,7 @@ func (s *Stack) indexGeneric(p Policy) {
 }
 
 // NewState allocates the per-thread state block for threads scheduled under
-// this stack: the retain-hint mask plus one word per policy slot. It always
+// this stack: the lease-hint mask plus one word per policy slot. It always
 // heap-allocates the block, because the returned value is copied; callers
 // that own the PerThread's final resting place use InitState instead.
 func (s *Stack) NewState() PerThread { return PerThread{words: make([]uint64, s.slots+1)} }
@@ -281,17 +281,17 @@ func (s *Stack) OnExit(t Thread) {
 
 // --- wrapper-level dispatch ---
 
-// KeepTurn reports whether any policy retains the turn with t at a release
-// point. Retainers are consulted in stack order; the first grant wins. The
-// common case — no retention armed — is answered from t's retain-hint mask
-// with a single load, since release points vastly outnumber retention state
+// ExtendLease reports whether any policy's lease keeps the turn with t at a
+// release point. Leasers are consulted in stack order; the first extension
+// wins. The common case — no lease held — is answered from t's lease-hint
+// mask with a single load, since release points vastly outnumber lease state
 // changes.
-func (s *Stack) KeepTurn(t Thread) bool {
-	if len(s.retainers) == 0 || *t.PolicyState().retainHint() == 0 {
+func (s *Stack) ExtendLease(t Thread) bool {
+	if len(s.leasers) == 0 || *t.PolicyState().leaseHint() == 0 {
 		return false
 	}
-	for _, p := range s.retainers {
-		if p.KeepTurn(t) {
+	for _, p := range s.leasers {
+		if p.ExtendLease(t) {
 			return true
 		}
 	}
@@ -299,15 +299,15 @@ func (s *Stack) KeepTurn(t Thread) bool {
 }
 
 // OnAcquire notifies the stack of an exclusive lock acquisition and reports
-// whether the turn is retained at the acquisition site.
+// whether a lease on the turn begins at the acquisition site.
 func (s *Stack) OnAcquire(t Thread) bool {
-	retain := false
+	lease := false
 	for _, p := range s.acquirers {
 		if p.OnAcquire(t) {
-			retain = true
+			lease = true
 		}
 	}
-	return retain
+	return lease
 }
 
 // OnRelease notifies the stack of an exclusive lock release.

@@ -134,6 +134,21 @@ type Config struct {
 	// later with Runtime.NewDomain.
 	Domains int
 
+	// PinDomains locks each domain root goroutine — and the main thread for
+	// the duration of Run — to an OS thread, so independent scheduler
+	// domains run on real cores with a stable spin-then-park handoff path
+	// instead of migrating between Go scheduler Ps. Pinning is a pure
+	// placement hint: schedules, traces, and fingerprints are identical with
+	// it on or off. It is skipped automatically when GOMAXPROCS is 1, where
+	// it could only add thread churn.
+	PinDomains bool
+
+	// NoTurnLease disables the scheduler's solo-thread turn lease (the
+	// amortized release path of internal/core). The lease is trace-neutral,
+	// so this switch exists for determinism tests and for isolating lease
+	// effects in benchmarks, not for production use.
+	NoTurnLease bool
+
 	// Record enables schedule tracing for determinism and stability
 	// analysis.
 	Record bool

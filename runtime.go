@@ -76,7 +76,7 @@ func New(cfg Config) *Runtime {
 				}
 				sched := core.New(core.Config{
 					Mode: mode, Policies: pol, Stack: stk, Record: cfg.Record,
-					VSyncCost: cost, DomainID: id,
+					VSyncCost: cost, DomainID: id, NoLease: cfg.NoTurnLease,
 				})
 				return sched, stk
 			},
@@ -186,12 +186,24 @@ func (rt *Runtime) Run(main func(t *Thread)) {
 		t.ct = rt.sched.Register("main")
 	}
 	rt.wg.Add(1)
-	func() {
+	body := func() {
 		defer rt.wg.Done()
 		main(t)
 		t.exit()
-	}()
+	}
+	if rt.pinRoots() {
+		domain.RunPinned(body)
+	} else {
+		body()
+	}
 	rt.wg.Wait()
+}
+
+// pinRoots reports whether domain root goroutines (and Run's main thread)
+// are locked to OS threads for the run: requested by Config.PinDomains and
+// worthwhile on this host (GOMAXPROCS > 1).
+func (rt *Runtime) pinRoots() bool {
+	return rt.cfg.PinDomains && domain.PinWorthwhile()
 }
 
 // Trace returns the default domain's recorded schedule (empty unless

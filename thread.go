@@ -298,13 +298,15 @@ func (t *Thread) WorkSeeded(seed uint64, n int64) uint64 {
 	return v
 }
 
-// release gives up the turn unless a policy in the stack retains it: a
-// pending keep_turn (CreateAll), an active WakeAMAP unblocking loop, or an
-// open critical section under CSWhole. Wrappers call it at the end of every
-// synchronization operation; the stack consults its retainers in stack
-// order and the first grant wins.
+// release gives up the turn unless a policy lease extends across this
+// release point: a pending keep_turn (CreateAll's one-shot lease), an active
+// WakeAMAP unblocking loop (wake lease), or an open critical section under
+// CSWhole (CS-scoped lease). Wrappers call it at the end of every
+// synchronization operation; the stack consults its leasers in stack order
+// and the first extension wins. When no policy lease holds, PutTurn may
+// still extend the scheduler's own solo-thread lease (see internal/core).
 func (t *Thread) release() {
-	if t.dom.stack.KeepTurn(t.ct) {
+	if t.dom.stack.ExtendLease(t.ct) {
 		return
 	}
 	t.dom.sched.PutTurn(t.ct)
