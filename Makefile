@@ -4,7 +4,7 @@ GO ?= go
 # Performance changes should also refresh the committed baseline with
 # `make bench-json` and include the BENCH_sched.json diff in the review.
 .PHONY: check
-check: build vet race shuffle cpu-matrix
+check: build vet race shuffle cpu-matrix soak-smoke
 
 # Scheduler tests at -cpu 1 and 4: the turn lease, the spin-then-park grant
 # path, and OS-thread pinning behave differently with and without real
@@ -48,6 +48,18 @@ race:
 shuffle:
 	$(GO) test -shuffle=on ./...
 
+# E19 million-event soak: streaming (bounded-memory) record of a ~2M-event
+# ingress run with epoch checkpoints, then binary-vs-text size and load-time
+# ratios and a streamed replay equality check. soak-smoke is the same
+# experiment at a size small enough for every `make check`.
+.PHONY: soak
+soak:
+	$(GO) run ./cmd/qibench -experiment soak
+
+.PHONY: soak-smoke
+soak-smoke:
+	$(GO) run ./cmd/qibench -experiment soak -soak-events 8000
+
 # Mechanism and policy-dispatch micro-benchmarks (see EXPERIMENTS.md E9/E13).
 .PHONY: bench
 bench:
@@ -59,7 +71,7 @@ bench:
 # does not steal CPU from the benchmarks.
 .PHONY: bench-json
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkMechanism|BenchmarkPolicyDispatch|BenchmarkBroadcastStorm|BenchmarkTimedWaitChurn|BenchmarkTurnHandoff|BenchmarkDomains|BenchmarkIngress' \
+	$(GO) test -run '^$$' -bench 'BenchmarkMechanism|BenchmarkPolicyDispatch|BenchmarkBroadcastStorm|BenchmarkTimedWaitChurn|BenchmarkTurnHandoff|BenchmarkDomains|BenchmarkIngress|BenchmarkLogReplay' \
 		-benchmem -benchtime 300ms -count 3 . > .bench_sched.out
 	$(GO) run ./cmd/qibenchjson < .bench_sched.out > BENCH_sched.json
 	@rm -f .bench_sched.out

@@ -34,6 +34,7 @@
 package qithread_test
 
 import (
+	"bytes"
 	"fmt"
 	"os"
 	"testing"
@@ -42,6 +43,7 @@ import (
 	"qithread/internal/harness"
 	"qithread/internal/policy"
 	"qithread/internal/programs"
+	"qithread/internal/trace"
 	"qithread/internal/workload"
 )
 
@@ -479,4 +481,59 @@ func BenchmarkScalability(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkLogReplay measures the million-event fast path (E19): decoding a
+// recorded schedule from its text versus binary encoding, and the full
+// load-plus-replay cycle from the binary file. The recording is one
+// producer-consumer execution under the all-policies stack; the "events/s"
+// metric is decode (or decode+replay) throughput, and the binary rows should
+// beat the text rows by well over the 5x acceptance floor.
+func BenchmarkLogReplay(b *testing.B) {
+	cfg := harness.QiThread().Cfg
+	cfg.Record = true
+	app := workload.ProdCons(workload.ProdConsConfig{
+		Producers: 2, Consumers: 4, Blocks: 4000,
+		ProduceWork: 1, ConsumeWork: 2, QueueCap: 16,
+	}, workload.Params{Scale: 1, InputSeed: 42})
+	rt := qithread.New(cfg)
+	app(rt)
+	events := rt.Trace()
+	var text, bin bytes.Buffer
+	if err := trace.Save(&text, events); err != nil {
+		b.Fatal(err)
+	}
+	if err := trace.SaveBinary(&bin, events); err != nil {
+		b.Fatal(err)
+	}
+	n := float64(len(events))
+
+	load := func(b *testing.B, encoded []byte) {
+		b.Helper()
+		for i := 0; i < b.N; i++ {
+			got, err := trace.Load(bytes.NewReader(encoded))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(got) != len(events) {
+				b.Fatalf("loaded %d events, want %d", len(got), len(events))
+			}
+		}
+		b.ReportMetric(n*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	}
+	b.Run("load=text", func(b *testing.B) { load(b, text.Bytes()) })
+	b.Run("load=binary", func(b *testing.B) { load(b, bin.Bytes()) })
+	b.Run("replay", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sched, err := trace.Load(bytes.NewReader(bin.Bytes()))
+			if err != nil {
+				b.Fatal(err)
+			}
+			rcfg := harness.QiThread().Cfg
+			rcfg.Replay = sched
+			rt := qithread.New(rcfg)
+			app(rt)
+		}
+		b.ReportMetric(n*float64(b.N)/b.Elapsed().Seconds(), "events/s")
+	})
 }

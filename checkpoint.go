@@ -1,0 +1,256 @@
+package qithread
+
+import (
+	"fmt"
+	"io"
+
+	"qithread/internal/ckpt"
+	"qithread/internal/core"
+)
+
+// Epoch checkpoints. A long recorded run periodically snapshots its
+// deterministic state at quiescent admission boundaries; a later replay
+// loads one snapshot and continues from there (qireplay -from-checkpoint)
+// instead of re-executing the whole prefix, reproducing the exact
+// fingerprint and admit/shed hashes of the full run. The mechanism is
+// documented bottom-up in internal/core/checkpoint.go (what a scheduler
+// snapshot is and why no goroutine stack is ever serialized) and
+// internal/ckpt (the file format); this file is the user-facing surface:
+//
+//	record:  cp, err := rt.Checkpoint(t, appState)   // at an epoch boundary
+//	         SaveCheckpoint(f, cp)
+//	resume:  cp, _ := LoadCheckpoint(f)
+//	         rt := New(Config{..., Record: true, Resume: cp})
+//	         rt.Run(func(t *Thread) {
+//	             ... re-run setup: create objects, park workers ...
+//	             if err := rt.Resume(t); err != nil { ... }
+//	             ... continue the admission loop from cp.Epoch()+1 ...
+//	         })
+//
+// The contract is structural replay: the resuming program re-executes its
+// SETUP (thread registration, object creation, workers parking) with
+// recording muted, and Resume verifies that the rebuilt structure matches
+// the snapshot before reinstating counters, clocks, policy words and running
+// hashes. Programs built for checkpointing therefore keep setup separate
+// from progress (the workload carries progress in the checkpoint's App
+// payload) — the same discipline any restartable server already follows.
+
+// Checkpoint is a point-in-time snapshot of a deterministic execution at a
+// quiescent epoch boundary.
+type Checkpoint struct {
+	rec *ckpt.Record
+}
+
+// Epoch returns the ingress epoch the checkpoint was taken at (0 when no
+// gateway was registered).
+func (cp *Checkpoint) Epoch() int64 { return cp.rec.Epoch }
+
+// App returns the application's own progress payload, exactly as passed to
+// Runtime.Checkpoint.
+func (cp *Checkpoint) App() []byte { return cp.rec.App }
+
+// SaveCheckpoint writes a checkpoint ("qithread-checkpoint v1b", a
+// CRC-checked binary record; see internal/ckpt).
+func SaveCheckpoint(w io.Writer, cp *Checkpoint) error {
+	return ckpt.Save(w, cp.rec)
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	rec, err := ckpt.Load(r)
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{rec: rec}, nil
+}
+
+// maxQuiescenceYields bounds the yield loop that drives the scheduler to a
+// quiescent boundary. A program whose threads keep waking each other never
+// quiesces; the bound turns that into a diagnostic instead of a hang.
+const maxQuiescenceYields = 1 << 20
+
+// Quiescent reports whether t is the sole runnable thread of its domain with
+// no pending wake-up and no timed waiter — the state in which Checkpoint is
+// legal. Yielding lets woken-but-unparked threads run until they block, so
+//
+//	for !rt.Quiescent(t) { t.Yield() }
+//
+// deterministically drives the domain to a boundary (the yield count is a
+// function of the schedule, not of real time).
+func (rt *Runtime) Quiescent(t *Thread) bool {
+	if !rt.det() {
+		panic("qithread: Quiescent requires a deterministic Mode")
+	}
+	s := t.dom.sched
+	s.GetTurn(t.ct)
+	q := s.Quiescent(t.ct)
+	t.release()
+	return q
+}
+
+// quiesce drives t's domain to a quiescent boundary with traced yields. The
+// yields release through PutTurn directly, not Thread.release: a policy turn
+// retention (WakeAMAP keeps the turn with a waker that has threads in the
+// wake-up queue) would otherwise extend t's turn at every release point and
+// the woken threads would never run — the drive must force real handoffs.
+func (rt *Runtime) quiesce(t *Thread, what string) error {
+	s := t.dom.sched
+	for i := 0; ; i++ {
+		s.GetTurn(t.ct)
+		if s.Quiescent(t.ct) {
+			return nil // the caller proceeds under this turn hold
+		}
+		if i >= maxQuiescenceYields {
+			dump := s.Dump()
+			s.PutTurn(t.ct)
+			return fmt.Errorf("qithread: %s: domain %d did not quiesce after %d yields; threads are waking each other across the boundary\n%s", what, t.dom.id, maxQuiescenceYields, dump)
+		}
+		s.TraceOp(t.ct, core.OpYield, 0, core.StatusOK)
+		s.PutTurn(t.ct)
+	}
+}
+
+// Checkpoint snapshots the execution's deterministic state: t's domain's
+// scheduler (counters, clocks, wait-list order, running hashes — never
+// goroutine stacks), the cross-domain channel stamps, and every ingress
+// gateway's admission state. app, when non-nil, serializes the program's own
+// progress payload, stored verbatim (the runtime cannot reconstruct
+// application state; the workload encodes what it needs to continue). It is
+// called at the quiescent boundary itself — after every other thread has
+// drained and parked, so it observes their final pre-checkpoint effects —
+// and must not perform synchronization operations.
+//
+// The call first drives t's domain to a quiescent boundary by yielding —
+// deterministically, so a replaying run that checkpoints at the same epochs
+// traces identical schedules. Every other domain must be idle (no live
+// threads, nothing recorded): checkpointing is an admission-boundary
+// mechanism, and cross-domain traffic must be drained first.
+func (rt *Runtime) Checkpoint(t *Thread, app func() []byte) (*Checkpoint, error) {
+	if !rt.det() {
+		return nil, fmt.Errorf("qithread: Checkpoint requires a deterministic Mode")
+	}
+	if !rt.cfg.Record {
+		return nil, fmt.Errorf("qithread: Checkpoint requires Record (the snapshot embeds the running trace hash)")
+	}
+	if err := rt.quiesce(t, "Checkpoint"); err != nil {
+		return nil, err
+	}
+	// The turn is held from here to the release below.
+	var payload []byte
+	if app != nil {
+		payload = app()
+	}
+	s := t.dom.sched
+	st, err := s.CaptureState(t.ct)
+	if err != nil {
+		t.release()
+		return nil, err
+	}
+	rec := &ckpt.Record{
+		Domains: []core.SchedState{*st},
+		Xseqs:   []int64{t.dom.inner.Xseq()},
+		App:     payload,
+	}
+	err = func() error {
+		for _, d := range rt.allDomains() {
+			if d == t.dom || d.sched == nil {
+				continue
+			}
+			if live, n := d.sched.Live(), d.sched.TraceLen(); live != 0 || n != 0 {
+				return fmt.Errorf("qithread: Checkpoint from %s, but %s is active (%d live threads, %d recorded events); checkpoint boundaries require every other domain idle", t.dom.label(), d.label(), live, n)
+			}
+		}
+		if rt.group != nil {
+			for _, c := range rt.group.Channels() {
+				cs, err := c.CaptureState()
+				if err != nil {
+					return err
+				}
+				rec.Channels = append(rec.Channels, *cs)
+			}
+		}
+		for _, gw := range rt.allGateways() {
+			rec.Gateways = append(rec.Gateways, *gw.g.CaptureState())
+		}
+		if len(rec.Gateways) > 0 {
+			rec.Epoch = rec.Gateways[0].Epoch
+		}
+		return nil
+	}()
+	t.release()
+	if err != nil {
+		return nil, err
+	}
+	return &Checkpoint{rec: rec}, nil
+}
+
+// Resume verifies that the program's re-executed setup phase rebuilt exactly
+// the structure of Config.Resume's snapshot, then reinstates every counter,
+// clock, policy word and running hash and unmutes recording. From its return
+// the execution is the recorded run's continuation: the same threads are
+// eligible in the same order, the trace hash continues from the same fold
+// state, replayed ingress batches land on the same epochs, and the run's
+// final fingerprint equals the uncheckpointed run's.
+func (rt *Runtime) Resume(t *Thread) error {
+	if !rt.det() {
+		return fmt.Errorf("qithread: Resume requires a deterministic Mode")
+	}
+	cp := rt.cfg.Resume
+	if cp == nil {
+		return fmt.Errorf("qithread: Resume without Config.Resume")
+	}
+	rec := cp.rec
+	if len(rec.Domains) != 1 {
+		return fmt.Errorf("qithread: checkpoint holds %d domain snapshots, want 1", len(rec.Domains))
+	}
+	if got, want := t.dom.id, rec.Domains[0].DomainID; got != want {
+		return fmt.Errorf("qithread: Resume from domain %d, but the checkpoint was taken in domain %d", got, want)
+	}
+	if err := rt.quiesce(t, "Resume"); err != nil {
+		return err
+	}
+	// The turn is held from here to the release below.
+	err := func() error {
+		for _, d := range rt.allDomains() {
+			if d == t.dom || d.sched == nil {
+				continue
+			}
+			if live := d.sched.Live(); live != 0 {
+				return fmt.Errorf("qithread: Resume with %d live threads in %s; the checkpoint had every other domain idle", live, d.label())
+			}
+		}
+		chans := rt.group.Channels()
+		if len(chans) != len(rec.Channels) {
+			return fmt.Errorf("qithread: setup created %d channels, checkpoint has %d", len(chans), len(rec.Channels))
+		}
+		for i, c := range chans {
+			if err := c.RestoreState(&rec.Channels[i]); err != nil {
+				return err
+			}
+		}
+		gws := rt.allGateways()
+		if len(gws) != len(rec.Gateways) {
+			return fmt.Errorf("qithread: setup created %d gateways, checkpoint has %d", len(gws), len(rec.Gateways))
+		}
+		for i, gw := range gws {
+			if err := gw.g.RestoreState(&rec.Gateways[i]); err != nil {
+				return err
+			}
+		}
+		t.dom.inner.SetXseq(rec.Xseqs[0])
+		// The scheduler restore comes last: it verifies the rebuilt thread
+		// and wait-list structure and unmutes recording.
+		return t.dom.sched.RestoreState(t.ct, &rec.Domains[0])
+	}()
+	t.release()
+	return err
+}
+
+// allGateways snapshots the gateway registry in creation order.
+func (rt *Runtime) allGateways() []*Gateway {
+	rt.domMu.Lock()
+	defer rt.domMu.Unlock()
+	out := make([]*Gateway, len(rt.gateways))
+	copy(out, rt.gateways)
+	return out
+}

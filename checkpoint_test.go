@@ -1,0 +1,186 @@
+package qithread_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"qithread"
+	"qithread/internal/trace"
+	"qithread/internal/workload"
+)
+
+// Epoch-checkpoint acceptance tests: a recorded ingress run periodically
+// snapshots its state at quiescent admission boundaries; resuming any
+// snapshot against the recorded log must reproduce the FULL run's observables
+// — output checksum, per-domain fingerprint, admit/shed hash commitments —
+// exactly, 20/20. A companion test pins the streaming recording mode:
+// schedules streamed through a binary writer yield the same fingerprint as
+// retained-mode runs, and the streamed file reloads to the same hash.
+
+func checkpointTestConfig() workload.IngressServerConfig {
+	cfg := ingressTestConfig(0)
+	cfg.CheckpointEvery = 3
+	return cfg
+}
+
+// reload round-trips a checkpoint through its serialized form, so every
+// resume below exercises SaveCheckpoint/LoadCheckpoint, not the in-memory
+// object.
+func reload(t *testing.T, cp *qithread.Checkpoint) *qithread.Checkpoint {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := qithread.SaveCheckpoint(&buf, cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := qithread.LoadCheckpoint(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch() != cp.Epoch() || !bytes.Equal(got.App(), cp.App()) {
+		t.Fatalf("checkpoint round-trip changed epoch %d→%d or payload", cp.Epoch(), got.Epoch())
+	}
+	return got
+}
+
+// TestCheckpointResumeFingerprint: record a live jittered run that
+// checkpoints every 3 epochs, then resume 20 times — cycling through every
+// checkpoint of the run, each freshly deserialized — and require every
+// resumed run to finish with the full run's fingerprint, output and
+// admission hashes.
+func TestCheckpointResumeFingerprint(t *testing.T) {
+	p := workload.Params{Scale: 1, InputSeed: 42}
+	for _, cfg := range ingressModes() {
+		t.Run(cfg.Mode.String(), func(t *testing.T) {
+			wcfg := checkpointTestConfig()
+			rec := workload.RunIngressServer(wcfg, p, cfg, nil)
+			if len(rec.Checkpoints) == 0 {
+				t.Fatalf("run over %d epochs took no checkpoints", rec.Stats.Epochs)
+			}
+			var buf bytes.Buffer
+			if err := rec.Log.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			log, err := qithread.LoadIngressLog(bytes.NewReader(buf.Bytes()))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < 20; i++ {
+				cp := reload(t, rec.Checkpoints[i%len(rec.Checkpoints)])
+				res := workload.ResumeIngressServer(wcfg, p, cfg, log, cp)
+				if !res.Fingerprint.Equal(rec.Fingerprint) {
+					t.Fatalf("resume %d from epoch %d: fingerprint %v, full run %v",
+						i, cp.Epoch(), res.Fingerprint, rec.Fingerprint)
+				}
+				if res.Output != rec.Output {
+					t.Fatalf("resume %d from epoch %d: output %d, full run %d",
+						i, cp.Epoch(), res.Output, rec.Output)
+				}
+				if res.AdmitHash != rec.AdmitHash || res.ShedHash != rec.ShedHash {
+					t.Fatalf("resume %d from epoch %d: hashes %x/%x, full run %x/%x",
+						i, cp.Epoch(), res.AdmitHash, res.ShedHash, rec.AdmitHash, rec.ShedHash)
+				}
+			}
+		})
+	}
+}
+
+// TestCheckpointResumeUnderShedding: checkpoints compose with overload — a
+// run that sheds records the reject decisions inside the turn, so a resumed
+// run reproduces the shed hash too.
+func TestCheckpointResumeUnderShedding(t *testing.T) {
+	p := workload.Params{Scale: 1, InputSeed: 42}
+	cfg := qithread.Config{Mode: qithread.RoundRobin, Policies: qithread.AllPolicies}
+	wcfg := ingressTestConfig(4)
+	wcfg.Jitter = 20 * time.Microsecond
+	wcfg.MaxBatch = 2
+	wcfg.CheckpointEvery = 5
+	rec := workload.RunIngressServer(wcfg, p, cfg, nil)
+	if rec.Stats.Shed == 0 {
+		t.Skipf("overload did not shed on this host (stats %+v)", rec.Stats)
+	}
+	if len(rec.Checkpoints) == 0 {
+		t.Fatalf("run over %d epochs took no checkpoints", rec.Stats.Epochs)
+	}
+	cp := reload(t, rec.Checkpoints[len(rec.Checkpoints)/2])
+	res := workload.ResumeIngressServer(wcfg, p, cfg, rec.Log, cp)
+	if res.ShedHash != rec.ShedHash || res.AdmitHash != rec.AdmitHash {
+		t.Fatalf("resumed hashes %x/%x, full run %x/%x", res.AdmitHash, res.ShedHash, rec.AdmitHash, rec.ShedHash)
+	}
+	if !res.Fingerprint.Equal(rec.Fingerprint) || res.Output != rec.Output {
+		t.Fatalf("resumed run diverged: fingerprint %v vs %v, output %d vs %d",
+			res.Fingerprint, rec.Fingerprint, res.Output, rec.Output)
+	}
+}
+
+// TestStreamingTraceFingerprint: replaying one recorded ingress log with the
+// trace streamed through a binary writer must produce the retained-mode
+// fingerprint — the running hash is maintained identically — while
+// Runtime.Trace returns nil, and the streamed file must reload to events
+// whose hash is exactly the fingerprint's domain hash.
+func TestStreamingTraceFingerprint(t *testing.T) {
+	p := workload.Params{Scale: 1, InputSeed: 42}
+	wcfg := ingressTestConfig(0)
+	base := qithread.Config{Mode: qithread.RoundRobin, Policies: qithread.AllPolicies}
+	rec := workload.RunIngressServer(wcfg, p, base, nil)
+
+	retained := workload.RunIngressServer(wcfg, p, base, rec.Log)
+
+	var sched bytes.Buffer
+	bw, err := trace.NewBinaryWriter(&sched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streamCfg := base
+	streamCfg.StreamTrace = func(domainID int) qithread.TraceSink {
+		if domainID != 0 {
+			return nil
+		}
+		return bw
+	}
+	streamed := workload.RunIngressServer(wcfg, p, streamCfg, rec.Log)
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	if !streamed.Fingerprint.Equal(retained.Fingerprint) {
+		t.Fatalf("streamed fingerprint %v, retained %v", streamed.Fingerprint, retained.Fingerprint)
+	}
+	if streamed.Output != retained.Output {
+		t.Fatalf("streamed output %d, retained %d", streamed.Output, retained.Output)
+	}
+	events, err := trace.Load(bytes.NewReader(sched.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("streamed schedule is empty")
+	}
+	if h := trace.Hash(events); h != streamed.Fingerprint.DomainHashes[0] {
+		t.Fatalf("streamed file hashes to %016x, fingerprint says %016x", h, streamed.Fingerprint.DomainHashes[0])
+	}
+}
+
+// TestCheckpointConfigErrors: the checkpoint API rejects misconfiguration
+// instead of producing undefined snapshots.
+func TestCheckpointConfigErrors(t *testing.T) {
+	rt := qithread.New(qithread.Config{Mode: qithread.Nondet})
+	rt.Run(func(main *qithread.Thread) {
+		if _, err := rt.Checkpoint(main, nil); err == nil {
+			t.Error("Checkpoint in Nondet mode did not error")
+		}
+		if err := rt.Resume(main); err == nil {
+			t.Error("Resume in Nondet mode did not error")
+		}
+	})
+
+	rt2 := qithread.New(qithread.Config{Mode: qithread.RoundRobin})
+	rt2.Run(func(main *qithread.Thread) {
+		if _, err := rt2.Checkpoint(main, nil); err == nil {
+			t.Error("Checkpoint without Record did not error")
+		}
+		if err := rt2.Resume(main); err == nil {
+			t.Error("Resume without Config.Resume did not error")
+		}
+	})
+}

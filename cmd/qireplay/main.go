@@ -9,12 +9,19 @@
 //
 // Usage:
 //
-//	qireplay -record run.qlog [-jitter 500us] [-events 256] [-queue 64]
-//	qireplay -replay run.qlog [-runs 20]
+//	qireplay -record run.qlog [-binary] [-checkpoint-every 64] [-jitter 500us] [-events 256] [-queue 64]
+//	qireplay -replay run.qlog [-runs 20] [-from-checkpoint run.qlog.ckpt00064]
+//
+// -binary records the ingress log in the compact binary format (replay
+// auto-detects either format). -checkpoint-every K snapshots the execution at
+// every K-th admission epoch into <log>.ckptNNNNN files; -from-checkpoint
+// starts each replay from such a snapshot instead of re-executing the whole
+// prefix, and still must reproduce the FULL run's fingerprint sidecar.
 //
 // The workload knobs (-sources -events -workers -batch -queue -scale -mode)
 // must match between the recording and the replay: the log captures the
-// external input, not the program.
+// external input, not the program. -checkpoint-every must match too — the
+// quiescence drive at each checkpoint is part of the schedule.
 package main
 
 import (
@@ -42,6 +49,9 @@ func main() {
 		jitter  = flag.Duration("jitter", 500*time.Microsecond, "max random inter-event pacing per source (record mode)")
 		scale   = flag.Float64("scale", 0.25, "workload scale factor")
 		verbose = flag.Bool("v", false, "print per-run observables")
+		binary  = flag.Bool("binary", false, "record the ingress log in the binary format (replay auto-detects)")
+		ckEvery = flag.Int64("checkpoint-every", 0, "checkpoint every K admission epochs (must match between record and replay)")
+		fromCk  = flag.String("from-checkpoint", "", "resume each replay from this checkpoint file (with -replay)")
 	)
 	flag.Parse()
 
@@ -66,18 +76,32 @@ func main() {
 		Sources: *sources, Events: *events, Workers: *workers,
 		MaxBatch: *batch, QueueCap: *queue,
 		ParseWork: 320, StateWork: 80,
+		CheckpointEvery: *ckEvery,
 	}
 	p := workload.Params{Scale: *scale, InputSeed: 42}
 
 	if *record != "" {
 		wcfg.Jitter = *jitter
 		run := workload.RunIngressServer(wcfg, p, cfg, nil)
-		if err := saveLog(*record, *mode, run); err != nil {
+		if err := saveLog(*record, *mode, run, *binary); err != nil {
 			fmt.Fprintln(os.Stderr, "qireplay:", err)
 			os.Exit(1)
 		}
+		for _, cp := range run.Checkpoints {
+			path := fmt.Sprintf("%s.ckpt%05d", *record, cp.Epoch())
+			if err := saveCheckpoint(path, cp); err != nil {
+				fmt.Fprintln(os.Stderr, "qireplay:", err)
+				os.Exit(1)
+			}
+			if *verbose {
+				fmt.Printf("checkpoint at epoch %d -> %s\n", cp.Epoch(), path)
+			}
+		}
 		fmt.Printf("recorded %d events in %d batches over %d epochs -> %s\n",
 			run.Log.Events(), len(run.Log.Batches), run.Stats.Epochs, *record)
+		if n := len(run.Checkpoints); n > 0 {
+			fmt.Printf("checkpoints: %d (every %d epochs) -> %s.ckpt*\n", n, *ckEvery, *record)
+		}
 		fmt.Printf("stats:       %s\n", run.Stats)
 		fmt.Printf("output:      %d\n", run.Output)
 		fmt.Printf("fingerprint: %s\n", run.Fingerprint)
@@ -96,6 +120,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qireplay:", err)
 		os.Exit(1)
 	}
+	var ckpt *qithread.Checkpoint
+	if *fromCk != "" {
+		cf, err := os.Open(*fromCk)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qireplay:", err)
+			os.Exit(1)
+		}
+		ckpt, err = qithread.LoadCheckpoint(cf)
+		cf.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qireplay:", err)
+			os.Exit(1)
+		}
+		if *verbose {
+			fmt.Printf("resuming from checkpoint at epoch %d\n", ckpt.Epoch())
+		}
+	}
+
 	want, recMode, haveSidecar := loadSidecar(*replay + ".fp")
 	if haveSidecar && recMode != "" && recMode != *mode {
 		// A different scheduler produces a different (equally deterministic)
@@ -108,7 +150,12 @@ func main() {
 	var ref string
 	fail := false
 	for i := 0; i < *runs; i++ {
-		run := workload.RunIngressServer(wcfg, p, cfg, log)
+		var run workload.IngressRun
+		if ckpt != nil {
+			run = workload.ResumeIngressServer(wcfg, p, cfg, log, ckpt)
+		} else {
+			run = workload.RunIngressServer(wcfg, p, cfg, log)
+		}
 		got := observables(run)
 		if *verbose {
 			fmt.Printf("replay %2d: %s\n", i, got)
@@ -141,12 +188,16 @@ func observables(run workload.IngressRun) string {
 		run.Output, run.Fingerprint, run.AdmitHash, run.ShedHash)
 }
 
-func saveLog(path, mode string, run workload.IngressRun) error {
+func saveLog(path, mode string, run workload.IngressRun, binary bool) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	err = run.Log.Save(f)
+	if binary {
+		err = run.Log.SaveBinary(f)
+	} else {
+		err = run.Log.Save(f)
+	}
 	if cerr := f.Close(); err == nil {
 		err = cerr
 	}
@@ -155,6 +206,18 @@ func saveLog(path, mode string, run workload.IngressRun) error {
 	}
 	sidecar := fmt.Sprintf("mode=%s\n%s\n", mode, observables(run))
 	return os.WriteFile(path+".fp", []byte(sidecar), 0o644)
+}
+
+func saveCheckpoint(path string, cp *qithread.Checkpoint) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	err = qithread.SaveCheckpoint(f, cp)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // loadSidecar returns the recorded observables line, the scheduling mode the

@@ -5,6 +5,8 @@
 // per-policy decision counters — which policy earned its keep, and where.
 // Given an ingress.csv from -experiment ingress it reports admission
 // throughput per batch size and the shed fraction of the overload points.
+// Given a recorded schedule or ingress log — text or binary, detected by the
+// auto-detecting loaders — it reports event counts and hash commitments.
 // The file kind is detected from the header.
 //
 // Usage:
@@ -15,31 +17,41 @@
 //	qistat counters.csv
 //	qibench -experiment ingress -o ingress.csv
 //	qistat ingress.csv
+//	qistat run.qlog        (recorded schedule or ingress log, any format)
 package main
 
 import (
+	"bytes"
 	"encoding/csv"
 	"fmt"
 	"os"
 	"sort"
 	"strconv"
 
+	"qithread/internal/ingress"
 	"qithread/internal/stats"
+	"qithread/internal/trace"
 )
 
 func main() {
 	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: qistat results.csv")
+		fmt.Fprintln(os.Stderr, "usage: qistat results.csv|run.qlog")
 		os.Exit(1)
 	}
-	f, err := os.Open(os.Args[1])
+	b, err := os.ReadFile(os.Args[1])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qistat:", err)
 		os.Exit(1)
 	}
-	defer f.Close()
+	if bytes.HasPrefix(b, []byte("qithread-")) {
+		if err := summarizeLog(os.Args[1], b); err != nil {
+			fmt.Fprintln(os.Stderr, "qistat:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
-	rows, err := csv.NewReader(f).ReadAll()
+	rows, err := csv.NewReader(bytes.NewReader(b)).ReadAll()
 	if err != nil || len(rows) < 2 {
 		fmt.Fprintln(os.Stderr, "qistat: bad csv")
 		os.Exit(1)
@@ -101,6 +113,39 @@ func main() {
 	c := stats.Compare(ratios)
 	fmt.Printf("\nQiThread vs Parrot w/o PCS (%d programs): comparable(<=110%%) %d, speedup(<90%%) %d, slower(>110%%) %d\n",
 		c.Total, c.Comparable, c.Speedup, c.Slower)
+}
+
+// summarizeLog reports a recorded artifact — schedule or ingress log, text or
+// binary — through the format-auto-detecting loaders: event counts plus the
+// hash commitments a replay must reproduce.
+func summarizeLog(path string, b []byte) error {
+	if bytes.HasPrefix(b, []byte("qithread-schedule ")) {
+		events, err := trace.Load(bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		threads := map[int]bool{}
+		for _, e := range events {
+			threads[e.TID] = true
+		}
+		fmt.Printf("%s: schedule, %d events, %d threads, hash=%016x\n",
+			path, len(events), len(threads), trace.Hash(events))
+		return nil
+	}
+	if bytes.HasPrefix(b, []byte("qithread-ingress ")) {
+		log, err := ingress.LoadLog(bytes.NewReader(b))
+		if err != nil {
+			return err
+		}
+		lastEpoch := int64(0)
+		if n := len(log.Batches); n > 0 {
+			lastEpoch = log.Batches[n-1].Epoch
+		}
+		fmt.Printf("%s: ingress log, %d events in %d batches, last epoch %d\n",
+			path, log.Events(), len(log.Batches), lastEpoch)
+		return nil
+	}
+	return fmt.Errorf("%s: unrecognized qithread artifact (try qilog inspect)", path)
 }
 
 // summarizeIngress reports an ingress.csv (max_batch,queue_cap,events,

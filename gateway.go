@@ -25,8 +25,12 @@ type IngressStats = ingress.Stats
 // TimerSource, FuncSource).
 type IngressSource = ingress.Source
 
-// LoadIngressLog reads a log written by IngressLog.Save; see
-// internal/ingress.LoadLog.
+// IngressBatchSink is a streaming receiver of recorded ingress batches; see
+// GatewayConfig.Sink. ingress.BinaryLogWriter implements it.
+type IngressBatchSink = ingress.BatchSink
+
+// LoadIngressLog reads a log written by IngressLog.Save or
+// IngressLog.SaveBinary (format auto-detected); see internal/ingress.LoadLog.
 func LoadIngressLog(r io.Reader) (*IngressLog, error) {
 	return ingress.LoadLog(r)
 }
@@ -50,6 +54,12 @@ type GatewayConfig struct {
 	// snapshot recorded for its epoch, and live sources are ignored. This is
 	// how an externally-driven run is reproduced offline.
 	Replay *IngressLog
+	// Sink, when non-nil (live mode only), streams recorded batches out —
+	// through an ingress.BinaryLogWriter — instead of retaining the whole
+	// IngressLog in memory: the bounded-memory recording mode for
+	// million-event runs. Gateway.Log returns nil; the admit/shed hashes are
+	// unaffected.
+	Sink IngressBatchSink
 }
 
 // Gateway is the deterministic external-I/O frontier of one domain: the
@@ -94,6 +104,7 @@ func (rt *Runtime) NewGateway(name string, d *Domain, cfg GatewayConfig) *Gatewa
 		PerSourceCap: cfg.PerSourceCap,
 		MaxBatch:     cfg.MaxBatch,
 		QueueCap:     cfg.QueueCap,
+		Sink:         cfg.Sink,
 	}
 	if cfg.Replay != nil {
 		icfg.Replay = ingress.NewReplayer(cfg.Replay)
@@ -111,6 +122,11 @@ func (rt *Runtime) NewGateway(name string, d *Domain, cfg GatewayConfig) *Gatewa
 		// process must trace identical ids.
 		gw.id = d.sched.NewObjectKind("gateway:", name)
 	}
+	// Registration order is the checkpoint order: gateways are created
+	// deterministically, so a resumed run rebuilds the same sequence.
+	rt.domMu.Lock()
+	rt.gateways = append(rt.gateways, gw)
+	rt.domMu.Unlock()
 	return gw
 }
 
@@ -128,6 +144,10 @@ func (gw *Gateway) Domain() *Domain { return gw.dom }
 
 // Replaying reports whether the gateway re-feeds a recorded log.
 func (gw *Gateway) Replaying() bool { return gw.g.Replaying() }
+
+// Epoch returns the number of admission slots taken so far. After a
+// checkpoint restore it continues from the checkpoint's epoch counter.
+func (gw *Gateway) Epoch() int64 { return gw.g.Epoch() }
 
 // AddSource registers a free-running event source and starts it. Sources
 // must be added in a deterministic order — registration order assigns the

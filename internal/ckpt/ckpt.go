@@ -1,0 +1,109 @@
+// Package ckpt serializes epoch checkpoints: the point-in-time snapshot of a
+// deterministic execution that lets a replay start mid-stream (qireplay
+// -from-checkpoint) instead of re-executing from the beginning.
+//
+// A checkpoint file reuses the shared framed container of internal/logio —
+//
+//	qithread-checkpoint v1b\n
+//	frame (gob-encoded Record, DEFLATE under the container's encoding byte)
+//	terminator
+//
+// — so it gets the same CRC32C integrity checking, truncation detection and
+// tooling (qilog inspect/verify) as the binary schedule and ingress logs. The
+// payload is a single encoding/gob frame: a checkpoint is a one-shot record
+// of a few kilobytes of counters, hashes and wait-list structure (never
+// goroutine stacks, never message values), so the schema flexibility of gob
+// beats a hand-rolled field layout and costs nothing on the hot path — there
+// is no hot path.
+package ckpt
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strings"
+
+	"qithread/internal/core"
+	"qithread/internal/domain"
+	"qithread/internal/ingress"
+	"qithread/internal/logio"
+)
+
+const header = "qithread-checkpoint v1b"
+
+// Record is everything a resumed run needs beyond the program itself: the
+// per-domain scheduler snapshots, the boundary counters, the channel stamp
+// state, the ingress gateway state, and an opaque application payload (the
+// program's own progress — e.g. per-worker accumulators — which the runtime
+// cannot reconstruct).
+type Record struct {
+	// Epoch is the ingress epoch the checkpoint was taken at (0 for programs
+	// without ingress; then it is just a label).
+	Epoch int64
+	// Domains holds one scheduler snapshot per domain, in domain-id order.
+	Domains []core.SchedState
+	// Xseqs holds each domain's boundary-operation counter, same order.
+	Xseqs []int64
+	// Channels holds the cross-domain channel states in channel-id order.
+	Channels []domain.ChannelState
+	// Gateways holds the ingress gateway states in registration order.
+	Gateways []ingress.GatewayState
+	// App is the application's own serialized progress, restored verbatim.
+	App []byte
+}
+
+// Save writes the checkpoint record.
+func Save(w io.Writer, r *Record) error {
+	if _, err := io.WriteString(w, header+"\n"); err != nil {
+		return err
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(r); err != nil {
+		return fmt.Errorf("ckpt: encoding checkpoint: %w", err)
+	}
+	fw := logio.NewFrameWriter(w)
+	if err := fw.WriteFrame(payload.Bytes(), true); err != nil {
+		return err
+	}
+	return fw.Close()
+}
+
+// Load reads a checkpoint record written by Save. Like the log loaders it is
+// strict: a bad header, a corrupt frame or trailing frames are errors.
+func Load(rd io.Reader) (*Record, error) {
+	br := bufio.NewReaderSize(rd, 1<<16)
+	line, err := br.ReadString('\n')
+	if err == io.EOF && line != "" {
+		err = nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("ckpt: reading checkpoint header: %w", err)
+	}
+	if got := strings.TrimSpace(line); got != header {
+		return nil, fmt.Errorf("ckpt: bad header %q (want %q)", got, header)
+	}
+	fr := logio.NewFrameReader(br)
+	payload, err := fr.Next()
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("ckpt: checkpoint holds no record")
+		}
+		return nil, err
+	}
+	r := &Record{}
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(r); err != nil {
+		return nil, fmt.Errorf("ckpt: decoding checkpoint: %w", err)
+	}
+	if _, err := fr.Next(); err != io.EOF {
+		if err == nil {
+			return nil, fmt.Errorf("ckpt: trailing frame after the checkpoint record")
+		}
+		return nil, err
+	}
+	if len(r.Xseqs) != len(r.Domains) {
+		return nil, fmt.Errorf("ckpt: %d xseq counters for %d domains", len(r.Xseqs), len(r.Domains))
+	}
+	return r, nil
+}

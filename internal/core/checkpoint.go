@@ -1,0 +1,299 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Epoch checkpoints. A checkpoint snapshots one scheduler's deterministic
+// state at a QUIESCENT admission boundary — the turn-holding caller is the
+// only runnable thread, every other live thread is parked on a wait list,
+// and no wake-up or timed deadline is pending — so the snapshot is a plain
+// data record: counters, clocks, per-thread policy words, and the wait-list
+// membership/order, with no goroutine stacks to serialize. Resuming is
+// re-running the program's setup phase with recording muted
+// (Config.SuspendRecording) until the structure — threads registered,
+// objects created, workers parked on the same objects — matches the
+// snapshot, then calling RestoreState to verify that structural equality,
+// permute the wait lists into the recorded order, and reinstate every
+// counter, clock, and running hash. From that point the execution is
+// byte-for-byte the recorded run's continuation: the same threads are
+// eligible in the same order, the trace hash continues from the same fold
+// state, and replayed ingress batches land on the same epochs.
+//
+// What is deliberately NOT restored: per-policy decision counters
+// (policy.Metrics — diagnostics, not schedule inputs) and the retained
+// []Event prefix (a resumed retained-mode run holds only the suffix; Seq
+// numbering continues via the restored trace length).
+
+// ThreadState is one live thread's checkpointable state.
+type ThreadState struct {
+	TID    int
+	Clock  int64    // logical instruction clock (LogicalClock eligibility)
+	VTime  int64    // virtual clock (critical-path model)
+	Policy []uint64 // per-thread policy state words (policy.PerThread.Snapshot)
+}
+
+// WaitEntry is one object's wait list: the blocked threads in FIFO order
+// with their park sequence numbers.
+type WaitEntry struct {
+	Obj  uint64
+	TIDs []int
+	Seqs []uint64
+}
+
+// SchedState is the checkpointable snapshot of one scheduler. All fields are
+// plain data; internal/ckpt serializes it.
+type SchedState struct {
+	DomainID int
+	Turn     int64
+	WaitSeq  uint64
+	NextTID  int
+	NextObj  uint64
+	Live     int
+
+	VLastOp   int64
+	VMakespan int64
+
+	TraceLen  int64
+	TraceHash uint64
+	LeaseHash uint64
+
+	// Stats counters (the policy metrics are not checkpointed).
+	Ops, Waits, Signals, Broadcasts     int64
+	WokenBySignal, WokenByTimeout       int64
+	Handoffs, LeaseGrants, LeaseRevokes int64
+	LeaseExtends                        int64
+	MaxLiveThreads, MaxTimedWaiters     int
+
+	RunQ    []int         // runnable TIDs in run-queue order (includes the caller)
+	Threads []ThreadState // live threads in TID order
+	Waits2  []WaitEntry   // per-object wait lists in object-id order
+}
+
+// Quiescent reports whether t — which must hold the turn — is the sole
+// runnable thread with no pending wake-up and no timed waiter: the state in
+// which CaptureState is legal. A checkpointing thread drives the scheduler
+// to quiescence by yielding (each yield lets woken-but-unparked threads run
+// until they block), which is deterministic: the number of yields needed is
+// a function of the schedule, not of real time.
+func (s *Scheduler) Quiescent(t *Thread) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.holder.Load() == t &&
+		s.runQ.head == t && t.qnext == nil &&
+		s.wakeQ.head == nil &&
+		s.timers.len() == 0
+}
+
+// CaptureState snapshots the scheduler's deterministic state. The caller
+// must hold the turn and the scheduler must be quiescent (see Quiescent);
+// otherwise an error is returned and nothing is captured. An active
+// scheduler lease is revoked first (trace-neutral; the next solo release
+// re-grants it), so the snapshot never embeds lease mode.
+func (s *Scheduler) CaptureState(t *Thread) (*SchedState, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.holder.Load() != t {
+		return nil, fmt.Errorf("core: CaptureState by %v which does not hold the turn", t)
+	}
+	if s.replay != nil {
+		return nil, fmt.Errorf("core: CaptureState during schedule replay is not supported")
+	}
+	if s.runQ.head != t || t.qnext != nil || s.wakeQ.head != nil {
+		return nil, fmt.Errorf("core: CaptureState requires quiescence: %v is not the sole runnable thread", t)
+	}
+	if s.timers.len() != 0 {
+		return nil, fmt.Errorf("core: CaptureState requires quiescence: %d timed waiters pending", s.timers.len())
+	}
+	if s.leased.Load() {
+		s.revokeLeaseLocked()
+	}
+	st := &SchedState{
+		DomainID:        s.cfg.DomainID,
+		Turn:            s.turn.Load(),
+		WaitSeq:         s.waitSeq,
+		NextTID:         s.nextTID,
+		NextObj:         s.nextObj,
+		Live:            s.live,
+		VLastOp:         s.vLastOp,
+		VMakespan:       s.vMakespan,
+		TraceLen:        s.traceLen,
+		TraceHash:       s.traceHash,
+		LeaseHash:       s.leaseHash,
+		Ops:             s.ops.Load(),
+		Waits:           s.stats.Waits,
+		Signals:         s.signals.Load(),
+		Broadcasts:      s.broadcasts.Load(),
+		WokenBySignal:   s.stats.WokenBySignal,
+		WokenByTimeout:  s.stats.WokenByTimeout,
+		Handoffs:        s.stats.Handoffs,
+		LeaseGrants:     s.stats.LeaseGrants,
+		LeaseRevokes:    s.stats.LeaseRevokes,
+		LeaseExtends:    s.leaseExtends.Load(),
+		MaxLiveThreads:  s.stats.MaxLiveThreads,
+		MaxTimedWaiters: s.stats.MaxTimedWaiters,
+		RunQ:            []int{t.id},
+	}
+	for _, th := range s.threads {
+		if th == nil {
+			continue
+		}
+		st.Threads = append(st.Threads, ThreadState{
+			TID:    th.id,
+			Clock:  th.clock.Load(),
+			VTime:  th.vtime.Load(),
+			Policy: th.pstate.Snapshot(),
+		})
+	}
+	objs := make([]uint64, 0, len(s.waitLists))
+	for obj, q := range s.waitLists {
+		if q.head != nil {
+			objs = append(objs, obj)
+		}
+	}
+	sort.Slice(objs, func(i, j int) bool { return objs[i] < objs[j] })
+	waiting := 0
+	for _, obj := range objs {
+		we := WaitEntry{Obj: obj}
+		for w := s.waitLists[obj].head; w != nil; w = w.next {
+			if w.deadline != 0 {
+				return nil, fmt.Errorf("core: CaptureState: %v waits on object %d with a timeout", w.t, obj)
+			}
+			we.TIDs = append(we.TIDs, w.t.id)
+			we.Seqs = append(we.Seqs, w.seq)
+			waiting++
+		}
+		st.Waits2 = append(st.Waits2, we)
+	}
+	if waiting != s.nWaiting {
+		return nil, fmt.Errorf("core: CaptureState: wait lists hold %d threads, scheduler counts %d", waiting, s.nWaiting)
+	}
+	if len(st.Threads) != s.live {
+		return nil, fmt.Errorf("core: CaptureState: %d thread records for %d live threads", len(st.Threads), s.live)
+	}
+	return st, nil
+}
+
+// RestoreState verifies that the scheduler's rebuilt structure matches the
+// snapshot, permutes the wait lists into the recorded FIFO order, reinstates
+// every counter, clock, per-thread policy word and running hash, and unmutes
+// recording. The caller must hold the turn, the scheduler must have been
+// created with SuspendRecording (no events recorded yet), and the program's
+// setup phase must have re-created exactly the snapshot's structure: same
+// thread IDs live, same objects allocated, same threads parked on the same
+// objects, caller the sole runnable thread.
+func (s *Scheduler) RestoreState(t *Thread, st *SchedState) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.holder.Load() != t {
+		return fmt.Errorf("core: RestoreState by %v which does not hold the turn", t)
+	}
+	if s.replay != nil {
+		return fmt.Errorf("core: RestoreState during schedule replay is not supported")
+	}
+	if s.traceLen != 0 {
+		return fmt.Errorf("core: RestoreState after %d events were recorded; create the scheduler with SuspendRecording", s.traceLen)
+	}
+	if s.cfg.DomainID != st.DomainID {
+		return fmt.Errorf("core: RestoreState: snapshot is for domain %d, scheduler is domain %d", st.DomainID, s.cfg.DomainID)
+	}
+	if s.nextTID != st.NextTID || s.nextObj != st.NextObj || s.live != st.Live {
+		return fmt.Errorf("core: RestoreState: structure mismatch: have %d threads ever/%d objects/%d live, snapshot has %d/%d/%d (setup phase diverged)",
+			s.nextTID, s.nextObj, s.live, st.NextTID, st.NextObj, st.Live)
+	}
+	if len(st.RunQ) != 1 || s.runQ.head != t || t.qnext != nil || s.wakeQ.head != nil || t.id != st.RunQ[0] {
+		return fmt.Errorf("core: RestoreState: %v must be the sole runnable thread and match the snapshot's runnable %v", t, st.RunQ)
+	}
+	if s.timers.len() != 0 {
+		return fmt.Errorf("core: RestoreState: %d timed waiters pending", s.timers.len())
+	}
+	if s.leased.Load() {
+		s.revokeLeaseLocked()
+	}
+
+	// Verify and permute the wait lists: same objects, same member sets,
+	// relinked into the recorded FIFO order with the recorded park sequences.
+	nonEmpty := 0
+	for _, q := range s.waitLists {
+		if q.head != nil {
+			nonEmpty++
+		}
+	}
+	if nonEmpty != len(st.Waits2) {
+		return fmt.Errorf("core: RestoreState: %d objects have waiters, snapshot has %d", nonEmpty, len(st.Waits2))
+	}
+	waiting := 0
+	for _, we := range st.Waits2 {
+		q := s.waitLists[we.Obj]
+		if q == nil || q.len() != len(we.TIDs) {
+			have := 0
+			if q != nil {
+				have = q.len()
+			}
+			return fmt.Errorf("core: RestoreState: object %d has %d waiters, snapshot has %d", we.Obj, have, len(we.TIDs))
+		}
+		members := make(map[int]*waiter, q.len())
+		for w := q.head; w != nil; w = w.next {
+			if w.deadline != 0 || w.heapIdx >= 0 {
+				return fmt.Errorf("core: RestoreState: %v waits on object %d with a timeout", w.t, we.Obj)
+			}
+			members[w.t.id] = w
+		}
+		// Relink in recorded order.
+		q.head, q.tail, q.n = nil, nil, 0
+		for i, tid := range we.TIDs {
+			w := members[tid]
+			if w == nil {
+				return fmt.Errorf("core: RestoreState: thread %d not waiting on object %d as the snapshot requires", tid, we.Obj)
+			}
+			w.prev, w.next = nil, nil
+			q.pushBack(w)
+			w.seq = we.Seqs[i]
+			waiting++
+		}
+	}
+	if waiting != s.nWaiting {
+		return fmt.Errorf("core: RestoreState: wait lists hold %d threads, scheduler counts %d", s.nWaiting, waiting)
+	}
+
+	// Per-thread state: clocks and policy words.
+	if len(st.Threads) != s.live {
+		return fmt.Errorf("core: RestoreState: snapshot has %d thread records for %d live threads", len(st.Threads), s.live)
+	}
+	for _, ts := range st.Threads {
+		if ts.TID < 0 || ts.TID >= len(s.threads) || s.threads[ts.TID] == nil {
+			return fmt.Errorf("core: RestoreState: snapshot thread %d is not live", ts.TID)
+		}
+		th := s.threads[ts.TID]
+		th.clock.Store(ts.Clock)
+		th.vtime.Store(ts.VTime)
+		if err := th.pstate.RestoreWords(ts.Policy); err != nil {
+			return fmt.Errorf("core: RestoreState: thread %d: %w", ts.TID, err)
+		}
+	}
+
+	// Counters, hashes, virtual time — and unmute recording.
+	s.turn.Store(st.Turn)
+	s.waitSeq = st.WaitSeq
+	s.vLastOp = st.VLastOp
+	s.vMakespan = st.VMakespan
+	s.traceLen = st.TraceLen
+	s.traceHash = st.TraceHash
+	s.leaseHash = st.LeaseHash
+	s.ops.Store(st.Ops)
+	s.signals.Store(st.Signals)
+	s.broadcasts.Store(st.Broadcasts)
+	s.leaseExtends.Store(st.LeaseExtends)
+	s.stats.Waits = st.Waits
+	s.stats.WokenBySignal = st.WokenBySignal
+	s.stats.WokenByTimeout = st.WokenByTimeout
+	s.stats.Handoffs = st.Handoffs
+	s.stats.LeaseGrants = st.LeaseGrants
+	s.stats.LeaseRevokes = st.LeaseRevokes
+	s.stats.MaxLiveThreads = st.MaxLiveThreads
+	s.stats.MaxTimedWaiters = st.MaxTimedWaiters
+	s.trace = nil
+	s.suspended = false
+	return nil
+}

@@ -119,6 +119,17 @@ type Config struct {
 	// Record enables schedule tracing. Each completed synchronization
 	// operation appends one Event to the trace.
 	Record bool
+	// Sink, when non-nil (and Record is set), streams recorded events out
+	// instead of retaining them in memory: the bounded-memory recording mode
+	// for million-event runs. The running trace hash and length are
+	// maintained identically in both modes, so fingerprints are unaffected;
+	// Trace() returns nil in streaming mode.
+	Sink TraceSink
+	// SuspendRecording starts the scheduler with recording muted. A
+	// checkpoint restore uses it: the program re-runs its setup phase
+	// (thread registration, object creation) without recording, then
+	// RestoreState reinstates the recorded trace hash/length and unmutes.
+	SuspendRecording bool
 	// DomainID identifies the scheduler domain this scheduler instance
 	// serves (see internal/domain). Recorded events carry it, so per-domain
 	// traces of a partitioned execution can be merged and attributed. The

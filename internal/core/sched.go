@@ -92,7 +92,14 @@ type Scheduler struct {
 
 	live int // registered, not yet exited threads
 
-	trace []Event
+	// trace is the retained schedule (Record without a sink). traceLen and
+	// traceHash count and fold EVERY recorded event whether retained or
+	// streamed (see TraceOp); suspended mutes recording during a checkpoint
+	// restore's setup phase.
+	trace     []Event
+	traceLen  int64
+	traceHash uint64
+	suspended bool
 
 	// Replay state (see replay.go).
 	replay    []Event
@@ -153,8 +160,10 @@ func New(cfg Config) *Scheduler {
 	// objName and waitLists are created lazily: a Runtime constructs one
 	// scheduler per domain, and partitioned programs create domains in bulk.
 	return &Scheduler{
-		cfg:   cfg,
-		stack: cfg.Stack,
+		cfg:       cfg,
+		stack:     cfg.Stack,
+		traceHash: fnvOffset64,
+		suspended: cfg.SuspendRecording,
 	}
 }
 
@@ -808,6 +817,14 @@ func (s *Scheduler) deadlockLocked() {
 		return
 	}
 	panic(msg)
+}
+
+// Dump renders the scheduler state — queues, holder, wait lists — for
+// diagnostics (deadlock reports, failed quiescence drives).
+func (s *Scheduler) Dump() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dumpLocked()
 }
 
 // dumpLocked renders the scheduler state for deadlock diagnostics, listing

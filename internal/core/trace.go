@@ -171,6 +171,36 @@ func (e Event) String() string {
 	return s
 }
 
+// TraceSink receives recorded events as they happen — the streaming,
+// bounded-memory alternative to retaining the whole []Event trace in memory
+// (Config.Sink). Append is called in trace order under the scheduler mutex
+// by the turn-holding thread; implementations (a buffered binary log writer,
+// internal/trace.BinaryWriter) must not call back into the scheduler. An
+// Append error is fatal to the run: losing trace events silently would break
+// the record/replay contract, so the scheduler panics.
+type TraceSink interface {
+	Append(e Event) error
+}
+
+// FNV-64a parameters, matching hash/fnv; the running trace hash folds each
+// recorded event incrementally so a streaming run fingerprints in O(1)
+// memory, and a retained run's hash equals trace.Hash of its trace without a
+// final pass.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvFold64 folds one uint64 into an FNV-64a state, little-endian byte order
+// — exactly the per-field fold of internal/trace.Hash.
+func fnvFold64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h = (h ^ (v & 0xff)) * fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
 // TraceOp appends an event to the schedule trace. The caller must hold the
 // turn so events form a total order.
 //
@@ -202,17 +232,34 @@ func (s *Scheduler) TraceOp(t *Thread, op OpKind, obj uint64, st EventStatus) {
 	s.verifyReplayLocked(t, op, obj, st)
 	s.ops.Add(1)
 	s.traceVTime(t)
-	if !s.cfg.Record {
+	if !s.cfg.Record || s.suspended {
+		// suspended covers a checkpoint restore's setup phase: the structure
+		// is rebuilt with recording muted, then RestoreState reinstates the
+		// recorded hash/length and unmutes (see checkpoint.go).
 		return
 	}
-	s.trace = append(s.trace, Event{
-		Seq:    int64(len(s.trace)),
+	e := Event{
+		Seq:    s.traceLen,
 		TID:    t.id,
 		Op:     op,
 		Obj:    obj,
 		Status: st,
 		Domain: s.cfg.DomainID,
-	})
+	}
+	s.traceLen++
+	h := s.traceHash
+	h = fnvFold64(h, uint64(e.TID))
+	h = fnvFold64(h, uint64(e.Op))
+	h = fnvFold64(h, e.Obj)
+	h = fnvFold64(h, uint64(e.Status))
+	s.traceHash = h
+	if s.cfg.Sink != nil {
+		if err := s.cfg.Sink.Append(e); err != nil {
+			panic(fmt.Sprintf("core: trace sink failed at event %d: %v", e.Seq, err))
+		}
+		return
+	}
+	s.trace = append(s.trace, e)
 }
 
 // traceVTime applies a synchronization operation's virtual-time accounting.
@@ -236,11 +283,31 @@ func (s *Scheduler) traceVTime(t *Thread) {
 	s.vLastOp = end
 }
 
-// Trace returns a copy of the recorded schedule.
+// Trace returns a copy of the recorded schedule. In streaming mode
+// (Config.Sink) events are not retained and Trace returns nil — the sink's
+// log and the running TraceHash are the record.
 func (s *Scheduler) Trace() []Event {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make([]Event, len(s.trace))
 	copy(out, s.trace)
 	return out
+}
+
+// TraceHash returns the running FNV-64a hash of the recorded schedule. It
+// always equals internal/trace.Hash of the events recorded so far, whether
+// they were retained or streamed to a sink, which is what lets streaming and
+// retained runs produce identical fingerprints.
+func (s *Scheduler) TraceHash() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traceHash
+}
+
+// TraceLen returns the number of events recorded so far (retained or
+// streamed).
+func (s *Scheduler) TraceLen() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traceLen
 }

@@ -3,8 +3,6 @@ package domain
 import (
 	"fmt"
 	"strings"
-
-	"qithread/internal/trace"
 )
 
 // FNV-64a parameters, matching hash/fnv. The channel hashes are maintained
@@ -92,17 +90,19 @@ func HashDeliveries(log []Delivery) uint64 {
 }
 
 // Fingerprint computes the execution fingerprint: per-domain schedule hashes
-// in id order plus the combined delivery hash. The delivery component reads
-// each channel's running hash and count — O(channels), independent of how
-// many messages crossed the boundary, and independent of whether the debug
-// delivery log was retained. Domains must have Record enabled for the
-// per-domain hashes to be meaningful (a non-recording domain hashes its
-// empty trace). Call it after the program has finished.
+// in id order plus the combined delivery hash. Both components are read from
+// running state — each scheduler's incremental trace hash (core.TraceHash,
+// value-identical to trace.Hash of the retained trace) and each channel's
+// running delivery hash — so the whole fingerprint is O(domains + channels),
+// independent of trace length and of whether events were retained, streamed
+// to a sink, or partially resumed from a checkpoint. Domains must have Record
+// enabled for the per-domain hashes to be meaningful (a non-recording domain
+// reports the empty-trace hash). Call it after the program has finished.
 func (g *Group) Fingerprint() Fingerprint {
 	domains := g.Domains()
 	f := Fingerprint{DomainHashes: make([]uint64, len(domains))}
 	for i, d := range domains {
-		f.DomainHashes[i] = trace.Hash(d.sched.Trace())
+		f.DomainHashes[i] = d.sched.TraceHash()
 	}
 	h := uint64(fnvOffset64)
 	for _, c := range g.Channels() {

@@ -1,0 +1,186 @@
+package ingress
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+
+	"qithread/internal/logio"
+)
+
+// Binary ingress log format, "qithread-ingress v2b". The text format (v1)
+// hex-encodes payloads — 2× the bytes before counting the framing — and
+// parses at strconv speed; v2b stores the same batches in the shared framed
+// container of internal/logio, one frame per recorded batch:
+//
+//	qithread-ingress v2b\n
+//	frame*            (logio framing: uvarint len, encoding, payload, CRC32C)
+//	terminator
+//
+// Frame payload:
+//
+//	uvarint(epochDelta)   delta to the previous batch's epoch, >= 1
+//	uvarint(count)        events in the batch, >= 1
+//	count × { uvarint(source), uvarint(len), len raw payload bytes }
+//
+// Epochs are strictly increasing (one per admission slot that collected
+// anything), so the delta is always positive — a zero delta is corruption.
+// Like the text format, only the collected input is stored: stamps, shedding
+// and admission order are recomputed deterministically on replay.
+const logHeaderV2B = "qithread-ingress v2b"
+
+// BatchSink receives recorded ingress batches as they are collected — the
+// streaming, bounded-memory alternative to retaining the whole Log in memory
+// (Config.Sink). AppendBatch is called once per non-empty admission snapshot,
+// under the gateway mutex, inside the turn-holding admission slot. An error
+// is fatal to the run (the gateway panics): losing input batches silently
+// would break the record/replay contract.
+type BatchSink interface {
+	AppendBatch(epoch int64, snap []Event) error
+}
+
+// BinaryLogWriter writes a v2b binary ingress log incrementally. It
+// implements BatchSink, so a streaming gateway persists its input log with
+// one frame per batch and O(batch) memory.
+type BinaryLogWriter struct {
+	fw        *logio.FrameWriter
+	buf       []byte
+	lastEpoch int64
+	batches   int64
+	events    int64
+	closed    bool
+}
+
+// NewBinaryLogWriter writes the v2b header and returns a writer appending to
+// w. The caller must Close it to terminate the log.
+func NewBinaryLogWriter(w io.Writer) (*BinaryLogWriter, error) {
+	if _, err := io.WriteString(w, logHeaderV2B+"\n"); err != nil {
+		return nil, err
+	}
+	return &BinaryLogWriter{fw: logio.NewFrameWriter(w)}, nil
+}
+
+// AppendBatch writes one recorded batch. Epochs must be strictly increasing;
+// empty snapshots are not recorded (matching Log.append's callers).
+func (bw *BinaryLogWriter) AppendBatch(epoch int64, snap []Event) error {
+	if bw.closed {
+		return fmt.Errorf("ingress: append to closed binary log writer")
+	}
+	if len(snap) == 0 {
+		return fmt.Errorf("ingress: empty batch for epoch %d", epoch)
+	}
+	if epoch <= bw.lastEpoch {
+		return fmt.Errorf("ingress: batch epoch %d out of order (previous %d)", epoch, bw.lastEpoch)
+	}
+	b := appendUvarint(bw.buf[:0], uint64(epoch-bw.lastEpoch))
+	b = appendUvarint(b, uint64(len(snap)))
+	for _, e := range snap {
+		b = appendUvarint(b, uint64(e.Source))
+		b = appendUvarint(b, uint64(len(e.Data)))
+		b = append(b, e.Data...)
+	}
+	bw.buf = b
+	bw.lastEpoch = epoch
+	bw.batches++
+	bw.events += int64(len(snap))
+	return bw.fw.WriteFrame(b, true)
+}
+
+// Batches and Events return the counts written so far.
+func (bw *BinaryLogWriter) Batches() int64 { return bw.batches }
+func (bw *BinaryLogWriter) Events() int64  { return bw.events }
+
+// Flush pushes buffered frames to the underlying writer without terminating
+// the log (checkpoint boundaries flush so the sidecar log is complete up to
+// the checkpoint).
+func (bw *BinaryLogWriter) Flush() error {
+	if bw.closed {
+		return fmt.Errorf("ingress: flush of closed binary log writer")
+	}
+	return bw.fw.Flush()
+}
+
+// Close writes the terminator and flushes. It does not close the underlying
+// writer.
+func (bw *BinaryLogWriter) Close() error {
+	if bw.closed {
+		return fmt.Errorf("ingress: double close of binary log writer")
+	}
+	bw.closed = true
+	return bw.fw.Close()
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// SaveBinary writes the log in the v2b binary format.
+func (l *Log) SaveBinary(w io.Writer) error {
+	bw, err := NewBinaryLogWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, b := range l.Batches {
+		if err := bw.AppendBatch(b.Epoch, b.Events); err != nil {
+			return err
+		}
+	}
+	return bw.Close()
+}
+
+// loadLogBinary reads the frames of a v2b log; the header line has already
+// been consumed by LoadLog's auto-detection.
+func loadLogBinary(br *bufio.Reader) (*Log, error) {
+	fr := logio.NewFrameReader(br)
+	l := &Log{}
+	epoch := int64(0)
+	frame := 0
+	for {
+		payload, err := fr.Next()
+		if err == io.EOF {
+			return l, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("ingress: batch frame %d: %w", frame, err)
+		}
+		d := logio.NewDec(payload)
+		delta := d.Uvarint()
+		if delta == 0 || delta > math.MaxInt64-uint64(epoch) {
+			return nil, fmt.Errorf("ingress: batch frame %d: bad epoch delta %d after epoch %d", frame, delta, epoch)
+		}
+		epoch += int64(delta)
+		count := d.Uvarint()
+		// Every event takes at least the source and length varints, so a
+		// count beyond half the payload is corruption.
+		if count == 0 || count > uint64(len(payload))/2 {
+			return nil, fmt.Errorf("ingress: batch frame %d: implausible event count %d for a %d-byte frame", frame, count, len(payload))
+		}
+		b := Batch{Epoch: epoch, Events: make([]Event, 0, count)}
+		for i := uint64(0); i < count; i++ {
+			src := d.Uvarint()
+			if src > math.MaxInt32 {
+				return nil, fmt.Errorf("ingress: batch frame %d: source id %d out of range", frame, src)
+			}
+			n := d.Uvarint()
+			raw := d.Bytes(n)
+			if d.Err() != nil {
+				return nil, fmt.Errorf("ingress: batch frame %d: %w", frame, d.Err())
+			}
+			var data []byte
+			if n > 0 {
+				data = append([]byte(nil), raw...)
+			}
+			b.Events = append(b.Events, Event{Source: int(src), Data: data})
+		}
+		if d.Len() != 0 {
+			return nil, fmt.Errorf("ingress: batch frame %d: %d trailing bytes after %d events", frame, d.Len(), count)
+		}
+		l.Batches = append(l.Batches, b)
+		frame++
+	}
+}

@@ -1,0 +1,209 @@
+package ingress
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"qithread/internal/logio"
+)
+
+// synthLog builds a deterministic log shaped like a real recording: sparse
+// epochs, mixed payload sizes, several sources.
+func synthLog(batches int) *Log {
+	l := &Log{}
+	epoch := int64(0)
+	seed := uint64(12345)
+	for i := 0; i < batches; i++ {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		epoch += 1 + int64(seed%3)
+		n := 1 + int(seed>>8%5)
+		b := Batch{Epoch: epoch}
+		for j := 0; j < n; j++ {
+			var data []byte
+			if (i+j)%7 != 0 { // every 7th event has an empty payload
+				data = bytes.Repeat([]byte{byte(i), byte(j)}, 1+(i+j)%40)
+			}
+			b.Events = append(b.Events, Event{Source: (i + j) % 4, Data: data})
+		}
+		l.Batches = append(l.Batches, b)
+	}
+	return l
+}
+
+func logsEqual(t *testing.T, got, want *Log) {
+	t.Helper()
+	if len(got.Batches) != len(want.Batches) {
+		t.Fatalf("got %d batches, want %d", len(got.Batches), len(want.Batches))
+	}
+	for i := range want.Batches {
+		gb, wb := got.Batches[i], want.Batches[i]
+		if gb.Epoch != wb.Epoch || len(gb.Events) != len(wb.Events) {
+			t.Fatalf("batch %d: got epoch %d (%d events), want epoch %d (%d events)",
+				i, gb.Epoch, len(gb.Events), wb.Epoch, len(wb.Events))
+		}
+		for j := range wb.Events {
+			ge, we := gb.Events[j], wb.Events[j]
+			if ge.Source != we.Source || !bytes.Equal(ge.Data, we.Data) {
+				t.Fatalf("batch %d event %d: got %v, want %v", i, j, ge, we)
+			}
+		}
+	}
+}
+
+func TestBinaryLogRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 50, 500} {
+		l := synthLog(n)
+		var buf bytes.Buffer
+		if err := l.SaveBinary(&buf); err != nil {
+			t.Fatalf("n=%d: SaveBinary: %v", n, err)
+		}
+		got, err := LoadLog(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("n=%d: LoadLog: %v", n, err)
+		}
+		logsEqual(t, got, l)
+	}
+}
+
+// TestBinaryLogTextEquivalence: the same log saved as text and binary loads
+// back identical, and the binary form is smaller (hex payloads alone double
+// the text size).
+func TestBinaryLogTextEquivalence(t *testing.T) {
+	l := synthLog(300)
+	var text, bin bytes.Buffer
+	if err := l.Save(&text); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.SaveBinary(&bin); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := LoadLog(bytes.NewReader(text.Bytes()))
+	if err != nil {
+		t.Fatalf("load text: %v", err)
+	}
+	fromBin, err := LoadLog(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatalf("load binary: %v", err)
+	}
+	logsEqual(t, fromBin, fromText)
+	if bin.Len() >= text.Len() {
+		t.Errorf("binary log (%d bytes) not smaller than text (%d bytes)", bin.Len(), text.Len())
+	}
+}
+
+func TestBinaryLogTruncationAndCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if err := synthLog(100).SaveBinary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	header := len(logHeaderV2B) + 1
+	for _, cut := range []int{header, header + 2, len(full) / 2, len(full) - 1} {
+		if _, err := LoadLog(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d/%d bytes loaded without error", cut, len(full))
+		}
+	}
+	for _, pos := range []int{header + 4, len(full) / 2, len(full) - 3} {
+		mut := append([]byte(nil), full...)
+		mut[pos] ^= 0x10
+		if _, err := LoadLog(bytes.NewReader(mut)); err == nil {
+			t.Errorf("bit flip at byte %d loaded without error", pos)
+		}
+	}
+}
+
+// TestIngressLineLimit pins the shared-line-scanner satellite on the ingress
+// side: the text loader still reads large payload lines (up to logio.MaxLine)
+// and rejects over-limit ones with an actionable error.
+func TestIngressLineLimit(t *testing.T) {
+	okLine := logHeaderV1 + "\nbatch 1 1\n0 " + strings.Repeat("ab", 100*1024) + "\n"
+	if _, err := LoadLog(strings.NewReader(okLine)); err != nil {
+		t.Fatalf("200KB payload line failed to load: %v", err)
+	}
+	tooLong := logHeaderV1 + "\nbatch 1 1\n0 " + strings.Repeat("ab", logio.MaxLine) + "\n"
+	_, err := LoadLog(strings.NewReader(tooLong))
+	if err == nil {
+		t.Fatal("over-limit line loaded without error")
+	}
+	if !strings.Contains(err.Error(), "line limit") {
+		t.Fatalf("over-limit error %q does not name the line limit", err)
+	}
+}
+
+func TestBinaryLogWriterMisuse(t *testing.T) {
+	var buf bytes.Buffer
+	bw, err := NewBinaryLogWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.AppendBatch(1, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if err := bw.AppendBatch(3, []Event{{Source: 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.AppendBatch(3, []Event{{Source: 0}}); err == nil {
+		t.Fatal("non-monotone epoch accepted")
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Close(); err == nil {
+		t.Fatal("double close succeeded")
+	}
+	got, err := LoadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil || len(got.Batches) != 1 {
+		t.Fatalf("got %v batches, err %v", len(got.Batches), err)
+	}
+}
+
+func FuzzLoadLog(f *testing.F) {
+	var text, bin bytes.Buffer
+	l := synthLog(40)
+	if err := l.Save(&text); err != nil {
+		f.Fatal(err)
+	}
+	if err := l.SaveBinary(&bin); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(text.Bytes())
+	f.Add(bin.Bytes())
+	f.Add([]byte(logHeaderV2B + "\n"))
+	f.Add([]byte(logHeaderV2B + "\n\x04\x00ab\x01x\x00\x00\x00\x00\x00"))
+	f.Add([]byte(logHeaderV1 + "\nbatch 1 2\n0 -\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// LoadLog must never panic; a loaded log must be structurally sound
+		// (strictly increasing epochs, non-empty batches).
+		got, err := LoadLog(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		last := int64(0)
+		for i, b := range got.Batches {
+			if b.Epoch <= last {
+				t.Fatalf("batch %d: epoch %d not after %d", i, b.Epoch, last)
+			}
+			if len(b.Events) == 0 {
+				t.Fatalf("batch %d: empty", i)
+			}
+			last = b.Epoch
+		}
+	})
+}
+
+func TestReplayerSkipTo(t *testing.T) {
+	l := synthLog(10)
+	r := NewReplayer(l)
+	skipped := r.SkipTo(l.Batches[3].Epoch)
+	if skipped != 4 {
+		t.Fatalf("skipped %d batches, want 4", skipped)
+	}
+	snap, _ := r.next(l.Batches[4].Epoch, 0)
+	if len(snap) != len(l.Batches[4].Events) {
+		t.Fatalf("after SkipTo, next returned %d events, want batch 4's %d", len(snap), len(l.Batches[4].Events))
+	}
+	if r.SkipTo(1 << 40); r.pos != len(l.Batches) {
+		t.Fatalf("SkipTo past the end left pos %d of %d", r.pos, len(l.Batches))
+	}
+}

@@ -114,6 +114,11 @@ type Config struct {
 	// recorded snapshot of its epoch. Live sources are ignored in replay
 	// mode.
 	Replay *Replayer
+	// Sink, when non-nil (live mode only), streams recorded batches out
+	// instead of retaining the Log in memory: the bounded-memory recording
+	// mode for million-event runs. Log() returns nil; the admit/shed hashes
+	// are unaffected.
+	Sink BatchSink
 }
 
 func (c Config) withDefaults() Config {
@@ -151,7 +156,8 @@ type Gateway struct {
 	seq   int64   // events ever stamped
 	queue []Event // bounded admission queue (head..)
 	head  int
-	log   *Log // live mode: every snapshot, appended per epoch
+	log   *Log      // live retained mode: every snapshot, appended per epoch
+	sink  BatchSink // live streaming mode: snapshots stream out, log is nil
 	// admitHash and shedHash are running FNV-64a commitments to the
 	// admitted and shed event sets (epoch, seq, source, payload bytes), the
 	// O(1)-memory way to assert that two runs admitted and rejected exactly
@@ -170,7 +176,11 @@ func NewGateway(cfg Config) *Gateway {
 		g.rep = cfg.Replay
 	} else {
 		g.col = newCollector(cfg.StageCap, cfg.PerSourceCap)
-		g.log = &Log{}
+		if cfg.Sink != nil {
+			g.sink = cfg.Sink
+		} else {
+			g.log = &Log{}
+		}
 	}
 	return g
 }
@@ -230,6 +240,12 @@ func (g *Gateway) Admit(dst []Event) (n int, ok bool) {
 	if len(snap) > 0 {
 		if g.log != nil {
 			g.log.append(g.epoch, snap)
+		} else if g.sink != nil {
+			if err := g.sink.AppendBatch(g.epoch, snap); err != nil {
+				// Losing input batches silently would break the record/replay
+				// contract: the log IS the run's nondeterministic input.
+				panic(fmt.Sprintf("ingress: batch sink failed at epoch %d: %v", g.epoch, err))
+			}
 		}
 		for _, e := range snap {
 			g.seq++
@@ -312,6 +328,14 @@ func (g *Gateway) Log() *Log {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	return g.log
+}
+
+// Epoch returns the number of admission slots taken so far (the epoch the
+// next Admit will take, minus one).
+func (g *Gateway) Epoch() int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.epoch
 }
 
 // Hashes returns the running commitments to the admitted and shed event

@@ -7,6 +7,8 @@ import (
 	"io"
 	"strconv"
 	"strings"
+
+	"qithread/internal/logio"
 )
 
 // Ingress logs are plain text, one batch header plus one line per event:
@@ -30,6 +32,9 @@ import (
 // is strict, like schedule files (internal/trace): a bad header, a wrong
 // field count, a non-monotone epoch or a truncated batch is an error, not a
 // silently shorter log.
+//
+// A binary version ("qithread-ingress v2b", see binary.go) serves
+// million-event runs; LoadLog auto-detects both from the header line.
 const logHeaderV1 = "qithread-ingress v1"
 
 // Batch is one recorded admission snapshot: the events collected at one
@@ -84,17 +89,37 @@ func (l *Log) Save(w io.Writer) error {
 	return bw.Flush()
 }
 
-// LoadLog reads a log written by Save. Parsing is strict: any structural
-// deviation is an error.
+// LoadLog reads a log written by Save or SaveBinary, auto-detecting the text
+// (v1) and binary (v2b) formats from the header line. Parsing is strict: any
+// structural deviation is an error.
 func LoadLog(r io.Reader) (*Log, error) {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 1<<20), 1<<20)
-	if !sc.Scan() {
-		return nil, fmt.Errorf("ingress: empty log")
+	br := bufio.NewReaderSize(r, 1<<16)
+	header, err := br.ReadString('\n')
+	switch {
+	case err == io.EOF && header != "":
+		err = nil
+	case err == bufio.ErrBufferFull:
+		return nil, fmt.Errorf("ingress: bad header: first line exceeds %d bytes", br.Size())
 	}
-	if got := strings.TrimSpace(sc.Text()); got != logHeaderV1 {
-		return nil, fmt.Errorf("ingress: bad header %q (want %q)", got, logHeaderV1)
+	if err != nil {
+		if err == io.EOF {
+			return nil, fmt.Errorf("ingress: empty log")
+		}
+		return nil, fmt.Errorf("ingress: reading log header: %w", err)
 	}
+	switch got := strings.TrimSpace(header); got {
+	case logHeaderV1:
+		return loadLogText(br)
+	case logHeaderV2B:
+		return loadLogBinary(br)
+	default:
+		return nil, fmt.Errorf("ingress: bad header %q (want %q or %q)", got, logHeaderV1, logHeaderV2B)
+	}
+}
+
+// loadLogText parses the v1 text body.
+func loadLogText(r io.Reader) (*Log, error) {
+	sc := logio.LineScanner(r)
 	l := &Log{}
 	line := 1
 	lastEpoch := int64(0)
@@ -123,6 +148,9 @@ func LoadLog(r io.Reader) (*Log, error) {
 		b := Batch{Epoch: epoch, Events: make([]Event, 0, count)}
 		for i := 0; i < count; i++ {
 			if !sc.Scan() {
+				if err := logio.ScanErr(sc.Err(), "ingress: log", line); err != nil {
+					return nil, err
+				}
 				return nil, fmt.Errorf("ingress: line %d: batch for epoch %d truncated (%d of %d events)", line, epoch, i, count)
 			}
 			line++
@@ -145,7 +173,7 @@ func LoadLog(r io.Reader) (*Log, error) {
 		}
 		l.Batches = append(l.Batches, b)
 	}
-	if err := sc.Err(); err != nil {
+	if err := logio.ScanErr(sc.Err(), "ingress: log", line); err != nil {
 		return nil, err
 	}
 	return l, nil
@@ -189,4 +217,17 @@ func (r *Replayer) next(epoch int64, queued int) (snap []Event, exhausted bool) 
 	}
 	r.pos++
 	return b.Events, r.pos >= len(r.log.Batches)
+}
+
+// SkipTo advances past every batch recorded at or before the given epoch, so
+// a checkpoint-resumed replay — whose gateway restarts at the checkpoint's
+// epoch counter — continues from exactly the batch the recorded run collected
+// next. It returns the number of batches skipped.
+func (r *Replayer) SkipTo(epoch int64) int {
+	skipped := 0
+	for r.pos < len(r.log.Batches) && r.log.Batches[r.pos].Epoch <= epoch {
+		r.pos++
+		skipped++
+	}
+	return skipped
 }

@@ -1,0 +1,36 @@
+package logio
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxLine bounds one line of the text log formats. The schedule and ingress
+// text loaders share this limit (historically the schedule loader used the
+// 64KB bufio default while the ingress loader allowed 1MB — an asymmetry
+// where a long-payload ingress line saved by one tool failed to load in
+// another); 1MB comfortably covers any real line of either format.
+const MaxLine = 1 << 20
+
+// LineScanner returns a bufio.Scanner guarded to MaxLine, the one line
+// reader every text log loader uses.
+func LineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), MaxLine)
+	return sc
+}
+
+// ScanErr converts a scanner error into a loader error, turning the opaque
+// bufio.ErrTooLong into an actionable message carrying the limit and the
+// offending line number. A nil error passes through.
+func ScanErr(err error, format string, line int) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("%s: line %d exceeds the %d-byte line limit", format, line+1, MaxLine)
+	}
+	return fmt.Errorf("%s: line %d: %w", format, line+1, err)
+}

@@ -1,0 +1,161 @@
+package logio
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"strings"
+	"testing"
+)
+
+func writeFrames(t *testing.T, frames [][]byte, compress bool) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	fw := NewFrameWriter(&buf)
+	for _, f := range frames {
+		if err := fw.WriteFrame(f, compress); err != nil {
+			t.Fatalf("WriteFrame: %v", err)
+		}
+	}
+	if err := fw.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	return buf.Bytes()
+}
+
+func readFrames(b []byte) ([][]byte, error) {
+	fr := NewFrameReader(bytes.NewReader(b))
+	var out [][]byte
+	for {
+		p, err := fr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, append([]byte(nil), p...))
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	frames := [][]byte{
+		[]byte("a"),
+		bytes.Repeat([]byte("deterministic "), 200), // compressible, > CompressMin
+		{0, 1, 2, 255},
+	}
+	for _, compress := range []bool{false, true} {
+		got, err := readFrames(writeFrames(t, frames, compress))
+		if err != nil {
+			t.Fatalf("compress=%v: read: %v", compress, err)
+		}
+		if len(got) != len(frames) {
+			t.Fatalf("compress=%v: %d frames, want %d", compress, len(got), len(frames))
+		}
+		for i := range frames {
+			if !bytes.Equal(got[i], frames[i]) {
+				t.Errorf("compress=%v: frame %d mismatch", compress, i)
+			}
+		}
+	}
+}
+
+func TestCompressionShrinks(t *testing.T) {
+	frame := bytes.Repeat([]byte("deterministic "), 500)
+	raw := writeFrames(t, [][]byte{frame}, false)
+	comp := writeFrames(t, [][]byte{frame}, true)
+	if len(comp) >= len(raw) {
+		t.Fatalf("compressed container %d bytes, raw %d", len(comp), len(raw))
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	full := writeFrames(t, [][]byte{bytes.Repeat([]byte("x"), 100)}, false)
+	// Every strict prefix must fail: either a truncated frame or a missing
+	// terminator, never a silent short read.
+	for cut := 0; cut < len(full); cut++ {
+		if _, err := readFrames(full[:cut]); err == nil {
+			t.Fatalf("truncation at %d/%d bytes not detected", cut, len(full))
+		}
+	}
+	if _, err := readFrames(full); err != nil {
+		t.Fatalf("full log failed: %v", err)
+	}
+}
+
+func TestBitFlipDetected(t *testing.T) {
+	full := writeFrames(t, [][]byte{bytes.Repeat([]byte("y"), 64)}, false)
+	// Flip each bit of the stored payload region; the CRC must catch it.
+	// (Flipping header bytes may instead produce structural errors, which is
+	// fine too — the invariant is "never silently wrong".)
+	for i := 0; i < len(full); i++ {
+		mut := append([]byte(nil), full...)
+		mut[i] ^= 0x10
+		got, err := readFrames(mut)
+		if err == nil && len(got) == 1 && bytes.Equal(got[0], bytes.Repeat([]byte("y"), 64)) {
+			// A flip in trailing slack would be undetectable, but the format
+			// has none: every byte is header, payload, CRC, or terminator.
+			t.Fatalf("bit flip at byte %d produced the original payload with no error", i)
+		}
+	}
+}
+
+func TestOversizedLengthRejected(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}) // huge uvarint
+	if _, err := readFrames(buf.Bytes()); err == nil || !strings.Contains(err.Error(), "exceeds limit") {
+		t.Fatalf("oversized frame length not rejected: %v", err)
+	}
+}
+
+func TestDecBounds(t *testing.T) {
+	d := NewDec([]byte{0x05})
+	if v := d.Uvarint(); v != 5 || d.Err() != nil {
+		t.Fatalf("Uvarint = %d, err %v", v, d.Err())
+	}
+	if d.Bytes(3); d.Err() == nil {
+		t.Fatal("Bytes past end did not error")
+	}
+	// Errors stick and subsequent reads are inert.
+	if v := d.Uvarint(); v != 0 {
+		t.Fatalf("read after error = %d", v)
+	}
+}
+
+func TestLineScannerLimit(t *testing.T) {
+	long := strings.Repeat("a", MaxLine+10)
+	sc := LineScanner(strings.NewReader(long))
+	for sc.Scan() {
+	}
+	err := ScanErr(sc.Err(), "test", 0)
+	if err == nil || !strings.Contains(err.Error(), "line limit") {
+		t.Fatalf("overlong line error = %v", err)
+	}
+	// A line under the limit but over the 64KB bufio default must scan.
+	mid := strings.Repeat("b", 200*1024)
+	sc = LineScanner(strings.NewReader(mid + "\n"))
+	if !sc.Scan() || sc.Text() != mid {
+		t.Fatalf("200KB line failed to scan: %v", sc.Err())
+	}
+}
+
+func TestSegmentListing(t *testing.T) {
+	dir := t.TempDir()
+	base := dir + "/run.qsched"
+	for i := 0; i < 3; i++ {
+		if err := writeFile(SegmentPath(base, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := ListSegments(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 3 || segs[0] != SegmentPath(base, 0) || segs[2] != SegmentPath(base, 2) {
+		t.Fatalf("segments = %v", segs)
+	}
+}
+
+func writeFile(path string) error {
+	return os.WriteFile(path, []byte("seg"), 0o644)
+}

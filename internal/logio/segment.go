@@ -1,0 +1,48 @@
+package logio
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Segment rotation. A long streaming run splits its binary log across
+// numbered segment files — <base>.seg00000, <base>.seg00001, ... — each a
+// complete, independently loadable log (own header, own terminator). Writers
+// rotate at frame boundaries once a segment passes its size budget; readers
+// list the segments in order and concatenate their decoded contents.
+
+// SegmentPath returns the path of segment i of a rotated log.
+func SegmentPath(base string, i int) string {
+	return fmt.Sprintf("%s.seg%05d", base, i)
+}
+
+// ListSegments returns the existing segment files of base in segment order.
+// Zero segments is not an error (callers decide what an empty log means);
+// a gap in the numbering is, since it means a lost segment.
+func ListSegments(base string) ([]string, error) {
+	dir, name := filepath.Split(base)
+	if dir == "" {
+		dir = "."
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	prefix := name + ".seg"
+	var out []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasPrefix(e.Name(), prefix) {
+			out = append(out, filepath.Join(dir, e.Name()))
+		}
+	}
+	sort.Strings(out)
+	for i, p := range out {
+		if want := SegmentPath(base, i); p != want {
+			return nil, fmt.Errorf("logio: segment gap: found %s, want %s", p, want)
+		}
+	}
+	return out, nil
+}

@@ -48,6 +48,8 @@
 // internal/harness).
 package policy
 
+import "fmt"
+
 // Queue identifies the runnable queue a thread is placed on when it leaves
 // the wait queue.
 type Queue uint8
@@ -104,6 +106,27 @@ type PerThread struct {
 
 // Word returns the state word for the given slot.
 func (pt *PerThread) Word(slot int) *uint64 { return &pt.words[slot+1] }
+
+// Snapshot returns a copy of the state words — the lease-hint mask plus one
+// word per policy slot — the serializable form of a thread's policy state
+// for checkpointing. Policy state is deliberately plain data (each policy
+// owns one uint64), so a snapshot fully captures it.
+func (pt *PerThread) Snapshot() []uint64 {
+	out := make([]uint64, len(pt.words))
+	copy(out, pt.words)
+	return out
+}
+
+// RestoreWords overwrites the state words from a Snapshot. The block must
+// have been initialized by a stack of the same shape (same policy count) as
+// the snapshot's.
+func (pt *PerThread) RestoreWords(words []uint64) error {
+	if len(words) != len(pt.words) {
+		return fmt.Errorf("policy: state block has %d words, snapshot has %d (different policy stack?)", len(pt.words), len(words))
+	}
+	copy(pt.words, words)
+	return nil
+}
 
 // leaseHint returns the lease-hint mask word.
 func (pt *PerThread) leaseHint() *uint64 { return &pt.words[0] }

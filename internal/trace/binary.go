@@ -1,0 +1,401 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"qithread/internal/core"
+	"qithread/internal/logio"
+)
+
+// Binary schedule format, "qithread-schedule v3b". Text schedules (v1/v2)
+// cost ~20 bytes and ~1µs of Sscanf per event — fine for the thousand-event
+// traces of the determinism suite, hostile to the million-event runs of the
+// streaming experiments. v3b stores the same events in the shared framed
+// container of internal/logio:
+//
+//	qithread-schedule v3b\n
+//	frame*            (logio framing: uvarint len, encoding, payload, CRC32C)
+//	terminator
+//
+// Each frame payload holds up to frameEvents events:
+//
+//	uvarint(count)
+//	count × { op byte, flags byte, [uvarint tid], [uvarint obj], [uvarint domain] }
+//
+// flags bits 0–1 carry the event status; bits 2/3/4 mean "tid/obj/domain equal
+// to the previous event's", in which case the corresponding varint is omitted.
+// The previous-event registers reset to (0, 0, 0) at each frame start, keeping
+// frames self-contained for segment rotation and mid-stream tooling. Seq is
+// not stored at all: the loader assigns it by position, which is also what
+// lets LoadSegments renumber a rotated log globally.
+//
+// Schedule traces are extremely repetitive (a handful of threads ping-ponging
+// over a handful of objects), so frames additionally DEFLATE-compress under
+// the container's encoding byte. Together the delta flags and compression put
+// v3b well past the 5× size/speed targets over the text format.
+
+const scheduleHeaderV3B = "qithread-schedule v3b"
+
+// frameEvents is the number of events per binary frame. Large enough to
+// amortize framing and give DEFLATE context, small enough that a streaming
+// writer holds only kilobytes between flushes.
+const frameEvents = 4096
+
+const (
+	flagStatusMask = 0x03
+	flagSameTID    = 0x04
+	flagSameObj    = 0x08
+	flagSameDomain = 0x10
+	flagsKnown     = flagStatusMask | flagSameTID | flagSameObj | flagSameDomain
+)
+
+// frameEnc accumulates events into one frame payload.
+type frameEnc struct {
+	body    []byte
+	scratch []byte
+	count   int
+	prevTID int
+	prevObj uint64
+	prevDom int
+}
+
+func (fe *frameEnc) add(e core.Event) {
+	// The registers reset to (0,0,0) at each frame start on both sides, so
+	// the same-as-prev flags apply uniformly, first event included.
+	flags := byte(e.Status) & flagStatusMask
+	if e.TID == fe.prevTID {
+		flags |= flagSameTID
+	}
+	if e.Obj == fe.prevObj {
+		flags |= flagSameObj
+	}
+	if e.Domain == fe.prevDom {
+		flags |= flagSameDomain
+	}
+	fe.body = append(fe.body, byte(e.Op), flags)
+	if flags&flagSameTID == 0 {
+		fe.body = appendUvarint(fe.body, uint64(e.TID))
+	}
+	if flags&flagSameObj == 0 {
+		fe.body = appendUvarint(fe.body, e.Obj)
+	}
+	if flags&flagSameDomain == 0 {
+		fe.body = appendUvarint(fe.body, uint64(e.Domain))
+	}
+	fe.prevTID, fe.prevObj, fe.prevDom = e.TID, e.Obj, e.Domain
+	fe.count++
+}
+
+// flush writes the accumulated frame (if any) and resets the encoder.
+func (fe *frameEnc) flush(fw *logio.FrameWriter) error {
+	if fe.count == 0 {
+		return nil
+	}
+	fe.scratch = appendUvarint(fe.scratch[:0], uint64(fe.count))
+	fe.scratch = append(fe.scratch, fe.body...)
+	err := fw.WriteFrame(fe.scratch, true)
+	fe.body = fe.body[:0]
+	fe.count = 0
+	fe.prevTID, fe.prevObj, fe.prevDom = 0, 0, 0
+	return err
+}
+
+func appendUvarint(b []byte, v uint64) []byte {
+	for v >= 0x80 {
+		b = append(b, byte(v)|0x80)
+		v >>= 7
+	}
+	return append(b, byte(v))
+}
+
+// BinaryWriter writes a v3b binary schedule incrementally. It implements
+// core.TraceSink, which is how a streaming (bounded-memory) recording run
+// persists its schedule: the scheduler appends each event as it happens and
+// the writer retains at most one frame of them.
+type BinaryWriter struct {
+	fw     *logio.FrameWriter
+	enc    frameEnc
+	n      int64
+	closed bool
+}
+
+// NewBinaryWriter writes the v3b header and returns a writer appending to w.
+// The caller must Close it to terminate the log.
+func NewBinaryWriter(w io.Writer) (*BinaryWriter, error) {
+	if _, err := io.WriteString(w, scheduleHeaderV3B+"\n"); err != nil {
+		return nil, err
+	}
+	return &BinaryWriter{fw: logio.NewFrameWriter(w)}, nil
+}
+
+// Append adds one event to the log. Events must arrive in trace order; Seq is
+// not stored (a loader assigns it by position).
+func (bw *BinaryWriter) Append(e core.Event) error {
+	if bw.closed {
+		return fmt.Errorf("trace: append to closed binary schedule writer")
+	}
+	bw.enc.add(e)
+	bw.n++
+	if bw.enc.count >= frameEvents {
+		return bw.enc.flush(bw.fw)
+	}
+	return nil
+}
+
+// Len returns the number of events appended so far.
+func (bw *BinaryWriter) Len() int64 { return bw.n }
+
+// Flush frames any buffered events and pushes them to the underlying writer
+// without terminating the log. Streaming runs flush at checkpoint boundaries
+// so a checkpoint's sidecar log is complete up to the checkpoint.
+func (bw *BinaryWriter) Flush() error {
+	if bw.closed {
+		return fmt.Errorf("trace: flush of closed binary schedule writer")
+	}
+	if err := bw.enc.flush(bw.fw); err != nil {
+		return err
+	}
+	return bw.fw.Flush()
+}
+
+// Close frames any buffered events, writes the terminator and flushes. It
+// does not close the underlying writer.
+func (bw *BinaryWriter) Close() error {
+	if bw.closed {
+		return fmt.Errorf("trace: double close of binary schedule writer")
+	}
+	bw.closed = true
+	if err := bw.enc.flush(bw.fw); err != nil {
+		return err
+	}
+	return bw.fw.Close()
+}
+
+// SaveBinary writes a schedule in the v3b binary format.
+func SaveBinary(w io.Writer, events []core.Event) error {
+	bw, err := NewBinaryWriter(w)
+	if err != nil {
+		return err
+	}
+	for _, e := range events {
+		if err := bw.Append(e); err != nil {
+			return err
+		}
+	}
+	return bw.Close()
+}
+
+// loadBinary reads the frames of a v3b schedule; the header line has already
+// been consumed by Load's auto-detection.
+func loadBinary(br *bufio.Reader) ([]core.Event, error) {
+	fr := logio.NewFrameReader(br)
+	// Frames decode into exact-size chunks concatenated once at the end:
+	// growing one slice event-by-event would memmove the whole schedule
+	// O(log n) times over, which dominates the load of a million-event file.
+	var chunks [][]core.Event
+	total := 0
+	frame := 0
+	for {
+		payload, err := fr.Next()
+		if err == io.EOF {
+			out := make([]core.Event, 0, total)
+			for _, c := range chunks {
+				out = append(out, c...)
+			}
+			for i := range out {
+				out[i].Seq = int64(i)
+			}
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: schedule frame %d: %w", frame, err)
+		}
+		d := logio.NewDec(payload)
+		count := d.Uvarint()
+		// Every event takes at least the op and flags bytes, so a count
+		// beyond half the payload is corruption, not a big frame.
+		if count == 0 || count > uint64(len(payload))/2 {
+			return nil, fmt.Errorf("trace: schedule frame %d: implausible event count %d for a %d-byte frame", frame, count, len(payload))
+		}
+		chunk := make([]core.Event, 0, count)
+		var prevTID, prevDom int
+		var prevObj uint64
+		for i := uint64(0); i < count; i++ {
+			op := d.Byte()
+			flags := d.Byte()
+			if flags&^byte(flagsKnown) != 0 {
+				return nil, fmt.Errorf("trace: schedule frame %d: unknown flag bits %#02x", frame, flags)
+			}
+			status := flags & flagStatusMask
+			if status > uint8(core.StatusReturn) {
+				return nil, fmt.Errorf("trace: schedule frame %d: bad event status %d", frame, status)
+			}
+			tid, obj, dom := prevTID, prevObj, prevDom
+			if flags&flagSameTID == 0 {
+				v := d.Uvarint()
+				if v > math.MaxInt32 {
+					return nil, fmt.Errorf("trace: schedule frame %d: thread id %d out of range", frame, v)
+				}
+				tid = int(v)
+			}
+			if flags&flagSameObj == 0 {
+				obj = d.Uvarint()
+			}
+			if flags&flagSameDomain == 0 {
+				v := d.Uvarint()
+				if v > math.MaxInt32 {
+					return nil, fmt.Errorf("trace: schedule frame %d: domain id %d out of range", frame, v)
+				}
+				dom = int(v)
+			}
+			if d.Err() != nil {
+				return nil, fmt.Errorf("trace: schedule frame %d: %w", frame, d.Err())
+			}
+			chunk = append(chunk, core.Event{
+				TID:    tid,
+				Op:     core.OpKind(op),
+				Obj:    obj,
+				Status: core.EventStatus(status),
+				Domain: dom,
+			})
+			prevTID, prevObj, prevDom = tid, obj, dom
+		}
+		chunks = append(chunks, chunk)
+		total += len(chunk)
+		if d.Len() != 0 {
+			return nil, fmt.Errorf("trace: schedule frame %d: %d trailing bytes after %d events", frame, d.Len(), count)
+		}
+		frame++
+	}
+}
+
+// SegmentedWriter streams a v3b schedule across rotated segment files
+// (logio.SegmentPath naming): each segment is a complete, independently
+// loadable binary log, and the writer rotates at frame boundaries once a
+// segment passes its byte budget. It implements core.TraceSink.
+type SegmentedWriter struct {
+	base      string
+	maxBytes  int64
+	seg       int
+	f         *os.File
+	cw        countWriter
+	bw        *BinaryWriter
+	segEvents int64
+	n         int64
+}
+
+type countWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (cw *countWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.n += int64(n)
+	return n, err
+}
+
+// NewSegmentedWriter creates segment 0 of a rotated binary schedule at
+// base.seg00000 and returns the writer. maxBytes is the per-segment rotation
+// budget; zero means 64MB.
+func NewSegmentedWriter(base string, maxBytes int64) (*SegmentedWriter, error) {
+	if maxBytes <= 0 {
+		maxBytes = 64 << 20
+	}
+	sw := &SegmentedWriter{base: base, maxBytes: maxBytes}
+	if err := sw.open(); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+func (sw *SegmentedWriter) open() error {
+	f, err := os.Create(logio.SegmentPath(sw.base, sw.seg))
+	if err != nil {
+		return err
+	}
+	sw.f = f
+	sw.cw = countWriter{w: f}
+	sw.bw, err = NewBinaryWriter(&sw.cw)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	sw.segEvents = 0
+	return nil
+}
+
+func (sw *SegmentedWriter) closeSegment() error {
+	if err := sw.bw.Close(); err != nil {
+		sw.f.Close()
+		return err
+	}
+	return sw.f.Close()
+}
+
+// Append adds one event, rotating to a new segment when the current one has
+// passed its byte budget (checked at frame boundaries only, so every segment
+// holds whole frames).
+func (sw *SegmentedWriter) Append(e core.Event) error {
+	if err := sw.bw.Append(e); err != nil {
+		return err
+	}
+	sw.segEvents++
+	sw.n++
+	if sw.segEvents%frameEvents == 0 {
+		if err := sw.bw.Flush(); err != nil {
+			return err
+		}
+		if sw.cw.n >= sw.maxBytes {
+			if err := sw.closeSegment(); err != nil {
+				return err
+			}
+			sw.seg++
+			return sw.open()
+		}
+	}
+	return nil
+}
+
+// Len returns the number of events appended across all segments.
+func (sw *SegmentedWriter) Len() int64 { return sw.n }
+
+// Flush frames buffered events and pushes them to the current segment file.
+func (sw *SegmentedWriter) Flush() error { return sw.bw.Flush() }
+
+// Close terminates and closes the current segment. Earlier segments were
+// closed at rotation.
+func (sw *SegmentedWriter) Close() error { return sw.closeSegment() }
+
+// LoadSegments loads a rotated binary schedule written by SegmentedWriter,
+// concatenating the segments of base in order and renumbering Seq globally.
+func LoadSegments(base string) ([]core.Event, error) {
+	paths, err := logio.ListSegments(base)
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("trace: no schedule segments found for %s", base)
+	}
+	var out []core.Event
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		evs, err := Load(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("trace: segment %s: %w", p, err)
+		}
+		for i := range evs {
+			evs[i].Seq = int64(len(out) + i)
+		}
+		out = append(out, evs...)
+	}
+	return out, nil
+}

@@ -1,0 +1,274 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"qithread/internal/core"
+	"qithread/internal/logio"
+)
+
+// synthSchedule builds a deterministic, schedule-shaped event stream: a few
+// threads ping-ponging over a few objects with occasional blocks/returns,
+// like a real trace (which is what the delta encoding is tuned for).
+func synthSchedule(n int) []core.Event {
+	out := make([]core.Event, n)
+	for i := range out {
+		tid := (i * 7) % 5
+		e := core.Event{
+			Seq: int64(i),
+			TID: tid,
+			Op:  core.OpMutexLock,
+			Obj: uint64(3 + (i*3)%4),
+		}
+		switch i % 11 {
+		case 3:
+			e.Op, e.Status = core.OpCondWait, core.StatusBlocked
+		case 4:
+			e.Op, e.Status = core.OpCondWait, core.StatusReturn
+		case 7:
+			e.Op, e.Obj = core.OpYield, 0
+		}
+		if i%97 == 0 {
+			e.Domain = 1 + i%3
+		}
+		out[i] = e
+	}
+	return out
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 100, frameEvents, frameEvents + 1, 3*frameEvents + 17} {
+		events := synthSchedule(n)
+		var buf bytes.Buffer
+		if err := SaveBinary(&buf, events); err != nil {
+			t.Fatalf("n=%d: SaveBinary: %v", n, err)
+		}
+		got, err := Load(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("n=%d: Load: %v", n, err)
+		}
+		if len(got) != len(events) {
+			t.Fatalf("n=%d: loaded %d events, want %d", n, len(got), len(events))
+		}
+		for i := range got {
+			if got[i] != events[i] {
+				t.Fatalf("n=%d: event %d: got %+v, want %+v", n, i, got[i], events[i])
+			}
+		}
+	}
+}
+
+// TestBinaryTextEquivalence is the cross-encoding contract: the same events
+// saved as text and as binary load back identical, so both hash identically.
+func TestBinaryTextEquivalence(t *testing.T) {
+	events := synthSchedule(5000)
+	var text, bin bytes.Buffer
+	if err := Save(&text, events); err != nil {
+		t.Fatal(err)
+	}
+	if err := SaveBinary(&bin, events); err != nil {
+		t.Fatal(err)
+	}
+	fromText, err := Load(bytes.NewReader(text.Bytes()))
+	if err != nil {
+		t.Fatalf("load text: %v", err)
+	}
+	fromBin, err := Load(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatalf("load binary: %v", err)
+	}
+	if ht, hb := Hash(fromText), Hash(fromBin); ht != hb {
+		t.Fatalf("hash mismatch: text %016x, binary %016x", ht, hb)
+	}
+	if bin.Len() >= text.Len() {
+		t.Errorf("binary encoding (%d bytes) not smaller than text (%d bytes)", bin.Len(), text.Len())
+	}
+}
+
+func TestBinaryTruncationDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveBinary(&buf, synthSchedule(300)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	header := len(scheduleHeaderV3B) + 1
+	for _, cut := range []int{header, header + 1, header + 5, len(full) / 2, len(full) - 5, len(full) - 1} {
+		if _, err := Load(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("truncation at %d/%d bytes loaded without error", cut, len(full))
+		}
+	}
+}
+
+func TestBinaryCorruptionDetected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := SaveBinary(&buf, synthSchedule(300)); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	header := len(scheduleHeaderV3B) + 1
+	for _, pos := range []int{header + 3, header + 20, len(full) - 3} {
+		mut := append([]byte(nil), full...)
+		mut[pos] ^= 0x40
+		if _, err := Load(bytes.NewReader(mut)); err == nil {
+			t.Errorf("bit flip at byte %d loaded without error", pos)
+		}
+	}
+}
+
+func TestSegmentedWriter(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "sched.bin")
+	events := synthSchedule(5 * frameEvents)
+	sw, err := NewSegmentedWriter(base, 4096) // tiny budget to force rotation
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range events {
+		if err := sw.Append(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	segs, err := logio.ListSegments(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) < 2 {
+		t.Fatalf("expected rotation to produce multiple segments, got %d", len(segs))
+	}
+	got, err := LoadSegments(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(events) {
+		t.Fatalf("loaded %d events from %d segments, want %d", len(got), len(segs), len(events))
+	}
+	for i := range got {
+		if got[i] != events[i] {
+			t.Fatalf("event %d: got %+v, want %+v", i, got[i], events[i])
+		}
+	}
+	// A lost segment must be a loud error, not a silently shorter schedule.
+	if err := os.Remove(segs[0]); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSegments(base); err == nil {
+		t.Fatal("LoadSegments succeeded with a missing segment")
+	}
+}
+
+// TestLoadLineLimit pins the satellite fix: the schedule text loader
+// historically used an unguarded bufio.Scanner (64KB default) while the
+// ingress loader allowed 1MB. Both now share logio.LineScanner: a line within
+// logio.MaxLine loads, one beyond it fails with an actionable error.
+func TestLoadLineLimit(t *testing.T) {
+	longOK := scheduleHeaderV1 + "\n0 0 1 0 0   " + strings.Repeat(" ", 200*1024) + "\n"
+	if _, err := Load(strings.NewReader(longOK)); err != nil {
+		t.Fatalf("200KB line (within the shared limit) failed to load: %v", err)
+	}
+	tooLong := scheduleHeaderV1 + "\n0 0 1 0 0" + strings.Repeat(" ", logio.MaxLine+10) + "\n"
+	_, err := Load(strings.NewReader(tooLong))
+	if err == nil {
+		t.Fatal("over-limit line loaded without error")
+	}
+	if !strings.Contains(err.Error(), "line limit") {
+		t.Fatalf("over-limit error %q does not name the line limit", err)
+	}
+}
+
+func FuzzLoad(f *testing.F) {
+	var text, bin bytes.Buffer
+	events := synthSchedule(200)
+	if err := Save(&text, events); err != nil {
+		f.Fatal(err)
+	}
+	if err := SaveBinary(&bin, events); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(text.Bytes())
+	f.Add(bin.Bytes())
+	f.Add([]byte(scheduleHeaderV3B + "\n"))
+	f.Add([]byte(scheduleHeaderV3B + "\n\x05\x00abcde\x00\x00\x00\x00\x00"))
+	f.Add([]byte("qithread-schedule v9\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Load must never panic or hang; on success the result must be
+		// self-consistent (Seq densely numbered), on failure just an error.
+		evs, err := Load(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		for i, e := range evs {
+			if e.Seq != int64(i) {
+				t.Fatalf("loaded schedule has Seq %d at position %d", e.Seq, i)
+			}
+		}
+	})
+}
+
+func BenchmarkScheduleLoad(b *testing.B) {
+	events := synthSchedule(100_000)
+	var text, bin bytes.Buffer
+	if err := Save(&text, events); err != nil {
+		b.Fatal(err)
+	}
+	if err := SaveBinary(&bin, events); err != nil {
+		b.Fatal(err)
+	}
+	b.Logf("100k events: text %d bytes, binary %d bytes (%.1fx)",
+		text.Len(), bin.Len(), float64(text.Len())/float64(bin.Len()))
+	for _, c := range []struct {
+		name string
+		data []byte
+	}{{"text", text.Bytes()}, {"binary", bin.Bytes()}} {
+		b.Run(c.name, func(b *testing.B) {
+			b.SetBytes(int64(len(events)))
+			for i := 0; i < b.N; i++ {
+				if _, err := Load(bytes.NewReader(c.data)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func TestBinaryWriterMisuse(t *testing.T) {
+	var buf bytes.Buffer
+	bw, err := NewBinaryWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := bw.Append(core.Event{}); err == nil {
+		t.Fatal("append after close succeeded")
+	}
+	if err := bw.Close(); err == nil {
+		t.Fatal("double close succeeded")
+	}
+	if got, err := Load(bytes.NewReader(buf.Bytes())); err != nil || len(got) != 0 {
+		t.Fatalf("empty binary schedule: got %d events, err %v", len(got), err)
+	}
+}
+
+func ExampleSaveBinary() {
+	events := []core.Event{
+		{Seq: 0, TID: 0, Op: core.OpThreadBegin},
+		{Seq: 1, TID: 0, Op: core.OpMutexLock, Obj: 3},
+		{Seq: 2, TID: 1, Op: core.OpMutexLock, Obj: 3, Status: core.StatusBlocked},
+	}
+	var buf bytes.Buffer
+	if err := SaveBinary(&buf, events); err != nil {
+		panic(err)
+	}
+	loaded, _ := Load(&buf)
+	fmt.Println(len(loaded), "events")
+	// Output: 3 events
+}

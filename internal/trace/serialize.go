@@ -7,9 +7,10 @@ import (
 	"strings"
 
 	"qithread/internal/core"
+	"qithread/internal/logio"
 )
 
-// Schedule files are plain text, one operation per line. Two versions exist:
+// Schedule files come in two text versions, one operation per line:
 //
 //	qithread-schedule v1
 //	<seq> <tid> <op-number> <obj> <status>
@@ -32,6 +33,9 @@ import (
 // The format is stable across runs and diff-friendly, so recorded schedules
 // can live next to bug reports and replay them later (the record/replay use
 // case of DMT systems).
+//
+// A third, binary version ("qithread-schedule v3b", see binary.go) serves
+// million-event runs; Load auto-detects all three from the header line.
 
 const (
 	scheduleHeaderV1 = "qithread-schedule v1"
@@ -85,24 +89,54 @@ func SaveVersion(w io.Writer, events []core.Event, version int) error {
 	return bw.Flush()
 }
 
-// Load reads a schedule written by Save, accepting both v1 and v2 headers.
-// v1 events load with the default domain 0.
+// Load reads a schedule written by Save or SaveBinary, auto-detecting the
+// format from the header line: text v1/v2 and binary v3b all load through this
+// one entry point, so every consumer (qireplay, qistat, qitrace, qilog) reads
+// every format. v1 events load with the default domain 0.
 func Load(r io.Reader) ([]core.Event, error) {
-	sc := bufio.NewScanner(r)
-	if !sc.Scan() {
-		return nil, fmt.Errorf("trace: empty schedule file")
+	br := bufio.NewReaderSize(r, 1<<16)
+	header, err := readHeader(br)
+	if err != nil {
+		return nil, err
 	}
-	var fields int
-	switch strings.TrimSpace(sc.Text()) {
+	switch header {
 	case scheduleHeaderV1:
-		fields = 5
+		return loadText(br, 5)
 	case scheduleHeaderV2:
-		fields = 6
+		return loadText(br, 6)
+	case scheduleHeaderV3B:
+		return loadBinary(br)
 	default:
-		return nil, fmt.Errorf("trace: bad header %q (want %q or %q)", sc.Text(), scheduleHeaderV1, scheduleHeaderV2)
+		return nil, fmt.Errorf("trace: bad header %q (want %q, %q or %q)", header, scheduleHeaderV1, scheduleHeaderV2, scheduleHeaderV3B)
 	}
+}
+
+// readHeader consumes the one-line format header common to the text and
+// binary schedule encodings. The line is bounded by the bufio.Reader's buffer
+// — far beyond any valid header — so a header-less binary blob fails fast
+// instead of buffering the file.
+func readHeader(br *bufio.Reader) (string, error) {
+	line, err := br.ReadString('\n')
+	switch {
+	case err == io.EOF && line != "":
+		err = nil // header-only file: an empty schedule
+	case err == bufio.ErrBufferFull:
+		return "", fmt.Errorf("trace: bad header: first line exceeds %d bytes", br.Size())
+	}
+	if err != nil {
+		if err == io.EOF {
+			return "", fmt.Errorf("trace: empty schedule file")
+		}
+		return "", fmt.Errorf("trace: reading schedule header: %w", err)
+	}
+	return strings.TrimSpace(line), nil
+}
+
+// loadText parses the v1 (5-field) / v2 (6-field) text body.
+func loadText(r io.Reader, fields int) ([]core.Event, error) {
+	sc := logio.LineScanner(r)
 	var out []core.Event
-	line := 1
+	line := 1 // the header was line 1
 	for sc.Scan() {
 		line++
 		text := strings.TrimSpace(sc.Text())
@@ -132,5 +166,5 @@ func Load(r io.Reader) ([]core.Event, error) {
 			Seq: seq, TID: tid, Op: core.OpKind(op), Obj: obj, Status: core.EventStatus(status), Domain: domain,
 		})
 	}
-	return out, sc.Err()
+	return out, logio.ScanErr(sc.Err(), "trace: schedule", line)
 }

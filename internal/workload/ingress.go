@@ -1,6 +1,8 @@
 package workload
 
 import (
+	"encoding/binary"
+	"fmt"
 	"math/rand"
 	"strconv"
 	"time"
@@ -39,6 +41,19 @@ type IngressServerConfig struct {
 	// can show that recorded runs replay identically anyway. Benchmarks
 	// leave it zero (sources push at full speed).
 	Jitter time.Duration
+	// CheckpointEvery, when positive, takes an epoch checkpoint after every
+	// CheckpointEvery-th admission slot: the gateway thread drains the worker
+	// pool to a quiescent boundary and snapshots the execution plus the
+	// workload's own progress (state checksum and per-worker partials).
+	// Record and replay runs must use the same value — the quiescence drive
+	// is part of the schedule — and a resumed run keeps checkpointing on the
+	// same grid.
+	CheckpointEvery int64
+	// Sink, when non-nil (live mode only), streams recorded ingress batches
+	// out instead of retaining them in memory; the run's Log is then nil.
+	// Pairs with qithread.Config.StreamTrace for bounded-memory recording of
+	// arbitrarily long runs (qibench -experiment soak).
+	Sink qithread.IngressBatchSink
 }
 
 // IngressRun is one execution's observable result: the output checksum, the
@@ -52,6 +67,9 @@ type IngressRun struct {
 	ShedHash    uint64
 	Stats       qithread.IngressStats
 	Wall        time.Duration
+	// Checkpoints holds the epoch checkpoints taken during the run (empty
+	// unless IngressServerConfig.CheckpointEvery is set), in epoch order.
+	Checkpoints []*qithread.Checkpoint
 }
 
 // IngressServer builds the ingress-driven server as a plain App (live
@@ -73,6 +91,54 @@ func RunIngressServer(cfg IngressServerConfig, p Params, rtcfg qithread.Config, 
 	return runIngressServer(rt, cfg, p, replay)
 }
 
+// ResumeIngressServer continues a checkpointed ingress-server run: the setup
+// phase (gateway, pipe, mutex, workers) re-executes with recording muted,
+// qithread.Runtime.Resume reinstates the checkpoint, the workload decodes
+// its progress payload, and the admission loop continues from the
+// checkpoint's epoch against the recorded log. The returned run's
+// fingerprint, output and hashes must equal the full run's.
+func ResumeIngressServer(cfg IngressServerConfig, p Params, rtcfg qithread.Config, replay *qithread.IngressLog, cp *qithread.Checkpoint) IngressRun {
+	if replay == nil {
+		panic("workload: ResumeIngressServer needs the recorded ingress log")
+	}
+	rtcfg.Record = true
+	rtcfg.Resume = cp
+	rt := qithread.New(rtcfg)
+	return runIngressServer(rt, cfg, p, replay)
+}
+
+// encodeIngressProgress serializes the workload's checkpointable progress:
+// the shared state checksum and the per-worker partial sums.
+func encodeIngressProgress(state uint64, parts []uint64) []byte {
+	b := make([]byte, 0, 8*(len(parts)+2))
+	b = binary.LittleEndian.AppendUint64(b, state)
+	b = binary.LittleEndian.AppendUint64(b, uint64(len(parts)))
+	for _, p := range parts {
+		b = binary.LittleEndian.AppendUint64(b, p)
+	}
+	return b
+}
+
+// decodeIngressProgress restores what encodeIngressProgress saved; parts must
+// already have the run's worker count (the resumed configuration must match).
+func decodeIngressProgress(b []byte, parts []uint64) (state uint64, err error) {
+	if len(b) < 16 {
+		return 0, fmt.Errorf("workload: checkpoint payload is %d bytes, want at least 16", len(b))
+	}
+	state = binary.LittleEndian.Uint64(b)
+	n := binary.LittleEndian.Uint64(b[8:])
+	if n != uint64(len(parts)) {
+		return 0, fmt.Errorf("workload: checkpoint has %d worker partials, run has %d workers", n, len(parts))
+	}
+	if uint64(len(b)) != 16+8*n {
+		return 0, fmt.Errorf("workload: checkpoint payload is %d bytes, want %d", len(b), 16+8*n)
+	}
+	for i := range parts {
+		parts[i] = binary.LittleEndian.Uint64(b[16+8*i:])
+	}
+	return state, nil
+}
+
 func runIngressServer(rt *qithread.Runtime, cfg IngressServerConfig, p Params, replay *qithread.IngressLog) IngressRun {
 	sources := cfg.Sources
 	if sources < 1 {
@@ -92,6 +158,7 @@ func runIngressServer(rt *qithread.Runtime, cfg IngressServerConfig, p Params, r
 		MaxBatch: maxBatch,
 		QueueCap: cfg.QueueCap,
 		Replay:   replay,
+		Sink:     cfg.Sink,
 	})
 	for s := 0; s < sources; s++ {
 		s := s
@@ -115,13 +182,17 @@ func runIngressServer(rt *qithread.Runtime, cfg IngressServerConfig, p Params, r
 
 	var state uint64
 	var total uint64
+	var checkpoints []*qithread.Checkpoint
+	resume := rt.Config().Resume
 	start := time.Now()
 	rt.Run(func(main *qithread.Thread) {
 		reqs := rt.NewPipe(main, "reqs", 2*maxBatch)
 		stateM := rt.NewMutex(main, "state")
 		parts := make([]uint64, workers)
 		kids := createWorkers(main, workers, "worker", func(i int, w *qithread.Thread) {
-			var acc uint64
+			// Partials accumulate in parts[i] live (not in a local copied out
+			// at exit) so a checkpoint taken at a quiescent boundary — every
+			// worker drained and parked — observes the true progress.
 			for {
 				v, ok := reqs.Recv(w)
 				if !ok {
@@ -129,15 +200,27 @@ func runIngressServer(rt *qithread.Runtime, cfg IngressServerConfig, p Params, r
 				}
 				r := v.(int)
 				pv := w.WorkSeeded(seedFor(p.InputSeed, r), itemWork(parseWork, r, p.InputSeed, p.InputSkew))
-				acc += pv
+				parts[i] += pv
 				stateM.Lock(w)
 				sv := w.WorkSeeded(seedFor(p.InputSeed, r)+2, stateWork)
 				state += sv
 				stateM.Unlock(w)
-				acc += sv
+				parts[i] += sv
 			}
-			parts[i] = acc
 		})
+		if resume != nil {
+			// Setup ran muted; reinstate the checkpointed execution, then the
+			// workload's own progress (workers are parked, so plain writes to
+			// state and parts are safe here).
+			if err := rt.Resume(main); err != nil {
+				panic("workload: resume: " + err.Error())
+			}
+			var err error
+			state, err = decodeIngressProgress(resume.App(), parts)
+			if err != nil {
+				panic(err.Error())
+			}
+		}
 		// The gateway thread: admit epoch batches inside the turn, dispatch
 		// each admitted request to the worker pool.
 		buf := make([]qithread.IngressEvent, maxBatch)
@@ -152,6 +235,15 @@ func runIngressServer(rt *qithread.Runtime, cfg IngressServerConfig, p Params, r
 			}
 			if !ok {
 				break
+			}
+			if cfg.CheckpointEvery > 0 && gw.Epoch()%cfg.CheckpointEvery == 0 {
+				cp, err := rt.Checkpoint(main, func() []byte {
+					return encodeIngressProgress(state, parts)
+				})
+				if err != nil {
+					panic("workload: checkpoint at epoch " + strconv.FormatInt(gw.Epoch(), 10) + ": " + err.Error())
+				}
+				checkpoints = append(checkpoints, cp)
 			}
 		}
 		reqs.Close(main)
@@ -169,5 +261,6 @@ func runIngressServer(rt *qithread.Runtime, cfg IngressServerConfig, p Params, r
 		ShedHash:    shed,
 		Stats:       gw.IngressStats(),
 		Wall:        wall,
+		Checkpoints: checkpoints,
 	}
 }

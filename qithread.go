@@ -187,6 +187,25 @@ type Config struct {
 	// policy effects, so a schedule recorded under any configuration
 	// replays under any deterministic Mode. Requires a deterministic Mode.
 	Replay []Event
+
+	// StreamTrace, when non-nil, puts recording into streaming mode: each
+	// domain's scheduler appends recorded events to the sink this function
+	// returns for it (nil for a domain means retain that domain's trace in
+	// memory as usual) instead of materializing the []Event trace. This is
+	// the bounded-memory recording mode for million-event runs: RSS stays
+	// flat while trace.BinaryWriter (or a SegmentedWriter) persists the
+	// schedule, and fingerprints are identical to retained-mode runs because
+	// the running trace hash is maintained either way. Runtime.Trace returns
+	// nil for streamed domains. Requires Record and a deterministic Mode.
+	StreamTrace func(domainID int) TraceSink
+
+	// Resume, when non-nil, prepares the runtime to continue a checkpointed
+	// execution: every scheduler starts with recording muted so the program
+	// can re-run its setup phase (thread registration, object creation,
+	// workers parking) without recording, and a call to Runtime.Resume then
+	// verifies the rebuilt structure against the checkpoint and reinstates
+	// counters, clocks and hashes. Requires Record and a deterministic Mode.
+	Resume *Checkpoint
 }
 
 func (c Config) withDefaults() Config {
@@ -207,6 +226,11 @@ func (c Config) withDefaults() Config {
 
 // Event re-exports the trace event type.
 type Event = core.Event
+
+// TraceSink re-exports the streaming trace receiver used by
+// Config.StreamTrace; internal/trace.BinaryWriter and SegmentedWriter
+// implement it.
+type TraceSink = core.TraceSink
 
 // Delivery re-exports one cross-domain XPipe delivery with its sequencing
 // stamps; see Runtime.DeliveryLog.

@@ -20,8 +20,9 @@ type Runtime struct {
 	stack *policy.Stack   // default domain's policy stack; nil in Nondet mode
 	group *domain.Group   // partition registry; nil in Nondet mode
 
-	domMu   sync.Mutex
-	domains []*Domain // id order; domains[0] is the default domain
+	domMu    sync.Mutex
+	domains  []*Domain  // id order; domains[0] is the default domain
+	gateways []*Gateway // ingress gateways in creation order (checkpoint order)
 
 	wg      sync.WaitGroup
 	nthread atomic.Int64 // total threads ever created (diagnostics)
@@ -67,6 +68,12 @@ func New(cfg Config) *Runtime {
 		if stk0 != nil {
 			pol = stk0.Set()
 		}
+		if cfg.StreamTrace != nil && !cfg.Record {
+			panic("qithread: Config.StreamTrace requires Record")
+		}
+		if cfg.Resume != nil && !cfg.Record {
+			panic("qithread: Config.Resume requires Record")
+		}
 		rt.group = domain.NewGroup(domain.Config{
 			RetainDeliveryLog: cfg.RetainDeliveryLog,
 			NewScheduler: func(id int) (*core.Scheduler, *policy.Stack) {
@@ -74,8 +81,13 @@ func New(cfg Config) *Runtime {
 				if id != 0 || stk == nil {
 					stk = core.DefaultStack(mode, pol)
 				}
+				var sink core.TraceSink
+				if cfg.StreamTrace != nil {
+					sink = cfg.StreamTrace(id)
+				}
 				sched := core.New(core.Config{
 					Mode: mode, Policies: pol, Stack: stk, Record: cfg.Record,
+					Sink: sink, SuspendRecording: cfg.Resume != nil,
 					VSyncCost: cost, DomainID: id, NoLease: cfg.NoTurnLease,
 				})
 				return sched, stk
@@ -93,6 +105,12 @@ func New(cfg Config) *Runtime {
 		}
 		if cfg.Stack != nil {
 			panic("qithread: Config.Stack requires a deterministic Mode")
+		}
+		if cfg.StreamTrace != nil {
+			panic("qithread: Config.StreamTrace requires a deterministic Mode")
+		}
+		if cfg.Resume != nil {
+			panic("qithread: Config.Resume requires a deterministic Mode")
 		}
 		rt.addDomain("main")
 	}
