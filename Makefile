@@ -4,7 +4,7 @@ GO ?= go
 # Performance changes should also refresh the committed baseline with
 # `make bench-json` and include the BENCH_sched.json diff in the review.
 .PHONY: check
-check: build vet race shuffle cpu-matrix soak-smoke
+check: build vet race shuffle cpu-matrix soak-smoke explore-smoke
 
 # Scheduler tests at -cpu 1 and 4: the turn lease, the spin-then-park grant
 # path, and OS-thread pinning behave differently with and without real
@@ -60,6 +60,18 @@ soak:
 soak-smoke:
 	$(GO) run ./cmd/qibench -experiment soak -soak-events 8000
 
+# Bounded schedule-space exploration (EXPERIMENTS.md E20): a few hundred
+# DPOR runs over the seeded-bug program MUST find the atomicity bug and emit
+# a minimized repro (-require-bug exits nonzero otherwise), and the repro
+# must replay 20/20 through qireplay. Well under 10s end to end.
+.PHONY: explore-smoke
+explore-smoke:
+	@rm -rf .explore_smoke
+	$(GO) run ./cmd/qiexplore -program buggy -dir .explore_smoke -budget 400 -require-bug
+	$(GO) run ./cmd/qireplay -program buggy -runs 20 \
+		-schedule "$$(ls .explore_smoke/repro-*.sched | head -1)"
+	@rm -rf .explore_smoke
+
 # Mechanism and policy-dispatch micro-benchmarks (see EXPERIMENTS.md E9/E13).
 .PHONY: bench
 bench:
@@ -71,7 +83,7 @@ bench:
 # does not steal CPU from the benchmarks.
 .PHONY: bench-json
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkMechanism|BenchmarkPolicyDispatch|BenchmarkBroadcastStorm|BenchmarkTimedWaitChurn|BenchmarkTurnHandoff|BenchmarkDomains|BenchmarkIngress|BenchmarkLogReplay' \
+	$(GO) test -run '^$$' -bench 'BenchmarkMechanism|BenchmarkPolicyDispatch|BenchmarkBroadcastStorm|BenchmarkTimedWaitChurn|BenchmarkTurnHandoff|BenchmarkDomains|BenchmarkIngress|BenchmarkLogReplay|BenchmarkExplore' \
 		-benchmem -benchtime 300ms -count 3 . > .bench_sched.out
 	$(GO) run ./cmd/qibenchjson < .bench_sched.out > BENCH_sched.json
 	@rm -f .bench_sched.out

@@ -11,6 +11,14 @@
 //
 //	qireplay -record run.qlog [-binary] [-checkpoint-every 64] [-jitter 500us] [-events 256] [-queue 64]
 //	qireplay -replay run.qlog [-runs 20] [-from-checkpoint run.qlog.ckpt00064]
+//	qireplay -schedule repro.sched -program buggy [-runs 20]
+//
+// -schedule replays an explored repro schedule (a v3 file emitted by
+// qiexplore) against its registered program: the schedule's events drive turn
+// order while its decision log drives the wake and admission choices replay
+// cannot express. Every run must reproduce the same outcome, fingerprint and
+// schedule hash; the command exits nonzero if the failure does not reproduce
+// or any run diverges.
 //
 // -binary records the ingress log in the compact binary format (replay
 // auto-detects either format). -checkpoint-every K snapshots the execution at
@@ -32,6 +40,8 @@ import (
 	"time"
 
 	"qithread"
+	"qithread/internal/explore"
+	"qithread/internal/trace"
 	"qithread/internal/workload"
 )
 
@@ -52,11 +62,17 @@ func main() {
 		binary  = flag.Bool("binary", false, "record the ingress log in the binary format (replay auto-detects)")
 		ckEvery = flag.Int64("checkpoint-every", 0, "checkpoint every K admission epochs (must match between record and replay)")
 		fromCk  = flag.String("from-checkpoint", "", "resume each replay from this checkpoint file (with -replay)")
+		sched   = flag.String("schedule", "", "replay an explored repro schedule (with -program)")
+		program = flag.String("program", "", "registered explore program the schedule belongs to (with -schedule)")
 	)
 	flag.Parse()
 
+	if *sched != "" {
+		replaySchedule(*sched, *program, *runs, *verbose)
+		return
+	}
 	if (*record == "") == (*replay == "") {
-		fmt.Fprintln(os.Stderr, "qireplay: exactly one of -record or -replay is required")
+		fmt.Fprintln(os.Stderr, "qireplay: exactly one of -record, -replay or -schedule is required")
 		os.Exit(2)
 	}
 
@@ -179,6 +195,55 @@ func main() {
 		src = "the recording"
 	}
 	fmt.Printf("%d replays of %d events identical to %s\n  %s\n", *runs, log.Events(), src, ref)
+}
+
+// replaySchedule re-executes an explored repro schedule -runs times and
+// verifies every run reproduces the recorded schedule (hash-identical trace)
+// with one agreed outcome and fingerprint.
+func replaySchedule(path, program string, runs int, verbose bool) {
+	if program == "" {
+		fmt.Fprintf(os.Stderr, "qireplay: -schedule requires -program (known: %s)\n", strings.Join(explore.Names(), ", "))
+		os.Exit(2)
+	}
+	p := explore.Lookup(program)
+	if p == nil {
+		fmt.Fprintf(os.Stderr, "qireplay: unknown program %q (known: %s)\n", program, strings.Join(explore.Names(), ", "))
+		os.Exit(2)
+	}
+	events, choices, err := explore.LoadRepro(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "qireplay:", err)
+		os.Exit(1)
+	}
+	want := trace.Hash(events)
+	fail := false
+	var ref explore.Result
+	for i := 0; i < runs; i++ {
+		res := explore.ReplayRepro(p, events, choices, explore.DefaultWatchdog)
+		if verbose {
+			fmt.Printf("replay %2d: outcome=%s fingerprint=[%s] schedule=%016x\n", i, res.Outcome, res.Fingerprint, res.Hash())
+		}
+		if got := res.Hash(); got != want {
+			fmt.Fprintf(os.Stderr, "qireplay: replay %d schedule hash %016x, recorded %016x\n", i, got, want)
+			fail = true
+		}
+		if i == 0 {
+			ref = res
+			if !res.Outcome.Failure() {
+				fmt.Fprintf(os.Stderr, "qireplay: replay 0 outcome %s; the repro does not reproduce a failure\n", res.Outcome)
+				fail = true
+			}
+		} else if res.Outcome != ref.Outcome || res.Fingerprint != ref.Fingerprint {
+			fmt.Fprintf(os.Stderr, "qireplay: replay %d diverged:\n  replay 0: outcome=%s fingerprint=[%s]\n  replay %d: outcome=%s fingerprint=[%s]\n",
+				i, ref.Outcome, ref.Fingerprint, i, res.Outcome, res.Fingerprint)
+			fail = true
+		}
+	}
+	if fail {
+		os.Exit(1)
+	}
+	fmt.Printf("%d replays of %s reproduced %s (%q)\n  fingerprint=[%s] schedule=%016x events=%d decisions=%d\n",
+		runs, path, ref.Outcome, ref.Err, ref.Fingerprint, want, len(events), len(choices))
 }
 
 // observables condenses a run's determinism-relevant results into one

@@ -7,6 +7,9 @@
 // throughput per batch size and the shed fraction of the overload points.
 // Given a recorded schedule or ingress log — text or binary, detected by the
 // auto-detecting loaders — it reports event counts and hash commitments.
+// Given a qiexplore results directory (-explore, or a directory argument) it
+// reports the exploration's coverage: runs per strategy, outcome breakdown,
+// distinct fingerprints, frontier size and depth, and the repro schedules.
 // The file kind is detected from the header.
 //
 // Usage:
@@ -18,6 +21,7 @@
 //	qibench -experiment ingress -o ingress.csv
 //	qistat ingress.csv
 //	qistat run.qlog        (recorded schedule or ingress log, any format)
+//	qistat -explore results/   (qiexplore results directory)
 package main
 
 import (
@@ -25,8 +29,10 @@ import (
 	"encoding/csv"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sort"
 	"strconv"
+	"strings"
 
 	"qithread/internal/ingress"
 	"qithread/internal/stats"
@@ -34,17 +40,29 @@ import (
 )
 
 func main() {
-	if len(os.Args) != 2 {
-		fmt.Fprintln(os.Stderr, "usage: qistat results.csv|run.qlog")
+	args := os.Args[1:]
+	explicitExplore := len(args) == 2 && args[0] == "-explore"
+	if explicitExplore {
+		args = args[1:]
+	}
+	if len(args) != 1 {
+		fmt.Fprintln(os.Stderr, "usage: qistat results.csv|run.qlog | qistat -explore results-dir")
 		os.Exit(1)
 	}
-	b, err := os.ReadFile(os.Args[1])
+	if fi, err := os.Stat(args[0]); explicitExplore || (err == nil && fi.IsDir()) {
+		if err := summarizeExplore(args[0]); err != nil {
+			fmt.Fprintln(os.Stderr, "qistat:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	b, err := os.ReadFile(args[0])
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "qistat:", err)
 		os.Exit(1)
 	}
 	if bytes.HasPrefix(b, []byte("qithread-")) {
-		if err := summarizeLog(os.Args[1], b); err != nil {
+		if err := summarizeLog(args[0], b); err != nil {
 			fmt.Fprintln(os.Stderr, "qistat:", err)
 			os.Exit(1)
 		}
@@ -192,6 +210,115 @@ func summarizeIngress(rows [][]string) {
 	if bestBatch > 0 {
 		fmt.Printf("\nbest admission throughput: batch %d at %.0f admitted events/s\n", bestBatch, bestRate)
 	}
+}
+
+// summarizeExplore reports a qiexplore results directory from its plain-text
+// layout (runs.csv, seen.txt, frontier.txt, repro-*.sched): runs and failure
+// breakdown per strategy, distinct-fingerprint coverage, the unexplored
+// frontier's size and depth profile, and the emitted repro schedules.
+func summarizeExplore(dir string) error {
+	b, err := os.ReadFile(filepath.Join(dir, "runs.csv"))
+	if err != nil {
+		return fmt.Errorf("%s: not a qiexplore results directory (%v)", dir, err)
+	}
+	type agg struct {
+		runs, news, maxDepth, maxDecisions int
+		outcomes                           map[string]int
+	}
+	order := []string{}
+	byStrategy := map[string]*agg{}
+	total := agg{outcomes: map[string]int{}}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "run,") {
+			continue
+		}
+		cells := strings.SplitN(line, ",", 8)
+		if len(cells) < 6 {
+			continue
+		}
+		strategy, outcome := cells[1], cells[4]
+		a := byStrategy[strategy]
+		if a == nil {
+			a = &agg{outcomes: map[string]int{}}
+			byStrategy[strategy] = a
+			order = append(order, strategy)
+		}
+		depth, _ := strconv.Atoi(cells[2])
+		decisions, _ := strconv.Atoi(cells[3])
+		for _, x := range []*agg{a, &total} {
+			x.runs++
+			x.outcomes[outcome]++
+			if cells[5] == "true" {
+				x.news++
+			}
+			if depth > x.maxDepth {
+				x.maxDepth = depth
+			}
+			if decisions > x.maxDecisions {
+				x.maxDecisions = decisions
+			}
+		}
+	}
+	if total.runs == 0 {
+		return fmt.Errorf("%s: runs.csv has no runs", dir)
+	}
+
+	distinct := 0
+	if b, err := os.ReadFile(filepath.Join(dir, "seen.txt")); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if strings.TrimSpace(line) != "" {
+				distinct++
+			}
+		}
+	}
+	frontier, frontierDepth := 0, 0
+	if b, err := os.ReadFile(filepath.Join(dir, "frontier.txt")); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			frontier++
+			if d := len(strings.Fields(line)); line != "-" && d > frontierDepth {
+				frontierDepth = d
+			}
+		}
+	}
+	repros, _ := filepath.Glob(filepath.Join(dir, "repro-*.sched"))
+	sort.Strings(repros)
+
+	fmt.Printf("%-10s %8s %8s %6s %6s  %s\n", "strategy", "runs", "new-fp", "depth", "decs", "outcomes")
+	line := func(name string, a *agg) {
+		kinds := make([]string, 0, len(a.outcomes))
+		for k := range a.outcomes {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		parts := make([]string, len(kinds))
+		for i, k := range kinds {
+			parts[i] = fmt.Sprintf("%s=%d", k, a.outcomes[k])
+		}
+		fmt.Printf("%-10s %8d %8d %6d %6d  %s\n", name, a.runs, a.news, a.maxDepth, a.maxDecisions, strings.Join(parts, " "))
+	}
+	for _, name := range order {
+		line(name, byStrategy[name])
+	}
+	if len(order) > 1 {
+		line("total", &total)
+	}
+	failures := total.outcomes["assert-fail"] + total.outcomes["deadlock"] + total.outcomes["panic"]
+	fmt.Printf("\ndistinct fingerprints: %d (%.1f%% of runs)\n", distinct, 100*float64(distinct)/float64(total.runs))
+	fmt.Printf("frontier: %d unexplored prefixes (deepest %d decisions)\n", frontier, frontierDepth)
+	fmt.Printf("failures: %d, minimized repros: %d\n", failures, len(repros))
+	for i, r := range repros {
+		if i == 10 {
+			fmt.Printf("  ... %d more\n", len(repros)-i)
+			break
+		}
+		fmt.Printf("  %s\n", filepath.Base(r))
+	}
+	return nil
 }
 
 // summarizeCounters aggregates a counters.csv (program,policy,picks,

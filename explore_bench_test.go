@@ -1,0 +1,46 @@
+package qithread_test
+
+import (
+	"testing"
+	"time"
+
+	"qithread/internal/explore"
+)
+
+// BenchmarkExplore measures exploration throughput in schedules per second —
+// the budget currency of `qiexplore`: how many distinct-prefix runs one core
+// can record, fingerprint and classify per second. It explores the
+// non-failing wakerace program so the per-iteration work is pure search:
+// failures trigger minimization runs outside b.N, which would make the
+// per-op figures a function of how many bugs a given iteration count
+// happens to hit. Feeds BENCH_sched.json via `make bench-json`.
+func BenchmarkExplore(b *testing.B) {
+	p := explore.Lookup("wakerace")
+	if p == nil {
+		b.Fatal("wakerace program not registered")
+	}
+	for _, strategy := range []string{"dpor", "pct"} {
+		b.Run(strategy, func(b *testing.B) {
+			s, err := explore.NewSession(p, "", 10*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			switch strategy {
+			case "dpor":
+				err = s.ExploreDPOR(b.N, 0)
+			case "pct":
+				err = s.ExplorePCT(b.N, 3, 1)
+			}
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s.Runs() < b.N {
+				b.Fatalf("explored %d schedules, want >= %d", s.Runs(), b.N)
+			}
+			b.ReportMetric(float64(s.Runs())/b.Elapsed().Seconds(), "schedules/sec")
+		})
+	}
+}

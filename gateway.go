@@ -109,6 +109,15 @@ func (rt *Runtime) NewGateway(name string, d *Domain, cfg GatewayConfig) *Gatewa
 	if cfg.Replay != nil {
 		icfg.Replay = ingress.NewReplayer(cfg.Replay)
 	}
+	if ch := rt.domainChooser(d.id); ch != nil {
+		// Admission boundaries are a scheduling choice point: the domain's
+		// chooser may shrink any multi-event batch, moving the epoch boundary
+		// without changing event order. Candidate i means a batch of i+1
+		// events; the default is the full batch the bounds allow.
+		icfg.ChooseBatch = func(n int) int {
+			return ch.Choose(core.ChooseAdmit, nil, n, n-1) + 1
+		}
+	}
 	gw := &Gateway{
 		rt:   rt,
 		dom:  d,

@@ -156,7 +156,32 @@ type Config struct {
 	// interleaving must leave the trace byte-identical. Production
 	// configurations leave it nil.
 	LeaseVeto func() bool
+	// Chooser, when non-nil, is consulted at every scheduling decision with
+	// more than one legal candidate — which runnable thread is granted the
+	// free turn, which waiter a Signal wakes — and may override the policy
+	// stack's default (see internal/policy.Chooser and internal/explore).
+	// Replay runs consult it only for wake choices: turn grants follow the
+	// recorded schedule, which already embeds the turn decisions, while the
+	// schedule's thread order cannot express which waiter a signal woke.
+	Chooser policy.Chooser
 }
+
+// Chooser re-exports the choice-point hook of the policy engine; see
+// internal/policy.Chooser and Config.Chooser.
+type Chooser = policy.Chooser
+
+// ChoiceKind re-exports the choice-point kind enumeration.
+type ChoiceKind = policy.ChoiceKind
+
+// Choice re-exports one recorded choice-point resolution.
+type Choice = policy.Choice
+
+// Re-exported choice kinds; see internal/policy for their semantics.
+const (
+	ChooseTurn  = policy.ChooseTurn
+	ChooseWake  = policy.ChooseWake
+	ChooseAdmit = policy.ChooseAdmit
+)
 
 // Virtual time. The scheduler maintains a critical-path ("virtual time")
 // model of the execution: compute between synchronization operations advances

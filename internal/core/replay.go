@@ -58,8 +58,8 @@ func (s *Scheduler) replayEligibleLocked() *Thread {
 	t := s.threads[want]
 	if t == nil {
 		// The thread existed and is neither runnable nor waiting: it exited.
-		panic(fmt.Sprintf("%s at op %d: expected T%d to run %v but it has exited\n%s",
-			ErrReplayDivergence, s.replayPos, want, s.replay[s.replayPos].Op, s.dumpLocked()))
+		panic(fmt.Sprintf("%s in domain %d at op index %d: expected T%d to run %v but it has exited\n%s",
+			ErrReplayDivergence, s.cfg.DomainID, s.replayPos, want, s.replay[s.replayPos].Op, s.dumpLocked()))
 	}
 	switch t.queue {
 	case qRun, qWake:
@@ -75,24 +75,30 @@ func (s *Scheduler) replayEligibleLocked() *Thread {
 		}
 		// Blocked without a timeout: no future action can make it eligible —
 		// the executions have diverged.
-		panic(fmt.Sprintf("%s at op %d: expected T%d to run %v but it is blocked on %s#%d\n%s",
-			ErrReplayDivergence, s.replayPos, want, s.replay[s.replayPos].Op,
+		panic(fmt.Sprintf("%s in domain %d at op index %d: expected T%d to run %v but it is blocked on %s#%d\n%s",
+			ErrReplayDivergence, s.cfg.DomainID, s.replayPos, want, s.replay[s.replayPos].Op,
 			s.objName[t.wnode.obj].String(), t.wnode.obj, s.dumpLocked()))
 	}
-	panic(fmt.Sprintf("%s at op %d: expected T%d to run %v but it has exited\n%s",
-		ErrReplayDivergence, s.replayPos, want, s.replay[s.replayPos].Op, s.dumpLocked()))
+	panic(fmt.Sprintf("%s in domain %d at op index %d: expected T%d to run %v but it has exited\n%s",
+		ErrReplayDivergence, s.cfg.DomainID, s.replayPos, want, s.replay[s.replayPos].Op, s.dumpLocked()))
 }
 
 // verifyReplayLocked checks one executed operation against the recording and
-// advances the cursor.
+// advances the cursor. The divergence diagnostic names the domain, the op
+// index, and both operations in expected-vs-actual form with object names —
+// a schedule-space explorer replays thousands of schedules, and "which run,
+// which domain, which op, expected what, got what" is the minimum needed to
+// act on a failure without re-running it under a debugger.
 func (s *Scheduler) verifyReplayLocked(t *Thread, op OpKind, obj uint64, st EventStatus) {
 	if s.replay == nil || s.replayPos >= len(s.replay) {
 		return
 	}
 	e := s.replay[s.replayPos]
 	if e.TID != t.id || e.Op != op || e.Obj != obj || e.Status != st {
-		panic(fmt.Sprintf("%s at op %d: recorded %v, executed {T%d %v obj=%d %v}",
-			ErrReplayDivergence, s.replayPos, e, t.id, op, obj, st))
+		panic(fmt.Sprintf("%s in domain %d at op index %d: expected {T%d %v obj=%d(%s) %v}, executed {T%d %v obj=%d(%s) %v}",
+			ErrReplayDivergence, s.cfg.DomainID, s.replayPos,
+			e.TID, e.Op, e.Obj, s.objName[e.Obj].String(), e.Status,
+			t.id, op, obj, s.objName[obj].String(), st))
 	}
 	s.replayPos++
 }

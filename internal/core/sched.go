@@ -105,6 +105,16 @@ type Scheduler struct {
 	replay    []Event
 	replayPos int
 
+	// Choice-point state (see chooseTurnLocked). chosen is a turn-grant
+	// override committed by the Chooser while the turn is free: it pins the
+	// grantee until that thread actually takes the turn, so the chooser is
+	// consulted exactly once per handoff no matter how many times the grant
+	// loops run. chooseIDs/chooseCands are reusable candidate-enumeration
+	// buffers (only touched under mu).
+	chosen      *Thread
+	chooseIDs   []int
+	chooseCands []*Thread
+
 	stats Stats
 	// ops, signals, and broadcasts are atomic (not Stats fields under mu) so
 	// the mutex-free fast paths — TraceOp with record/replay off, Signal and
@@ -432,9 +442,38 @@ func (s *Scheduler) Signal(t *Thread, obj uint64) int {
 	q := s.waitLists[obj]
 	remaining := q.len() - 1
 	w := q.head
+	if s.cfg.Chooser != nil && remaining > 0 {
+		w = s.chooseWakeLocked(q)
+	}
 	s.detachLocked(w)
 	s.wakeLocked(w.t, WaitSignaled, t.vtime.Load())
 	return remaining
+}
+
+// chooseWakeLocked consults the chooser about which of obj's waiters this
+// signal wakes — a choice point with one candidate per waiter, in FIFO park
+// order, defaulting to the head (the unhooked behaviour). The caller holds
+// the turn, so the wait list is frozen and the decision point is
+// deterministic. Unlike turn choices, wake choices are consulted in replay
+// runs too: replay enforces the schedule by thread id, which pins who runs
+// but not which waiter a recorded signal woke, so reproducing an explored
+// run feeds the recorded wake decisions back through a Chooser (see
+// internal/explore).
+func (s *Scheduler) chooseWakeLocked(q *wqueue) *waiter {
+	ids := s.chooseIDs[:0]
+	for w := q.head; w != nil; w = w.next {
+		ids = append(ids, w.t.id)
+	}
+	s.chooseIDs = ids
+	idx := s.cfg.Chooser.Choose(policy.ChooseWake, ids, len(ids), 0)
+	w := q.head
+	if idx <= 0 || idx >= len(ids) {
+		return w
+	}
+	for ; idx > 0; idx-- {
+		w = w.next
+	}
+	return w
 }
 
 // Broadcast wakes all threads waiting on obj in wait-list (FIFO) order.
@@ -705,15 +744,69 @@ func (s *Scheduler) NextRunnable(after policy.Thread) policy.Thread {
 
 // eligibleLocked returns the thread that should hold the turn next, or nil if
 // no thread is runnable. An active replay schedule takes precedence over the
-// policy stack: the recording embeds all policy effects.
+// policy stack: the recording embeds all policy effects. A committed chooser
+// override (chosen) takes precedence over the stack for the same reason.
 func (s *Scheduler) eligibleLocked() *Thread {
 	if s.replay != nil && s.replayPos < len(s.replay) {
 		return s.replayEligibleLocked()
 	}
-	if t := s.stack.PickNext(s); t != nil {
-		return t.(*Thread)
+	if s.chosen != nil {
+		return s.chosen
 	}
-	return nil
+	t := s.stack.PickNext(s)
+	if t == nil {
+		return nil
+	}
+	def := t.(*Thread)
+	if s.cfg.Chooser == nil || !def.wantTurn {
+		return def
+	}
+	return s.chooseTurnLocked(def)
+}
+
+// chooseTurnLocked consults the chooser about which runnable thread the free
+// turn goes to. It runs at the deterministic grant moment: the turn is free
+// and the stack's pick is asking for it — the instant the unhooked scheduler
+// would grant. The runnable set is frozen while the turn is free (queues are
+// mutated only by the turn holder or by the deterministic idle-expiry path,
+// which only runs when nothing is runnable), so the candidate enumeration,
+// the default index, and therefore the decision point itself do not depend
+// on when the grant loop happens to run. The chosen thread is committed in
+// s.chosen until it actually takes the turn: a candidate that is still
+// executing user code cannot be granted immediately, but being runnable it
+// must eventually ask (every thread's next synchronization operation — and
+// its exit — begins with GetTurn), and it cannot block or exit without the
+// turn, so the commitment stays valid.
+func (s *Scheduler) chooseTurnLocked(def *Thread) *Thread {
+	ids := s.chooseIDs[:0]
+	cands := s.chooseCands[:0]
+	defIdx := 0
+	for t := s.runQ.head; t != nil; t = t.qnext {
+		if t == def {
+			defIdx = len(cands)
+		}
+		ids = append(ids, t.id)
+		cands = append(cands, t)
+	}
+	for t := s.wakeQ.head; t != nil; t = t.qnext {
+		if t == def {
+			defIdx = len(cands)
+		}
+		ids = append(ids, t.id)
+		cands = append(cands, t)
+	}
+	s.chooseIDs, s.chooseCands = ids, cands
+	if len(cands) < 2 {
+		return def
+	}
+	pick := def
+	if idx := s.cfg.Chooser.Choose(policy.ChooseTurn, ids, len(cands), defIdx); idx >= 0 && idx < len(cands) {
+		pick = cands[idx]
+	}
+	// Commit even when the chooser kept the default, so the chooser is asked
+	// exactly once per handoff regardless of how many grant attempts follow.
+	s.chosen = pick
+	return pick
 }
 
 // kickLocked grants the free turn directly to the next eligible thread if
@@ -735,6 +828,7 @@ func (s *Scheduler) kickLocked(self *Thread) {
 		if e := s.eligibleLocked(); e != nil {
 			if e.wantTurn {
 				e.wantTurn = false
+				s.chosen = nil
 				s.holder.Store(e)
 				if e != self {
 					s.stats.Handoffs++
@@ -779,6 +873,7 @@ func (s *Scheduler) releaseTurnLocked() {
 		if e := s.eligibleLocked(); e != nil {
 			if e.wantTurn {
 				e.wantTurn = false
+				s.chosen = nil
 				s.holder.Store(e)
 				s.stats.Handoffs++
 				select {

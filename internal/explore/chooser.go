@@ -1,0 +1,184 @@
+package explore
+
+import (
+	"sync"
+
+	"qithread/internal/core"
+)
+
+// pathChooser drives one exploration run: decisions are consumed positionally
+// against a forced prefix — take the prefix's index while it lasts, the
+// configured policy's default after — and every consultation is recorded, so
+// the run's complete decision log is available for branching and for repro
+// files. Consultations arrive from scheduler internals and turn-holding
+// wrappers; the mutex orders them across goroutines without ever blocking on
+// scheduler state (Chooser contract).
+type pathChooser struct {
+	mu     sync.Mutex
+	forced []core.Choice
+	log    []core.Choice
+}
+
+// Choose implements qithread.Chooser.
+func (c *pathChooser) Choose(kind core.ChoiceKind, ids []int, n, def int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := def
+	if pos := len(c.log); pos < len(c.forced) {
+		// A perturbed earlier decision can change how many candidates a later
+		// point has; out-of-range prefix entries fall back to the default
+		// rather than aborting the run (the decision tree self-repairs, and
+		// the recorded log always reflects what was actually taken).
+		if f := c.forced[pos].Index; f >= 0 && f < n {
+			idx = f
+		}
+	}
+	c.log = append(c.log, core.Choice{Kind: kind, N: n, Def: def, Index: idx})
+	return idx
+}
+
+// Log returns the decisions resolved so far.
+func (c *pathChooser) Log() []core.Choice {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]core.Choice, len(c.log))
+	copy(out, c.log)
+	return out
+}
+
+// replayChooser re-resolves a recorded decision log during schedule replay.
+// Replay runs consume choices PER KIND, not positionally: the schedule's
+// events already drive turn order (the scheduler never consults the hook for
+// turn grants in replay mode), so only the wake and admission streams are
+// served, each in its own recorded order. A positional cursor would misalign
+// the moment the first turn entry went unconsumed.
+type replayChooser struct {
+	mu    sync.Mutex
+	wake  []core.Choice
+	admit []core.Choice
+	wpos  int
+	apos  int
+}
+
+// newReplayChooser splits a decision log into its per-kind replay streams.
+func newReplayChooser(choices []core.Choice) *replayChooser {
+	c := &replayChooser{}
+	for _, ch := range choices {
+		switch ch.Kind {
+		case core.ChooseWake:
+			c.wake = append(c.wake, ch)
+		case core.ChooseAdmit:
+			c.admit = append(c.admit, ch)
+		}
+	}
+	return c
+}
+
+// Choose implements qithread.Chooser.
+func (c *replayChooser) Choose(kind core.ChoiceKind, ids []int, n, def int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var stream []core.Choice
+	var pos *int
+	switch kind {
+	case core.ChooseWake:
+		stream, pos = c.wake, &c.wpos
+	case core.ChooseAdmit:
+		stream, pos = c.admit, &c.apos
+	default:
+		return def
+	}
+	if *pos >= len(stream) {
+		return def
+	}
+	idx := stream[*pos].Index
+	*pos++
+	if idx < 0 || idx >= n {
+		return def
+	}
+	return idx
+}
+
+// pctChooser implements the PCT-style deterministic random walk: every thread
+// gets a pseudo-random priority on first sight (deterministic, because thread
+// ids surface in a deterministic order for a fixed decision prefix), turn and
+// wake choices pick the highest-priority candidate, and d pre-drawn
+// priority-CHANGE points demote the just-picked thread below everything —
+// Burckhardt et al.'s d-bounded schedule sampling, made exactly reproducible
+// by seeding the generator from the baseline schedule hash and the run index.
+type pctChooser struct {
+	mu     sync.Mutex
+	rng    uint64
+	prio   map[int]uint64
+	change map[int]bool // decision positions where a change point fires
+	low    uint64       // descending priorities handed out at change points
+	pos    int
+	log    []core.Choice
+}
+
+// newPCTChooser draws d change points in [0, horizon) from the seed.
+func newPCTChooser(seed uint64, d, horizon int) *pctChooser {
+	c := &pctChooser{rng: seed, prio: map[int]uint64{}, change: map[int]bool{}}
+	if horizon < 1 {
+		horizon = 1
+	}
+	for i := 0; i < d; i++ {
+		c.change[int(c.next()%uint64(horizon))] = true
+	}
+	return c
+}
+
+// next steps the splitmix64 generator — tiny, seedable, dependency-free.
+func (c *pctChooser) next() uint64 {
+	c.rng += 0x9e3779b97f4a7c15
+	z := c.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// priority returns the thread's sampled priority, drawing it on first sight.
+// The high bit keeps initial priorities above every change-point demotion.
+func (c *pctChooser) priority(tid int) uint64 {
+	p, ok := c.prio[tid]
+	if !ok {
+		p = c.next() | 1<<63
+		c.prio[tid] = p
+	}
+	return p
+}
+
+// Choose implements qithread.Chooser.
+func (c *pctChooser) Choose(kind core.ChoiceKind, ids []int, n, def int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	idx := def
+	switch kind {
+	case core.ChooseTurn, core.ChooseWake:
+		best := uint64(0)
+		for i, id := range ids {
+			if p := c.priority(id); p > best {
+				best, idx = p, i
+			}
+		}
+		if c.change[c.pos] {
+			c.low++
+			c.prio[ids[idx]] = c.low // below every sampled priority
+		}
+	case core.ChooseAdmit:
+		idx = int(c.next() % uint64(n))
+	}
+	c.pos++
+	c.log = append(c.log, core.Choice{Kind: kind, N: n, Def: def, Index: idx})
+	return idx
+}
+
+// Log returns the decisions resolved so far; a PCT run's log makes it
+// branchable and reproducible exactly like a DPOR run's.
+func (c *pctChooser) Log() []core.Choice {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]core.Choice, len(c.log))
+	copy(out, c.log)
+	return out
+}

@@ -1,0 +1,304 @@
+// Package explore turns the deterministic scheduler into a schedule-space
+// explorer: instead of replaying ONE recorded execution, it systematically
+// enumerates MANY distinct legal executions of the same program.
+//
+// The paper's five semantics-aware policies exist precisely because different
+// legal resolutions of the same scheduling decisions produce observably
+// different executions (branched-wake vs wake-amap divergences, §3). The
+// runtime's choice-point hook (qithread.Config.Chooser, internal/policy)
+// exposes exactly those decisions — which runnable thread is granted the free
+// turn, which waiter a signal wakes, where ingress admission boundaries fall —
+// and this package drives the hook with two search strategies:
+//
+//   - DPOR-lite (Session.ExploreDPOR): branching over the decision log of
+//     each completed run, layered breadth-first over flip sets and pruned by
+//     execution fingerprints (the existing FNV trace/delivery/admit hashes)
+//     so equivalent interleavings are explored once. The frontier persists
+//     to the results directory, so exploration resumes across invocations.
+//   - PCT-style random walk (Walker): deterministic priority fuzzing seeded
+//     from the baseline schedule hash, with d priority-change points per run
+//     (Burckhardt et al.'s probabilistic concurrency testing, in the
+//     deterministic re-execution setting where a "random" schedule is exactly
+//     reproducible from its seed).
+//
+// An oracle classifies every run — new fingerprint, deadlock, panic, or
+// user-assertion failure via the program's registered invariant — and any
+// failure is minimized to a repro schedule file (v3, internal/trace) that
+// qireplay re-executes exactly: the schedule's events drive turn order
+// through replay mode and the decision log drives the choices replay cannot
+// express (wake targets, admission boundaries).
+package explore
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"qithread"
+	"qithread/internal/core"
+	"qithread/internal/trace"
+)
+
+// Program is an explorable workload: a deterministic base configuration, a
+// run function, and an invariant oracle over its output.
+type Program struct {
+	// Name registers the program for cmd/qiexplore and cmd/qireplay.
+	Name string
+	// Base returns a fresh runtime configuration for one run. It must use a
+	// deterministic Mode; the runner forces Record on and installs the
+	// exploration Chooser.
+	Base func() qithread.Config
+	// Run executes the program and returns its deterministic output checksum
+	// (the workload.App contract).
+	Run func(rt *qithread.Runtime) uint64
+	// Check, when non-nil, is the user-assertion oracle: a non-nil error
+	// classifies the run as an assertion failure.
+	Check func(out uint64) error
+	// Variants are alternative configurations whose plain fingerprints serve
+	// as divergence ground truth; see Session.Rediscoveries.
+	Variants []Variant
+}
+
+var (
+	regMu    sync.Mutex
+	registry = map[string]*Program{}
+)
+
+// Register adds a program to the explorer's registry. Duplicate names panic —
+// the registry maps CLI names to ground truth, silently replacing one would
+// invalidate results directories.
+func Register(p *Program) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[p.Name]; dup {
+		panic("explore: duplicate program " + p.Name)
+	}
+	registry[p.Name] = p
+}
+
+// Lookup returns the named program, or nil.
+func Lookup(name string) *Program {
+	regMu.Lock()
+	defer regMu.Unlock()
+	return registry[name]
+}
+
+// Names lists the registered programs in sorted order.
+func Names() []string {
+	regMu.Lock()
+	defer regMu.Unlock()
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Outcome classifies one explored run.
+type Outcome uint8
+
+const (
+	// OutcomeOK: the run completed and the invariant held.
+	OutcomeOK Outcome = iota
+	// OutcomeAssertFail: the run completed but Program.Check rejected the
+	// output — the seeded-bug detection path.
+	OutcomeAssertFail
+	// OutcomeDeadlock: the scheduler detected a deterministic deadlock (every
+	// thread blocked without a timeout).
+	OutcomeDeadlock
+	// OutcomePanic: the program panicked on the main thread.
+	OutcomePanic
+	// OutcomeHang: the run exceeded the real-time watchdog without finishing
+	// or deadlocking deterministically.
+	OutcomeHang
+)
+
+// String returns "ok", "assert-fail", "deadlock", "panic" or "hang".
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeOK:
+		return "ok"
+	case OutcomeAssertFail:
+		return "assert-fail"
+	case OutcomeDeadlock:
+		return "deadlock"
+	case OutcomePanic:
+		return "panic"
+	case OutcomeHang:
+		return "hang"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// Failure reports whether the outcome is a bug-class result worth a repro.
+func (o Outcome) Failure() bool {
+	return o == OutcomeAssertFail || o == OutcomeDeadlock || o == OutcomePanic
+}
+
+// Result is one explored run's classification.
+type Result struct {
+	Outcome Outcome
+	// Output is the program checksum (valid when the run completed).
+	Output uint64
+	// Err carries the failure detail: the Check error, panic value, or
+	// deadlock diagnostic.
+	Err string
+	// Fingerprint condenses the execution for pruning and divergence
+	// comparison: the partitioned-execution fingerprint (per-domain schedule
+	// hashes + delivery hash) extended with the output checksum.
+	Fingerprint string
+	// Trace is the default domain's recorded schedule — the replayable half
+	// of a repro file. Nil when recording could not complete (hang).
+	Trace []core.Event
+	// Choices is the full decision log the run resolved, forced prefix
+	// included — the other half of a repro file.
+	Choices []core.Choice
+}
+
+// DefaultWatchdog bounds one run's real time. Explored programs are tiny;
+// anything this slow is a livelock or a scheduler bug, not a slow run.
+const DefaultWatchdog = 5 * time.Second
+
+// RunForced executes one exploration run: the forced decision prefix is
+// replayed positionally, every decision past it resolves to the configured
+// policy's default, and the full decision log is recorded. An empty prefix is
+// the baseline run (all defaults — the execution the unhooked runtime would
+// produce).
+func RunForced(p *Program, forced []core.Choice, watchdog time.Duration) Result {
+	ch := &pathChooser{forced: forced}
+	res := runOnce(p, nil, ch, watchdog)
+	res.Choices = ch.Log()
+	return res
+}
+
+// RunVariant executes the program once, UNHOOKED, under an alternative base
+// configuration — the reference executions whose fingerprints the explorer
+// must rediscover (e.g. the same program under WakeAMAP instead of the
+// baseline policies).
+func RunVariant(p *Program, base func() qithread.Config, watchdog time.Duration) Result {
+	v := &Program{Name: p.Name, Base: base, Run: p.Run, Check: p.Check}
+	return runOnce(v, nil, nil, watchdog)
+}
+
+// runOnce builds the runtime, installs the chooser and oracle hooks, and
+// executes one run under a real-time watchdog.
+//
+// Failure modes leak by design: a deadlocked or hung run's goroutines park
+// forever (the deadlock handler blocks so the scheduler state stays frozen
+// and readable), which is acceptable for a bounded-budget exploration
+// process. Panics are recovered only on the main thread; a child-thread panic
+// is process-fatal (the pooled thread bodies have no recovery), but legal
+// schedule perturbations cannot make a child panic unless the program itself
+// does — and that process exit is itself a loud bug report.
+func runOnce(p *Program, replay []core.Event, ch qithread.Chooser, watchdog time.Duration) Result {
+	if watchdog <= 0 {
+		watchdog = DefaultWatchdog
+	}
+	cfg := p.Base()
+	cfg.Record = true
+	cfg.Replay = replay
+	if ch != nil {
+		// One shared instance across domains: the decision log is a single
+		// global sequence (the chooser serializes consultations internally).
+		cfg.Chooser = func(domainID int) qithread.Chooser { return ch }
+	}
+	rt := qithread.New(cfg)
+
+	deadlocked := make(chan string, 1)
+	rt.Scheduler().SetDeadlockHandler(func(msg string) {
+		deadlocked <- msg
+		select {} // freeze the run; the scheduler mutex is not held here
+	})
+
+	type end struct {
+		out      uint64
+		panicked bool
+		msg      string
+	}
+	done := make(chan end, 1)
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				done <- end{panicked: true, msg: fmt.Sprint(r)}
+			}
+		}()
+		done <- end{out: p.Run(rt)}
+	}()
+
+	var res Result
+	select {
+	case e := <-done:
+		if e.panicked {
+			res = Result{Outcome: OutcomePanic, Err: e.msg}
+		} else if p.Check != nil {
+			if err := p.Check(e.out); err != nil {
+				res = Result{Outcome: OutcomeAssertFail, Output: e.out, Err: err.Error()}
+			} else {
+				res = Result{Outcome: OutcomeOK, Output: e.out}
+			}
+		} else {
+			res = Result{Outcome: OutcomeOK, Output: e.out}
+		}
+	case msg := <-deadlocked:
+		res = Result{Outcome: OutcomeDeadlock, Err: msg}
+	case <-time.After(watchdog):
+		// The run is stuck in real time without a deterministic deadlock
+		// (e.g. a livelock through the nondeterministic edges). The frozen
+		// runtime cannot be read safely, so the result carries no trace.
+		return Result{Outcome: OutcomeHang, Err: "watchdog expired"}
+	}
+	res.Trace = rt.Trace()
+	res.Fingerprint = fingerprintOf(rt, res.Output)
+	return res
+}
+
+// fingerprintOf condenses a finished (or deterministically frozen) run into
+// the pruning key: the partitioned-execution fingerprint plus the output
+// checksum. Two runs with equal keys took schedule-equivalent paths to the
+// same result; exploring past one of them is redundant.
+func fingerprintOf(rt *qithread.Runtime, output uint64) string {
+	fp := rt.Fingerprint()
+	parts := make([]string, 0, len(fp.DomainHashes)+2)
+	for _, h := range fp.DomainHashes {
+		parts = append(parts, strconv.FormatUint(h, 16))
+	}
+	parts = append(parts, strconv.FormatUint(fp.Deliveries, 16), strconv.FormatUint(output, 16))
+	return strings.Join(parts, "+")
+}
+
+// ReplayRepro re-executes a repro file produced by the explorer: the events
+// enforce turn order through schedule replay while the decision log's wake
+// and admission entries drive the choices a TID-ordered schedule cannot
+// express. It returns the run's classification; reproduction succeeded when
+// the outcome and fingerprint match the original run's.
+func ReplayRepro(p *Program, events []core.Event, choices []core.Choice, watchdog time.Duration) Result {
+	res := runOnce(p, events, newReplayChooser(choices), watchdog)
+	res.Choices = choices
+	return res
+}
+
+// LoadRepro reads a repro schedule file (v3, internal/trace) back into its
+// events and decision log.
+func LoadRepro(path string) ([]core.Event, []core.Choice, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return trace.LoadExplored(f)
+}
+
+// Hash returns the schedule hash of a result's trace (0 when absent). It
+// seeds the PCT walk and labels runs in the results directory.
+func (r Result) Hash() uint64 {
+	if len(r.Trace) == 0 {
+		return 0
+	}
+	return trace.Hash(r.Trace)
+}

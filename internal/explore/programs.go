@@ -1,0 +1,149 @@
+package explore
+
+import (
+	"qithread"
+	"qithread/internal/workload"
+)
+
+// Built-in ground-truth programs. Exploration is only trustworthy if it
+// rediscovers KNOWN schedule-space structure, so the registry ships two
+// programs with established answers:
+//
+//   - "wakerace": a signal/wait race whose legal interleavings are exactly
+//     what the paper's policies resolve differently. Running it PLAIN under
+//     WakeAMAP, BoostBlocked or BranchedWake produces divergent fingerprints
+//     (the §3 divergences); exploring it from the NoPolicies baseline must
+//     rediscover those same fingerprints purely through choice points.
+//   - "buggy": the seeded missing-recheck atomicity bug of
+//     internal/workload.Buggy, which passes under its default BoostBlocked
+//     configuration and fails only under particular explored interleavings.
+
+// Variant is a named alternative configuration of the same program. Running
+// a variant plain (unhooked) yields a reference fingerprint; a variant whose
+// fingerprint differs from the program's own baseline is a policy divergence
+// the explorer should rediscover.
+type Variant struct {
+	Name string
+	Base func() qithread.Config
+}
+
+func init() {
+	Register(wakeraceProgram())
+	Register(buggyProgram())
+}
+
+// rrConfig builds a RoundRobin configuration factory for one policy set.
+func rrConfig(set qithread.Policy) func() qithread.Config {
+	return func() qithread.Config {
+		return qithread.Config{Mode: qithread.RoundRobin, Policies: set}
+	}
+}
+
+// wakeraceApp is the divergence seed program: one signaler hands two tokens
+// to two waiters through a condition variable, alternating a plain signal
+// with a conditional broadcast branch (the shape BranchedWake exists for,
+// Figure 7). Every interleaving computes the same output — waiters re-check
+// the predicate with `for`, so the program is CORRECT — but which waiter each
+// wake-up reaches and who runs between rounds is pure scheduling: exactly the
+// structure on which the five policies diverge. Two waiters keep the
+// schedule space small enough (23 baseline choice points) that a few
+// thousand breadth-layered runs provably reach the policies' schedules.
+func wakeraceApp(rt *qithread.Runtime) uint64 {
+	const waiters = 2
+	var took uint64
+	rt.Run(func(main *qithread.Thread) {
+		m := rt.NewMutex(main, "tokens")
+		cv := rt.NewCond(main, "avail")
+		tokens := 0
+		kids := make([]*qithread.Thread, 0, waiters+1)
+		for i := 0; i < waiters; i++ {
+			kids = append(kids, main.Create("waiter", func(t *qithread.Thread) {
+				m.Lock(t)
+				for tokens == 0 {
+					cv.Wait(t, m)
+				}
+				tokens--
+				took++
+				m.Unlock(t)
+			}))
+		}
+		kids = append(kids, main.Create("signaler", func(t *qithread.Thread) {
+			for i := 0; i < waiters; i++ {
+				m.Lock(t)
+				tokens++
+				if i%2 == 0 {
+					cv.Signal(t)
+				} else {
+					// The conditional-broadcast branch: a wake-up whose
+					// existence depends on control flow, the case the
+					// branched-wake policy re-aligns.
+					cv.Broadcast(t)
+				}
+				m.Unlock(t)
+			}
+		}))
+		for _, k := range kids {
+			main.Join(k)
+		}
+	})
+	return took
+}
+
+func wakeraceProgram() *Program {
+	return &Program{
+		Name: "wakerace",
+		Base: rrConfig(qithread.NoPolicies),
+		Run:  wakeraceApp,
+		Variants: []Variant{
+			{Name: "boost-blocked", Base: rrConfig(qithread.BoostBlocked)},
+			{Name: "wake-amap", Base: rrConfig(qithread.WakeAMAP)},
+			{Name: "branched-wake", Base: rrConfig(qithread.BranchedWake)},
+			{Name: "all-policies", Base: rrConfig(qithread.AllPolicies)},
+		},
+	}
+}
+
+func buggyProgram() *Program {
+	app := workload.Buggy(workload.BuggyConfig{}, workload.Params{})
+	return &Program{
+		// The seeded bug hides behind BoostBlocked: the wake-up boost hands
+		// the mutex back to the woken consumer by default, so the program
+		// PASSES until exploration grants the thief the turn inside the
+		// signal-to-reacquire window.
+		Name:  "buggy",
+		Base:  rrConfig(qithread.BoostBlocked),
+		Run:   app,
+		Check: workload.BuggyCheck,
+	}
+}
+
+// Rediscovery is the divergence ground-truth report for one variant.
+type Rediscovery struct {
+	Variant     string
+	Fingerprint string
+	// Divergent reports whether the variant's plain fingerprint differs from
+	// the program's own baseline (a real policy divergence, not a no-op).
+	Divergent bool
+	// Found reports whether exploration discovered the fingerprint.
+	Found bool
+}
+
+// Rediscoveries runs every variant of the session's program plain (unhooked)
+// and reports which divergent reference fingerprints exploration has
+// discovered so far. It is the tentpole's ground-truth check: the explorer
+// must reach, purely through choice points from the baseline configuration,
+// the executions the paper's policies pin by construction.
+func (s *Session) Rediscoveries() []Rediscovery {
+	baseline := RunVariant(s.P, s.P.Base, s.Watchdog)
+	out := make([]Rediscovery, 0, len(s.P.Variants))
+	for _, v := range s.P.Variants {
+		res := RunVariant(s.P, v.Base, s.Watchdog)
+		out = append(out, Rediscovery{
+			Variant:     v.Name,
+			Fingerprint: res.Fingerprint,
+			Divergent:   res.Fingerprint != baseline.Fingerprint,
+			Found:       s.Seen(res.Fingerprint),
+		})
+	}
+	return out
+}

@@ -1,0 +1,396 @@
+package explore
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"qithread/internal/core"
+	"qithread/internal/trace"
+)
+
+// Session is one exploration of one program: the fingerprint-pruned state
+// space walked so far, the unexpanded frontier, and the failures found. With
+// a results directory it persists all three, so a later invocation resumes
+// exactly where the budget ran out (the persisted-frontier half of DPOR).
+type Session struct {
+	P        *Program
+	Dir      string // "" disables persistence
+	Watchdog time.Duration
+	Verbose  func(format string, args ...any) // nil silences progress
+
+	runs     int            // run ids handed out (resume continues the count)
+	seen     map[string]int // fingerprint -> run id that first produced it
+	frontier  [][]core.Choice
+	failures  int
+	repros    []string        // repro file paths emitted this session and before
+	reproSigs map[string]bool // outcome+minimized-prefix signatures already emitted
+	maxDepth  int             // deepest forced prefix run so far
+}
+
+// Results-directory layout. Everything is line-oriented text so qistat can
+// summarize a directory without this package's help:
+//
+//	runs.csv     one line per run: id,strategy,depth,decisions,outcome,new,fingerprint,err
+//	seen.txt     one fingerprint per line, first-discovery order
+//	frontier.txt one unexpanded forced prefix per line ("-" = empty)
+//	repro-*.sched  minimized v3 repro schedules, one per distinct failure
+const (
+	runsFile     = "runs.csv"
+	seenFile     = "seen.txt"
+	frontierFile = "frontier.txt"
+	runsHeader   = "run,strategy,depth,decisions,outcome,new,fingerprint,err"
+)
+
+// NewSession opens (or resumes) an exploration session. A non-empty dir is
+// created if needed and prior state is loaded from it.
+func NewSession(p *Program, dir string, watchdog time.Duration) (*Session, error) {
+	s := &Session{P: p, Dir: dir, Watchdog: watchdog, seen: map[string]int{}, reproSigs: map[string]bool{}}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("explore: results dir: %w", err)
+	}
+	if err := s.load(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Runs returns the total number of runs executed (across resumed
+// invocations).
+func (s *Session) Runs() int { return s.runs }
+
+// Distinct returns the number of distinct execution fingerprints discovered.
+func (s *Session) Distinct() int { return len(s.seen) }
+
+// Failures returns the number of failing runs recorded.
+func (s *Session) Failures() int { return s.failures }
+
+// Repros returns the repro schedule files emitted (this session and, on
+// resume, before).
+func (s *Session) Repros() []string { return append([]string(nil), s.repros...) }
+
+// FrontierLen returns the number of unexpanded forced prefixes.
+func (s *Session) FrontierLen() int { return len(s.frontier) }
+
+// MaxDepth returns the deepest forced prefix run so far.
+func (s *Session) MaxDepth() int { return s.maxDepth }
+
+// Seen reports whether the fingerprint was already discovered.
+func (s *Session) Seen(fp string) bool { _, ok := s.seen[fp]; return ok }
+
+// SeenFPs returns the discovered fingerprints in first-discovery order.
+func (s *Session) SeenFPs() []string {
+	out := make([]string, 0, len(s.seen))
+	for fp := range s.seen {
+		out = append(out, fp)
+	}
+	sort.Slice(out, func(i, j int) bool { return s.seen[out[i]] < s.seen[out[j]] })
+	return out
+}
+
+func (s *Session) logf(format string, args ...any) {
+	if s.Verbose != nil {
+		s.Verbose(format, args...)
+	}
+}
+
+// ExploreDPOR runs the fingerprint-pruned branching search: pop a forced
+// prefix, run it, and — only when the run reached a NEW fingerprint — branch
+// every decision at or past the prefix into its unexplored alternatives.
+// Pruning on fingerprints is what makes this "DPOR-lite": instead of a
+// happens-before independence relation, two prefixes are considered
+// equivalent when they produce the same execution fingerprint, which the
+// runtime already computes for free.
+//
+// The frontier pops FIFO, which layers the search breadth-first over FLIP
+// SETS: all single-decision perturbations of the baseline run first, then
+// pairs (a branch only extends a prefix forward, so each flip set is
+// enumerated exactly once), and so on. The interesting structure — policy
+// divergences, atomicity windows — lives a few flips from the default
+// schedule; a LIFO pop would instead commit the whole budget to one subtree
+// of a space that is exponential in the decision count. maxDepth bounds how
+// deep branching reaches into the decision log (0 = unbounded); budget
+// bounds the number of exploration runs this invocation (minimization runs
+// are not counted — they are bounded separately per failure).
+func (s *Session) ExploreDPOR(budget, maxDepth int) error {
+	if s.runs == 0 && len(s.frontier) == 0 {
+		s.frontier = append(s.frontier, nil) // the all-defaults baseline
+	}
+	for budget > 0 && len(s.frontier) > 0 {
+		prefix := s.frontier[0]
+		s.frontier = s.frontier[1:]
+		budget--
+		res := RunForced(s.P, prefix, s.Watchdog)
+		isNew := s.record("dpor", len(prefix), res)
+		if !isNew {
+			continue
+		}
+		if res.Outcome.Failure() {
+			if err := s.minimizeAndEmit(prefix, res); err != nil {
+				return err
+			}
+			continue // a failing path is a leaf; don't branch past a bug
+		}
+		limit := len(res.Choices)
+		if maxDepth > 0 && limit > maxDepth {
+			limit = maxDepth
+		}
+		for i := len(prefix); i < limit; i++ {
+			d := res.Choices[i]
+			for alt := 0; alt < d.N; alt++ {
+				if alt == d.Index {
+					continue
+				}
+				branch := make([]core.Choice, i+1)
+				copy(branch, res.Choices[:i])
+				branch[i] = core.Choice{Kind: d.Kind, N: d.N, Def: d.Def, Index: alt}
+				s.frontier = append(s.frontier, branch)
+			}
+		}
+	}
+	return s.save()
+}
+
+// ExplorePCT runs the PCT-style deterministic random walk: `budget` runs,
+// each a fresh priority assignment with d change points, seeded from the
+// baseline schedule hash XOR the run index — "seeded from the schedule file",
+// so the walk is exactly reproducible and two walks over the same program
+// never resample the same schedules unless the seeds collide.
+func (s *Session) ExplorePCT(budget, d int, seed uint64) error {
+	base := RunForced(s.P, nil, s.Watchdog)
+	s.record("pct-base", 0, base)
+	if base.Outcome.Failure() {
+		if err := s.minimizeAndEmit(nil, base); err != nil {
+			return err
+		}
+	}
+	if seed == 0 {
+		seed = base.Hash()
+	}
+	horizon := len(base.Choices)
+	for i := 0; i < budget; i++ {
+		ch := newPCTChooser(seed^uint64(i+1)*0x9e3779b97f4a7c15, d, horizon)
+		res := runOnce(s.P, nil, ch, s.Watchdog)
+		res.Choices = ch.Log()
+		isNew := s.record("pct", d, res)
+		if isNew && res.Outcome.Failure() {
+			// A PCT run is minimized from its own decision log: the log is a
+			// complete forced prefix reproducing the walk without the PRNG.
+			if err := s.minimizeAndEmit(res.Choices, res); err != nil {
+				return err
+			}
+		}
+	}
+	return s.save()
+}
+
+// record classifies one run against the seen set, appends it to runs.csv,
+// and reports whether its fingerprint was new.
+func (s *Session) record(strategy string, depth int, res Result) (isNew bool) {
+	id := s.runs
+	s.runs++
+	if depth > s.maxDepth {
+		s.maxDepth = depth
+	}
+	if res.Outcome.Failure() {
+		s.failures++
+	}
+	if res.Fingerprint != "" {
+		if _, ok := s.seen[res.Fingerprint]; !ok {
+			s.seen[res.Fingerprint] = id
+			isNew = true
+		}
+	}
+	s.logf("run %d [%s] depth=%d decisions=%d outcome=%s new=%v",
+		id, strategy, depth, len(res.Choices), res.Outcome, isNew)
+	if s.Dir != "" {
+		line := fmt.Sprintf("%d,%s,%d,%d,%s,%v,%s,%s\n",
+			id, strategy, depth, len(res.Choices), res.Outcome, isNew,
+			res.Fingerprint, csvEscape(res.Err))
+		s.appendFile(runsFile, runsHeader+"\n", line)
+		if isNew {
+			s.appendFile(seenFile, "", res.Fingerprint+"\n")
+		}
+	}
+	return isNew
+}
+
+// csvEscape flattens an error message onto one comma-free line.
+func csvEscape(v string) string {
+	v = strings.ReplaceAll(v, "\n", "\\n")
+	v = strings.ReplaceAll(v, ",", ";")
+	if len(v) > 200 {
+		v = v[:200] + "..."
+	}
+	return v
+}
+
+// appendFile appends to a results file, writing the header first when the
+// file does not exist yet. Persistence failures are fatal to the session —
+// an exploration whose results silently vanish is worse than one that stops.
+func (s *Session) appendFile(name, header, line string) {
+	path := filepath.Join(s.Dir, name)
+	_, statErr := os.Stat(path)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		panic(fmt.Sprintf("explore: results file %s: %v", path, err))
+	}
+	defer f.Close()
+	if statErr != nil && header != "" {
+		if _, err := f.WriteString(header); err != nil {
+			panic(fmt.Sprintf("explore: results file %s: %v", path, err))
+		}
+	}
+	if _, err := f.WriteString(line); err != nil {
+		panic(fmt.Sprintf("explore: results file %s: %v", path, err))
+	}
+}
+
+// save persists the frontier (rewritten whole — it shrinks and grows).
+func (s *Session) save() error {
+	if s.Dir == "" {
+		return nil
+	}
+	var b strings.Builder
+	for _, prefix := range s.frontier {
+		b.WriteString(formatPrefix(prefix))
+		b.WriteByte('\n')
+	}
+	return os.WriteFile(filepath.Join(s.Dir, frontierFile), []byte(b.String()), 0o644)
+}
+
+// load resumes session state from the results directory.
+func (s *Session) load() error {
+	if data, err := os.ReadFile(filepath.Join(s.Dir, seenFile)); err == nil {
+		id := 0
+		for _, line := range strings.Split(string(data), "\n") {
+			if line = strings.TrimSpace(line); line != "" {
+				s.seen[line] = id // discovery order; exact run ids live in runs.csv
+				id++
+			}
+		}
+	}
+	if f, err := os.Open(filepath.Join(s.Dir, runsFile)); err == nil {
+		sc := bufio.NewScanner(f)
+		sc.Buffer(make([]byte, 1<<16), 1<<20)
+		for sc.Scan() {
+			line := strings.TrimSpace(sc.Text())
+			if line == "" || strings.HasPrefix(line, "run,") {
+				continue
+			}
+			s.runs++
+			if cells := strings.Split(line, ","); len(cells) >= 5 {
+				if d, err := strconv.Atoi(cells[2]); err == nil && d > s.maxDepth {
+					s.maxDepth = d
+				}
+				switch cells[4] {
+				case OutcomeAssertFail.String(), OutcomeDeadlock.String(), OutcomePanic.String():
+					s.failures++
+				}
+			}
+		}
+		f.Close()
+		if err := sc.Err(); err != nil {
+			return fmt.Errorf("explore: resuming %s: %w", runsFile, err)
+		}
+	}
+	if data, err := os.ReadFile(filepath.Join(s.Dir, frontierFile)); err == nil {
+		for i, line := range strings.Split(string(data), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			prefix, err := parsePrefix(line)
+			if err != nil {
+				return fmt.Errorf("explore: resuming %s line %d: %w", frontierFile, i+1, err)
+			}
+			s.frontier = append(s.frontier, prefix)
+		}
+	}
+	repros, _ := filepath.Glob(filepath.Join(s.Dir, "repro-*.sched"))
+	sort.Strings(repros)
+	s.repros = repros
+	for _, path := range repros {
+		if _, choices, err := LoadRepro(path); err == nil {
+			// Outcome is encoded in the file name: repro-<outcome>-NNN.sched.
+			base := strings.TrimPrefix(filepath.Base(path), "repro-")
+			outcome := base
+			if i := strings.LastIndexByte(base, '-'); i >= 0 {
+				outcome = base[:i]
+			}
+			s.reproSigs[outcome+"|"+formatPrefix(choices)] = true
+		}
+	}
+	return nil
+}
+
+// formatPrefix renders a forced prefix as one frontier line: space-separated
+// kind:n:def:index quads, "-" for the empty prefix.
+func formatPrefix(prefix []core.Choice) string {
+	if len(prefix) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(prefix))
+	for i, c := range prefix {
+		parts[i] = fmt.Sprintf("%d:%d:%d:%d", uint8(c.Kind), c.N, c.Def, c.Index)
+	}
+	return strings.Join(parts, " ")
+}
+
+// parsePrefix inverts formatPrefix.
+func parsePrefix(line string) ([]core.Choice, error) {
+	if line == "-" {
+		return nil, nil
+	}
+	fields := strings.Fields(line)
+	out := make([]core.Choice, len(fields))
+	for i, f := range fields {
+		var kind uint8
+		var n, def, idx int
+		if _, err := fmt.Sscanf(f, "%d:%d:%d:%d", &kind, &n, &def, &idx); err != nil {
+			return nil, fmt.Errorf("bad choice %q: %v", f, err)
+		}
+		out[i] = core.Choice{Kind: core.ChoiceKind(kind), N: n, Def: def, Index: idx}
+	}
+	return out, nil
+}
+
+// minimizeAndEmit shrinks a failing run to a minimal forced prefix and writes
+// the repro schedule file. Failures that minimize to an already-emitted
+// decision prefix are the SAME bug reached through a longer path; counting
+// them (s.failures) matters, re-emitting them would bury the distinct repros.
+func (s *Session) minimizeAndEmit(prefix []core.Choice, res Result) error {
+	min, final, runs := Minimize(s.P, res, s.Watchdog)
+	s.logf("minimized %s: prefix %d -> %d decisions (%d verification runs)",
+		res.Outcome, len(prefix), len(min), runs)
+	sig := final.Outcome.String() + "|" + formatPrefix(final.Choices)
+	if s.reproSigs[sig] {
+		s.logf("repro: duplicate of an emitted minimized prefix; skipped")
+		return nil
+	}
+	s.reproSigs[sig] = true
+	if s.Dir == "" {
+		return nil
+	}
+	name := fmt.Sprintf("repro-%s-%03d.sched", final.Outcome, s.runs-1)
+	path := filepath.Join(s.Dir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("explore: repro file: %w", err)
+	}
+	defer f.Close()
+	if err := trace.SaveExplored(f, final.Trace, final.Choices); err != nil {
+		return fmt.Errorf("explore: repro file: %w", err)
+	}
+	s.repros = append(s.repros, path)
+	s.logf("repro: %s (%d events, %d decisions)", path, len(final.Trace), len(final.Choices))
+	return nil
+}

@@ -119,6 +119,15 @@ type Config struct {
 	// mode for million-event runs. Log() returns nil; the admit/shed hashes
 	// are unaffected.
 	Sink BatchSink
+	// ChooseBatch, when non-nil, is consulted whenever an admission slot could
+	// deliver more than one event (n >= 2 after the MaxBatch/queue/dst bounds):
+	// it may shrink the batch to any size in [1, n], perturbing where the
+	// admission boundaries fall without changing which events are admitted or
+	// their order. Out-of-range returns keep the full batch. Empty batches are
+	// not offered — a slot that can deliver must deliver at least one event, so
+	// a perturbed run cannot spin forever re-admitting nothing. This is the
+	// ingress choice point of the schedule-space explorer (internal/explore).
+	ChooseBatch func(n int) int
 }
 
 func (c Config) withDefaults() Config {
@@ -273,6 +282,14 @@ func (g *Gateway) Admit(dst []Event) (n int, ok bool) {
 	}
 	if n > len(dst) {
 		n = len(dst)
+	}
+	if g.cfg.ChooseBatch != nil && n > 1 {
+		// The hook runs inside the turn-ordered slot, after the bounds
+		// computation common to live and replay admission, so a perturbed
+		// batch size is as deterministic as the default one.
+		if c := g.cfg.ChooseBatch(n); c >= 1 && c < n {
+			n = c
+		}
 	}
 	for i := 0; i < n; i++ {
 		e := g.popQueue()

@@ -197,6 +197,12 @@ func FuzzLoad(f *testing.F) {
 	f.Add([]byte(scheduleHeaderV3B + "\n"))
 	f.Add([]byte(scheduleHeaderV3B + "\n\x05\x00abcde\x00\x00\x00\x00\x00"))
 	f.Add([]byte("qithread-schedule v9\n"))
+	var explored bytes.Buffer
+	if err := SaveExplored(&explored, events[:20], []core.Choice{{Kind: 1, N: 3, Def: 0, Index: 2}}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(explored.Bytes())
+	f.Add([]byte(scheduleHeaderV3 + "\nc 1 2 0 1\n0 0 1 0 0\n"))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		// Load must never panic or hang; on success the result must be
 		// self-consistent (Seq densely numbered), on failure just an error.

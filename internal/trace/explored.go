@@ -1,0 +1,119 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"qithread/internal/core"
+	"qithread/internal/logio"
+)
+
+// Explored-schedule files ("qithread-schedule v3") extend the v2 text format
+// with the DECISION LOG of a schedule-space exploration run: after the event
+// lines, one line per resolved choice point, in resolution order:
+//
+//	qithread-schedule v3
+//	<seq> <tid> <op-number> <obj> <status> <domain>
+//	...
+//	c <kind> <n> <def> <index>
+//	...
+//
+// where <kind> numbers policy.ChoiceKind (0 turn, 1 wake, 2 admit), <n> is
+// the candidate count, <def> the index the configured policy would have
+// taken, and <index> the index actually taken. The pair (events, choices) is
+// a complete repro: the events drive turn order through schedule replay
+// (Config.Replay) while the choices drive the decisions replay cannot express
+// — which waiter each signal woke, where admission batch boundaries fell.
+//
+// The version gate keeps every existing consumer and golden byte-identical:
+// Save never emits v3 (only SaveExplored does), and Load reads v3 by
+// discarding the choice lines, so schedule-agnostic tools (qistat, qitrace)
+// work on repro files unchanged.
+
+const scheduleHeaderV3 = "qithread-schedule v3"
+
+// SaveExplored writes an explored schedule: the events in the v2 line format
+// plus the run's decision log, under the v3 header.
+func SaveExplored(w io.Writer, events []core.Event, choices []core.Choice) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, scheduleHeaderV3); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if _, err := fmt.Fprintf(bw, "%d %d %d %d %d %d\n", e.Seq, e.TID, uint8(e.Op), e.Obj, uint8(e.Status), e.Domain); err != nil {
+			return err
+		}
+	}
+	for _, c := range choices {
+		if _, err := fmt.Fprintf(bw, "c %d %d %d %d\n", uint8(c.Kind), c.N, c.Def, c.Index); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadExplored reads a v3 explored schedule, returning both the events and
+// the decision log. It rejects other format versions — plain schedules carry
+// no decisions to replay (load those with Load).
+func LoadExplored(r io.Reader) ([]core.Event, []core.Choice, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	header, err := readHeader(br)
+	if err != nil {
+		return nil, nil, err
+	}
+	if header != scheduleHeaderV3 {
+		return nil, nil, fmt.Errorf("trace: bad header %q (want %q; plain schedules load via Load)", header, scheduleHeaderV3)
+	}
+	return loadExploredBody(br)
+}
+
+// loadExploredBody parses the v3 body: v2-style event lines followed by
+// choice lines. Choice lines must follow every event line — the decision log
+// is a trailer, not an interleaving.
+func loadExploredBody(r io.Reader) ([]core.Event, []core.Choice, error) {
+	sc := logio.LineScanner(r)
+	var events []core.Event
+	var choices []core.Choice
+	line := 1 // the header was line 1
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		if strings.HasPrefix(text, "c ") {
+			if got := len(strings.Fields(text)); got != 5 {
+				return nil, nil, fmt.Errorf("trace: line %d: %d fields, want 5 for a choice line", line, got)
+			}
+			var kind uint8
+			var n, def, index int
+			if _, err := fmt.Sscanf(text, "c %d %d %d %d", &kind, &n, &def, &index); err != nil {
+				return nil, nil, fmt.Errorf("trace: line %d: %v", line, err)
+			}
+			choices = append(choices, core.Choice{Kind: core.ChoiceKind(kind), N: n, Def: def, Index: index})
+			continue
+		}
+		if len(choices) > 0 {
+			return nil, nil, fmt.Errorf("trace: line %d: event line after choice lines", line)
+		}
+		if got := len(strings.Fields(text)); got != 6 {
+			return nil, nil, fmt.Errorf("trace: line %d: %d fields, want 6 for this format version", line, got)
+		}
+		var seq int64
+		var tid, domain int
+		var op, status uint8
+		var obj uint64
+		if _, err := fmt.Sscanf(text, "%d %d %d %d %d %d", &seq, &tid, &op, &obj, &status, &domain); err != nil {
+			return nil, nil, fmt.Errorf("trace: line %d: %v", line, err)
+		}
+		if int64(len(events)) != seq {
+			return nil, nil, fmt.Errorf("trace: line %d: sequence %d out of order", line, seq)
+		}
+		events = append(events, core.Event{
+			Seq: seq, TID: tid, Op: core.OpKind(op), Obj: obj, Status: core.EventStatus(status), Domain: domain,
+		})
+	}
+	return events, choices, logio.ScanErr(sc.Err(), "trace: schedule", line)
+}

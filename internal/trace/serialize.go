@@ -104,10 +104,16 @@ func Load(r io.Reader) ([]core.Event, error) {
 		return loadText(br, 5)
 	case scheduleHeaderV2:
 		return loadText(br, 6)
+	case scheduleHeaderV3:
+		// Explored schedules (see explored.go): the events load normally and
+		// the trailing decision log is discarded, so schedule-agnostic tools
+		// read repro files unchanged. LoadExplored retains the decisions.
+		events, _, err := loadExploredBody(br)
+		return events, err
 	case scheduleHeaderV3B:
 		return loadBinary(br)
 	default:
-		return nil, fmt.Errorf("trace: bad header %q (want %q, %q or %q)", header, scheduleHeaderV1, scheduleHeaderV2, scheduleHeaderV3B)
+		return nil, fmt.Errorf("trace: bad header %q (want %q, %q, %q or %q)", header, scheduleHeaderV1, scheduleHeaderV2, scheduleHeaderV3, scheduleHeaderV3B)
 	}
 }
 

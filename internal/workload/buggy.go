@@ -1,0 +1,110 @@
+package workload
+
+import (
+	"fmt"
+
+	"qithread"
+)
+
+// BuggyConfig sizes the deliberately seeded atomicity bug used as the
+// schedule-space explorer's ground truth (internal/explore, cmd/qiexplore).
+type BuggyConfig struct {
+	// Polls bounds the thief's lock-poll loop so a run where the bug never
+	// fires still terminates. Zero means 64.
+	Polls int
+}
+
+// Buggy builds the seeded-bug program: a textbook LOST-WAKEUP / MISSING-
+// RECHECK atomicity bug (the condition is re-tested with `if`, not `for`).
+//
+// Three threads share a counter guarded by a mutex and a condition variable:
+//
+//   - the consumer takes one item, WAITING when the counter is zero — but it
+//     checks the counter with `if` instead of `for`, so after a wake-up it
+//     decrements WITHOUT re-checking;
+//   - the thief polls the lock and steals an item whenever one is available;
+//   - the producer produces exactly one item and signals.
+//
+// Whether the bug fires is a pure scheduling question. After the signal, the
+// woken consumer and the polling thief race for the mutex: if the consumer
+// re-acquires first (which the BoostBlocked policy's wake-up boost guarantees
+// by default), the run is correct; if the thief slips in between the signal
+// and the consumer's re-acquisition, it steals the item and the consumer's
+// unchecked decrement drives the counter negative — the classic atomicity
+// violation that only a particular interleaving exposes. A second latent
+// failure mode exists upstream: if the thief steals the item before the
+// consumer's FIRST check, the consumer waits for a signal that has already
+// fired and the program deadlocks (a lost wake-up).
+//
+// The returned checksum packs both observables: underflows<<32 | takes.
+// A correct run returns exactly 1 (no underflow, one item taken once);
+// BuggyCheck classifies everything else.
+func Buggy(cfg BuggyConfig, p Params) App {
+	polls := cfg.Polls
+	if polls <= 0 {
+		polls = 64
+	}
+	return func(rt *qithread.Runtime) uint64 {
+		var underflows, takes uint64
+		rt.Run(func(main *qithread.Thread) {
+			m := rt.NewMutex(main, "count")
+			cv := rt.NewCond(main, "avail")
+			count := 0
+
+			consumer := main.Create("consumer", func(t *qithread.Thread) {
+				m.Lock(t)
+				if count == 0 { // BUG: must be `for`, not `if`
+					cv.Wait(t, m)
+				}
+				count--
+				if count < 0 {
+					underflows++
+				}
+				takes++
+				m.Unlock(t)
+			})
+			thief := main.Create("thief", func(t *qithread.Thread) {
+				for i := 0; i < polls; i++ {
+					m.Lock(t)
+					if count > 0 {
+						count--
+						takes++
+						m.Unlock(t)
+						return
+					}
+					if takes > 0 {
+						m.Unlock(t)
+						return
+					}
+					m.Unlock(t)
+					t.Yield()
+				}
+			})
+			producer := main.Create("producer", func(t *qithread.Thread) {
+				t.Work(16)
+				m.Lock(t)
+				count++
+				cv.Signal(t)
+				m.Unlock(t)
+			})
+
+			main.Join(producer)
+			main.Join(thief)
+			main.Join(consumer)
+		})
+		return underflows<<32 | takes
+	}
+}
+
+// BuggyCheck is the invariant oracle for Buggy: a correct execution takes the
+// single item exactly once and never underflows.
+func BuggyCheck(out uint64) error {
+	underflows, takes := out>>32, out&0xffffffff
+	if underflows > 0 {
+		return fmt.Errorf("buggy: counter underflow (underflows=%d takes=%d)", underflows, takes)
+	}
+	if takes != 1 {
+		return fmt.Errorf("buggy: wrong take count (underflows=%d takes=%d)", underflows, takes)
+	}
+	return nil
+}

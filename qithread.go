@@ -206,6 +206,16 @@ type Config struct {
 	// verifies the rebuilt structure against the checkpoint and reinstates
 	// counters, clocks and hashes. Requires Record and a deterministic Mode.
 	Resume *Checkpoint
+
+	// Chooser, when non-nil, constructs a per-domain choice-point hook: each
+	// scheduler domain consults its Chooser at every scheduling decision with
+	// more than one legal candidate — turn grants, signal wake targets,
+	// ingress admission batch boundaries — and the hook may override the
+	// configured policy's pick. This is the schedule-space exploration surface
+	// (internal/explore, cmd/qiexplore): record the index taken at each
+	// choice point and any explored execution is itself replayable. nil for a
+	// domain means that domain runs unhooked. Requires a deterministic Mode.
+	Chooser func(domainID int) Chooser
 }
 
 func (c Config) withDefaults() Config {
@@ -231,6 +241,24 @@ type Event = core.Event
 // Config.StreamTrace; internal/trace.BinaryWriter and SegmentedWriter
 // implement it.
 type TraceSink = core.TraceSink
+
+// Chooser re-exports the choice-point hook consulted at scheduling decisions
+// with more than one legal candidate; see Config.Chooser and
+// internal/policy.Chooser.
+type Chooser = core.Chooser
+
+// ChoiceKind re-exports the choice-point kind enumeration (turn/wake/admit).
+type ChoiceKind = core.ChoiceKind
+
+// Choice re-exports one recorded choice-point resolution.
+type Choice = core.Choice
+
+// Re-exported choice kinds; see internal/policy for their semantics.
+const (
+	ChooseTurn  = core.ChooseTurn
+	ChooseWake  = core.ChooseWake
+	ChooseAdmit = core.ChooseAdmit
+)
 
 // Delivery re-exports one cross-domain XPipe delivery with its sequencing
 // stamps; see Runtime.DeliveryLog.

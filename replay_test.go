@@ -89,7 +89,11 @@ func TestReplayReproducesSchedule(t *testing.T) {
 }
 
 // TestReplayDivergenceDetected: replaying a schedule against a different
-// program panics with a divergence diagnostic at the first mismatch.
+// program panics with a divergence diagnostic at the first mismatch, and the
+// diagnostic is actionable on its own — it names the domain, the op index,
+// and the expected-vs-executed operations with their objects. A schedule
+// explorer replays thousands of schedules; "which op, expected what, got
+// what" must not require re-running under a debugger.
 func TestReplayDivergenceDetected(t *testing.T) {
 	rec := New(Config{Mode: RoundRobin, Policies: AllPolicies, Record: true})
 	replayProgram(rec)
@@ -100,8 +104,22 @@ func TestReplayDivergenceDetected(t *testing.T) {
 		if r == nil {
 			t.Fatal("expected divergence panic")
 		}
-		if msg, ok := r.(string); !ok || !strings.Contains(msg, "replay divergence") {
+		msg, ok := r.(string)
+		if !ok || !strings.Contains(msg, "replay divergence") {
 			t.Fatalf("unexpected panic value: %v", r)
+		}
+		// The divergent program's first mismatch is deterministic: the
+		// recording's op 1 initializes the condvar, the replayed program
+		// locks its mutex instead.
+		for _, want := range []string{
+			"in domain 0 at op index 1",
+			"expected {T0 " + recorded[1].Op.String(),
+			"executed {T0 lock",
+			"mutex:other",
+		} {
+			if !strings.Contains(msg, want) {
+				t.Fatalf("divergence diagnostic missing %q:\n%s", want, msg)
+			}
 		}
 	}()
 	rep := New(Config{Mode: RoundRobin, Replay: recorded})

@@ -21,8 +21,10 @@ type Runtime struct {
 	group *domain.Group   // partition registry; nil in Nondet mode
 
 	domMu    sync.Mutex
-	domains  []*Domain  // id order; domains[0] is the default domain
-	gateways []*Gateway // ingress gateways in creation order (checkpoint order)
+	domains  []*Domain        // id order; domains[0] is the default domain
+	gateways []*Gateway       // ingress gateways in creation order (checkpoint order)
+	choosers map[int]Chooser  // per-domain choice-point hooks (Config.Chooser)
+	chMu     sync.Mutex       // guards choosers
 
 	wg      sync.WaitGroup
 	nthread atomic.Int64 // total threads ever created (diagnostics)
@@ -89,6 +91,7 @@ func New(cfg Config) *Runtime {
 					Mode: mode, Policies: pol, Stack: stk, Record: cfg.Record,
 					Sink: sink, SuspendRecording: cfg.Resume != nil,
 					VSyncCost: cost, DomainID: id, NoLease: cfg.NoTurnLease,
+					Chooser: rt.domainChooser(id),
 				})
 				return sched, stk
 			},
@@ -112,6 +115,9 @@ func New(cfg Config) *Runtime {
 		if cfg.Resume != nil {
 			panic("qithread: Config.Resume requires a deterministic Mode")
 		}
+		if cfg.Chooser != nil {
+			panic("qithread: Config.Chooser requires a deterministic Mode")
+		}
 		rt.addDomain("main")
 	}
 	for i := 1; i < cfg.Domains; i++ {
@@ -133,6 +139,28 @@ func (rt *Runtime) addDomain(name string) *Domain {
 	}
 	rt.domains = append(rt.domains, d)
 	return d
+}
+
+// domainChooser returns the choice-point hook for the given domain, creating
+// it via Config.Chooser on first use (nil without Config.Chooser, or when the
+// factory declines the domain). Each domain gets exactly one instance: the
+// scheduler and the domain's ingress gateways must share it so a single
+// decision sequence covers turn, wake and admission choices.
+func (rt *Runtime) domainChooser(id int) Chooser {
+	if rt.cfg.Chooser == nil {
+		return nil
+	}
+	rt.chMu.Lock()
+	defer rt.chMu.Unlock()
+	if rt.choosers == nil {
+		rt.choosers = make(map[int]Chooser)
+	}
+	ch, ok := rt.choosers[id]
+	if !ok {
+		ch = rt.cfg.Chooser(id)
+		rt.choosers[id] = ch
+	}
+	return ch
 }
 
 // NewDomain creates an additional scheduler domain (beyond Config.Domains).
