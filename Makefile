@@ -67,10 +67,17 @@ soak-smoke:
 .PHONY: explore-smoke
 explore-smoke:
 	@rm -rf .explore_smoke
-	$(GO) run ./cmd/qiexplore -program buggy -dir .explore_smoke -budget 400 -require-bug
+	$(GO) run ./cmd/qiexplore -program buggy -dir .explore_smoke -budget 400 -workers 4 -require-bug
 	$(GO) run ./cmd/qireplay -program buggy -runs 20 \
 		-schedule "$$(ls .explore_smoke/repro-*.sched | head -1)"
 	@rm -rf .explore_smoke
+
+# The parallel engine under the race detector: worker-count invariance, the
+# HB pruner and the flock/atomic-rename persistence paths all run at
+# workers=4 inside these tests.
+.PHONY: explore-race
+explore-race:
+	$(GO) test -race -count=1 ./internal/explore
 
 # Mechanism and policy-dispatch micro-benchmarks (see EXPERIMENTS.md E9/E13).
 .PHONY: bench

@@ -8,21 +8,26 @@
 // Usage:
 //
 //	qiexplore -program buggy -dir results/ [-strategy dpor|pct] [-budget N]
-//	          [-depth N] [-d N] [-seed N] [-watchdog D] [-require-bug]
-//	          [-rediscover N] [-v]
+//	          [-workers N] [-hb] [-depth N] [-d N] [-seed N] [-watchdog D]
+//	          [-require-bug] [-rediscover N] [-v]
 //	qiexplore -list
 //
 // Exploration resumes: re-running with the same -dir continues from the
-// persisted frontier instead of restarting. -require-bug (CI smoke) exits
-// nonzero unless a failure was found and minimized; -rediscover N exits
-// nonzero unless at least N divergent policy-variant fingerprints were
-// rediscovered.
+// persisted frontier instead of restarting. -workers N (default GOMAXPROCS)
+// explores with a pool of in-process workers, each running candidate
+// schedules in its own isolated Runtime; -workers 1 reproduces the serial
+// search order byte-for-byte. -hb enables happens-before flip pruning: turn
+// flips that provably commute with the displaced window are dropped instead
+// of run. -require-bug (CI smoke) exits nonzero unless a failure was found
+// and minimized; -rediscover N exits nonzero unless at least N divergent
+// policy-variant fingerprints were rediscovered.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -36,6 +41,8 @@ func main() {
 		strategy   = flag.String("strategy", "dpor", "search strategy: dpor (fingerprint-pruned branching) or pct (seeded priority walk)")
 		dir        = flag.String("dir", "", "results directory (persists frontier, runs, repros; enables resume)")
 		budget     = flag.Int("budget", 2000, "exploration runs this invocation")
+		workers    = flag.Int("workers", runtime.GOMAXPROCS(0), "concurrent exploration workers (1 = serial, byte-identical search order)")
+		hb         = flag.Bool("hb", false, "prune turn flips by happens-before independence instead of running them")
 		depth      = flag.Int("depth", 0, "dpor: bound branching depth into the decision log (0 = unbounded)")
 		d          = flag.Int("d", 3, "pct: priority-change points per run")
 		seed       = flag.Uint64("seed", 0, "pct: walk seed (0 = derive from the baseline schedule hash)")
@@ -67,10 +74,15 @@ func main() {
 		fmt.Fprintln(os.Stderr, "qiexplore:", err)
 		os.Exit(1)
 	}
+	s.Workers = *workers
+	s.HB = *hb
 	if *verbose {
 		s.Verbose = func(format string, args ...any) {
 			fmt.Fprintf(os.Stderr, format+"\n", args...)
 		}
+	}
+	if n := s.LoadWarnings(); n > 0 {
+		fmt.Fprintf(os.Stderr, "qiexplore: resume: skipped %d corrupt results line(s) in %s\n", n, *dir)
 	}
 	resumedFrom := s.Runs()
 
@@ -97,10 +109,26 @@ func main() {
 	if resumedFrom > 0 {
 		fmt.Printf("resumed:    %d prior runs\n", resumedFrom)
 	}
+	fmt.Printf("workers:    %d\n", *workers)
 	fmt.Printf("runs:       %d (%.0f schedules/sec)\n", ran, rate)
 	fmt.Printf("distinct:   %d fingerprints\n", s.Distinct())
+	if *hb {
+		fmt.Printf("hb-pruned:  %d flips dropped without running\n", s.Pruned())
+	}
 	fmt.Printf("frontier:   %d unexplored prefixes (max depth %d)\n", s.FrontierLen(), s.MaxDepth())
 	fmt.Printf("failures:   %d\n", s.Failures())
+	for i, st := range s.WorkerStats() {
+		if *workers <= 1 {
+			break
+		}
+		sec := st.Elapsed.Seconds()
+		wrate := 0.0
+		if sec > 0 {
+			wrate = float64(st.Runs) / sec
+		}
+		fmt.Printf("worker %-2d   %d runs (%.0f/sec), %d new, %d branched, %d pruned\n",
+			i, st.Runs, wrate, st.New, st.Branched, st.Pruned)
+	}
 	repros := s.Repros()
 	for i, r := range repros {
 		if i == 5 {

@@ -318,7 +318,43 @@ func summarizeExplore(dir string) error {
 		}
 		fmt.Printf("  %s\n", filepath.Base(r))
 	}
+	summarizeWorkers(dir)
 	return nil
+}
+
+// summarizeWorkers renders workers.txt — the per-worker stats snapshot of the
+// last pool invocation — as throughput and prune-rate columns. Absent for
+// directories written before the parallel engine (or never explored by one),
+// in which case it prints nothing.
+func summarizeWorkers(dir string) {
+	b, err := os.ReadFile(filepath.Join(dir, "workers.txt"))
+	if err != nil {
+		return
+	}
+	lines := strings.Split(strings.TrimSpace(string(b)), "\n")
+	if len(lines) < 2 {
+		return
+	}
+	fmt.Printf("\n%-8s %8s %8s %10s %10s %10s\n", "worker", "runs", "new-fp", "runs/sec", "branched", "prune-rate")
+	for _, line := range lines[1:] {
+		cells := strings.Split(strings.TrimSpace(line), ",")
+		if len(cells) < 6 {
+			continue
+		}
+		runs, _ := strconv.Atoi(cells[1])
+		branched, _ := strconv.Atoi(cells[3])
+		pruned, _ := strconv.Atoi(cells[4])
+		ms, _ := strconv.Atoi(cells[5])
+		rate := "-"
+		if ms > 0 {
+			rate = fmt.Sprintf("%.0f", float64(runs)/(float64(ms)/1e3))
+		}
+		pruneRate := "-"
+		if branched+pruned > 0 {
+			pruneRate = fmt.Sprintf("%.1f%%", 100*float64(pruned)/float64(branched+pruned))
+		}
+		fmt.Printf("%-8s %8s %8s %10s %10d %10s\n", cells[0], cells[1], cells[2], rate, branched, pruneRate)
+	}
 }
 
 // summarizeCounters aggregates a counters.csv (program,policy,picks,

@@ -1,6 +1,7 @@
 package qithread_test
 
 import (
+	"fmt"
 	"testing"
 	"time"
 
@@ -33,6 +34,41 @@ func BenchmarkExplore(b *testing.B) {
 			case "pct":
 				err = s.ExplorePCT(b.N, 3, 1)
 			}
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if s.Runs() < b.N {
+				b.Fatalf("explored %d schedules, want >= %d", s.Runs(), b.N)
+			}
+			b.ReportMetric(float64(s.Runs())/b.Elapsed().Seconds(), "schedules/sec")
+		})
+	}
+}
+
+// BenchmarkExploreParallel measures the worker pool's scaling: the same DPOR
+// search at 1, 2 and 4 workers. Every run executes in its own isolated
+// Runtime, so between-run work is embarrassingly parallel; the shared
+// frontier, sharded seen set and record path are the only serialization. On a
+// multi-core host workers=4 should approach 4x the workers=1 schedules/sec;
+// on a single-CPU host (the CI runner) the curve is honestly flat —
+// EXPERIMENTS.md E21 records both. Feeds BENCH_sched.json via
+// `make bench-json`.
+func BenchmarkExploreParallel(b *testing.B) {
+	p := explore.Lookup("wakerace")
+	if p == nil {
+		b.Fatal("wakerace program not registered")
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			s, err := explore.NewSession(p, "", 10*time.Second)
+			if err != nil {
+				b.Fatal(err)
+			}
+			s.Workers = workers
+			b.ReportAllocs()
+			b.ResetTimer()
+			err = s.ExploreDPOR(b.N, 0)
 			b.StopTimer()
 			if err != nil {
 				b.Fatal(err)

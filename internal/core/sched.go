@@ -465,7 +465,7 @@ func (s *Scheduler) chooseWakeLocked(q *wqueue) *waiter {
 		ids = append(ids, w.t.id)
 	}
 	s.chooseIDs = ids
-	idx := s.cfg.Chooser.Choose(policy.ChooseWake, ids, len(ids), 0)
+	idx := s.consultLocked(policy.ChooseWake, ids, len(ids), 0)
 	w := q.head
 	if idx <= 0 || idx >= len(ids) {
 		return w
@@ -800,13 +800,27 @@ func (s *Scheduler) chooseTurnLocked(def *Thread) *Thread {
 		return def
 	}
 	pick := def
-	if idx := s.cfg.Chooser.Choose(policy.ChooseTurn, ids, len(cands), defIdx); idx >= 0 && idx < len(cands) {
+	if idx := s.consultLocked(policy.ChooseTurn, ids, len(cands), defIdx); idx >= 0 && idx < len(cands) {
 		pick = cands[idx]
 	}
 	// Commit even when the chooser kept the default, so the chooser is asked
 	// exactly once per handoff regardless of how many grant attempts follow.
 	s.chosen = pick
 	return pick
+}
+
+// consultLocked forwards one choice-point consultation to the configured
+// chooser. A chooser implementing policy.TracePosChooser additionally
+// receives the domain-local trace position of the decision — s.traceLen, the
+// index the next recorded event will occupy — which is what lets the
+// schedule-space explorer align decisions with trace events for
+// happens-before pruning (internal/explore). Caller holds mu, so traceLen is
+// stable for the duration of the consultation.
+func (s *Scheduler) consultLocked(kind policy.ChoiceKind, ids []int, n, def int) int {
+	if tp, ok := s.cfg.Chooser.(policy.TracePosChooser); ok {
+		return tp.ChooseAt(s.traceLen, kind, ids, n, def)
+	}
+	return s.cfg.Chooser.Choose(kind, ids, n, def)
 }
 
 // kickLocked grants the free turn directly to the next eligible thread if

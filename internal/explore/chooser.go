@@ -6,6 +6,19 @@ import (
 	"qithread/internal/core"
 )
 
+// choiceMeta is the per-decision context a pathChooser records alongside the
+// replayable Choice: the domain-local trace position at the decision moment
+// (-1 when the consultation site did not supply one) and, for turn choices,
+// the candidate thread ids in enumeration order. The meta log never leaves
+// the process — it exists to align decisions with trace events for
+// happens-before flip pruning (hb.go); the persisted frontier and repro
+// formats carry only the Choice quad, so results directories stay
+// byte-compatible.
+type choiceMeta struct {
+	pos int64
+	ids []int
+}
+
 // pathChooser drives one exploration run: decisions are consumed positionally
 // against a forced prefix — take the prefix's index while it lasts, the
 // configured policy's default after — and every consultation is recorded, so
@@ -17,10 +30,19 @@ type pathChooser struct {
 	mu     sync.Mutex
 	forced []core.Choice
 	log    []core.Choice
+	meta   []choiceMeta
 }
 
-// Choose implements qithread.Chooser.
+// Choose implements qithread.Chooser (consultation sites without a trace
+// position — ingress admission).
 func (c *pathChooser) Choose(kind core.ChoiceKind, ids []int, n, def int) int {
+	return c.ChooseAt(-1, kind, ids, n, def)
+}
+
+// ChooseAt implements policy.TracePosChooser: the scheduler's turn and wake
+// sites pass the trace index the decision happened at, which the flip-set
+// pruner needs to align decisions with recorded events.
+func (c *pathChooser) ChooseAt(pos int64, kind core.ChoiceKind, ids []int, n, def int) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	idx := def
@@ -34,6 +56,11 @@ func (c *pathChooser) Choose(kind core.ChoiceKind, ids []int, n, def int) int {
 		}
 	}
 	c.log = append(c.log, core.Choice{Kind: kind, N: n, Def: def, Index: idx})
+	m := choiceMeta{pos: pos}
+	if kind == core.ChooseTurn && ids != nil {
+		m.ids = append([]int(nil), ids...) // ids is only valid during the call
+	}
+	c.meta = append(c.meta, m)
 	return idx
 }
 
@@ -43,6 +70,15 @@ func (c *pathChooser) Log() []core.Choice {
 	defer c.mu.Unlock()
 	out := make([]core.Choice, len(c.log))
 	copy(out, c.log)
+	return out
+}
+
+// Meta returns the per-decision alignment context recorded so far.
+func (c *pathChooser) Meta() []choiceMeta {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]choiceMeta, len(c.meta))
+	copy(out, c.meta)
 	return out
 }
 

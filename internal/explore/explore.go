@@ -159,6 +159,10 @@ type Result struct {
 	// Choices is the full decision log the run resolved, forced prefix
 	// included — the other half of a repro file.
 	Choices []core.Choice
+	// meta aligns each decision with the recorded trace (position, turn
+	// candidates) for happens-before flip pruning. In-memory only — never
+	// persisted, so results directories stay format-compatible.
+	meta []choiceMeta
 }
 
 // DefaultWatchdog bounds one run's real time. Explored programs are tiny;
@@ -174,6 +178,7 @@ func RunForced(p *Program, forced []core.Choice, watchdog time.Duration) Result 
 	ch := &pathChooser{forced: forced}
 	res := runOnce(p, nil, ch, watchdog)
 	res.Choices = ch.Log()
+	res.meta = ch.Meta()
 	return res
 }
 

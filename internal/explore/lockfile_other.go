@@ -1,0 +1,13 @@
+//go:build !unix
+
+package explore
+
+import "os"
+
+// Non-unix platforms get no inter-process exclusion: the session mutex
+// already serializes in-process writers, appends remain O_APPEND, and the
+// snapshot files are still replaced atomically, so single-process use is
+// fully safe and cross-process use degrades to last-writer-wins snapshots.
+func flockExclusive(*os.File) error { return nil }
+
+func flockRelease(*os.File) error { return nil }

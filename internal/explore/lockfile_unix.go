@@ -1,0 +1,20 @@
+//go:build unix
+
+package explore
+
+import (
+	"os"
+	"syscall"
+)
+
+// flockExclusive takes an exclusive advisory lock on f, blocking until the
+// holder releases it. Advisory flock is exactly the right strength here:
+// every writer of a results directory goes through withDirLock, and readers
+// that do not (qistat) are protected by the atomic renames instead.
+func flockExclusive(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_EX)
+}
+
+func flockRelease(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

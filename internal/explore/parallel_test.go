@@ -1,0 +1,283 @@
+package explore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+// The parallel engine's contract has three legs, each pinned here: workers=1
+// byte-identical to the serial explorer it replaced, workers=N set-identical
+// to workers=1 on a drained space, and the results directory surviving both
+// concurrent writers and torn writes.
+
+// Golden sha256 sums of the results files the PRE-POOL serial explorer
+// produced at budget=120 (captured before the engine was rewritten). The
+// pool with workers=1 must reproduce them byte for byte: same pops, same run
+// ids, same branching order, same csv bytes.
+var serialGoldens = map[string]map[string]string{
+	"buggy": {
+		runsFile: "52e4f03110631b6fcbf86c963bed61fc3499dd43a51f467d84bd72e495af003a",
+		seenFile: "2484546b5aa4c8e395fc63b0f916d182343d465efa6b5a83df696e27fa008822",
+	},
+	"wakerace": {
+		runsFile: "33364bc1c10e339010999e69fc07e08152b8c323e0d4caf32c39976af4197c59",
+		seenFile: "042843909af4505c126e8cf911df1a643ebd0b3c66ac22c3dfe4e156535baf4b",
+	},
+}
+
+func TestWorkersOneByteIdentical(t *testing.T) {
+	for program, want := range serialGoldens {
+		t.Run(program, func(t *testing.T) {
+			p := Lookup(program)
+			dir := t.TempDir()
+			s, err := NewSession(p, dir, testWatchdog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.Workers = 1
+			if err := s.ExploreDPOR(120, 0); err != nil {
+				t.Fatal(err)
+			}
+			for file, wantSum := range want {
+				data, err := os.ReadFile(filepath.Join(dir, file))
+				if err != nil {
+					t.Fatal(err)
+				}
+				sum := sha256.Sum256(data)
+				if got := hex.EncodeToString(sum[:]); got != wantSum {
+					t.Errorf("%s: sha256 %s, want %s (workers=1 diverged from the serial search order)", file, got, wantSum)
+				}
+			}
+		})
+	}
+}
+
+// TestWorkerCountInvariance drains a depth-bounded schedule space with 1 and
+// with 4 workers. Interleaving of pops is timing-dependent, but the explored
+// CLOSURE is not: both must discover the same fingerprint set and the same
+// minimized bug set.
+func TestWorkerCountInvariance(t *testing.T) {
+	explore := func(workers int) (fps []string, bugs []string, runs int) {
+		p := Lookup("buggy")
+		dir := t.TempDir()
+		s, err := NewSession(p, dir, testWatchdog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Workers = workers
+		if err := s.ExploreDPOR(2000, 5); err != nil {
+			t.Fatal(err)
+		}
+		if s.FrontierLen() != 0 {
+			t.Fatalf("workers=%d: frontier not drained (%d left); invariance only holds on the full closure", workers, s.FrontierLen())
+		}
+		fps = s.SeenFPs()
+		sort.Strings(fps)
+		s.mu.Lock()
+		for sig := range s.reproSigs {
+			bugs = append(bugs, sig)
+		}
+		s.mu.Unlock()
+		sort.Strings(bugs)
+		return fps, bugs, s.Runs()
+	}
+	fps1, bugs1, runs1 := explore(1)
+	fps4, bugs4, runs4 := explore(4)
+	t.Logf("workers=1: %d runs %d fps %d bugs; workers=4: %d runs %d fps %d bugs",
+		runs1, len(fps1), len(bugs1), runs4, len(fps4), len(bugs4))
+	if len(bugs1) == 0 {
+		t.Fatal("drained space contains no bugs; the invariance check is vacuous")
+	}
+	if !equalStrings(fps1, fps4) {
+		t.Errorf("fingerprint sets differ between workers=1 (%d) and workers=4 (%d)", len(fps1), len(fps4))
+	}
+	if !equalStrings(bugs1, bugs4) {
+		t.Errorf("minimized bug sets differ between workers=1 (%v) and workers=4 (%v)", bugs1, bugs4)
+	}
+}
+
+// TestPCTWorkerInvariance pins the same property for the PCT pool: the walk
+// for index i is a pure function of (seed, i), so any worker count must
+// produce the same fingerprint set.
+func TestPCTWorkerInvariance(t *testing.T) {
+	walk := func(workers int) []string {
+		p := Lookup("buggy")
+		s, err := NewSession(p, "", testWatchdog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Workers = workers
+		if err := s.ExplorePCT(150, 3, 7); err != nil {
+			t.Fatal(err)
+		}
+		fps := s.SeenFPs()
+		sort.Strings(fps)
+		return fps
+	}
+	fps1, fps4 := walk(1), walk(4)
+	if !equalStrings(fps1, fps4) {
+		t.Errorf("PCT fingerprint sets differ: workers=1 found %d, workers=4 found %d", len(fps1), len(fps4))
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestHBPruningFewerRuns pins the tentpole's pruning claim on the E20 ground
+// truth: with happens-before flip pruning the explorer must still rediscover
+// BOTH divergent policy fingerprints of wakerace, and must reach the later of
+// the two in strictly fewer runs than the fingerprint-only search.
+func TestHBPruningFewerRuns(t *testing.T) {
+	p := Lookup("wakerace")
+	worstDiscovery := func(hb bool, budget int) (worst, pruned int) {
+		s, err := NewSession(p, "", testWatchdog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.HB = hb
+		if err := s.ExploreDPOR(budget, 0); err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range s.Rediscoveries() {
+			if !r.Divergent || r.Variant == "all-policies" {
+				continue // all-policies is out of reach for both searches (E20)
+			}
+			id, ok := s.SeenAt(r.Fingerprint)
+			if !ok {
+				t.Fatalf("hb=%v: variant %s not rediscovered within %d runs", hb, r.Variant, budget)
+			}
+			t.Logf("hb=%v: %s rediscovered at run %d", hb, r.Variant, id)
+			if id > worst {
+				worst = id
+			}
+		}
+		return worst, s.Pruned()
+	}
+	worstHB, pruned := worstDiscovery(true, 3000)
+	worstPlain, _ := worstDiscovery(false, 6000)
+	if pruned == 0 {
+		t.Error("HB search pruned nothing; the independence relation is inert")
+	}
+	if worstHB >= worstPlain {
+		t.Errorf("HB pruning needed %d runs to rediscover both divergences, fingerprint-only needed %d; want strictly fewer", worstHB, worstPlain)
+	}
+}
+
+// TestHBPruningKeepsBugReachable: pruning must never lose the seeded bug —
+// the wake-sensitive and wake-reacquisition exemptions exist exactly so the
+// signal-to-reacquire window stays explorable.
+func TestHBPruningKeepsBugReachable(t *testing.T) {
+	p := Lookup("buggy")
+	s, err := NewSession(p, t.TempDir(), testWatchdog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Workers = 4
+	s.HB = true
+	if err := s.ExploreDPOR(400, 0); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("runs=%d failures=%d pruned=%d", s.Runs(), s.Failures(), s.Pruned())
+	if s.Pruned() == 0 {
+		t.Error("no flips pruned on buggy; the independence relation is inert")
+	}
+	if s.Failures() == 0 || len(s.Repros()) == 0 {
+		t.Fatalf("HB pruning lost the seeded bug: %d failures, %d repros within 400 runs", s.Failures(), len(s.Repros()))
+	}
+}
+
+// TestLoadToleratesCorruption: a torn runs.csv line (crashed writer) and a
+// corrupt frontier entry must be skipped — counted in LoadWarnings — instead
+// of making the directory unresumable.
+func TestLoadToleratesCorruption(t *testing.T) {
+	p := Lookup("buggy")
+	dir := t.TempDir()
+	s1, err := NewSession(p, dir, testWatchdog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s1.ExploreDPOR(10, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	appendTo := func(name, line string) {
+		f, err := os.OpenFile(filepath.Join(dir, name), os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(line); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	appendTo(runsFile, "999,dpor,3\n") // torn mid-line: too few cells
+	appendTo(frontierFile, "turn:not-a-number\n")
+
+	s2, err := NewSession(p, dir, testWatchdog)
+	if err != nil {
+		t.Fatalf("resume after corruption: %v", err)
+	}
+	if got := s2.LoadWarnings(); got != 2 {
+		t.Errorf("LoadWarnings = %d, want 2 (one torn runs line, one corrupt frontier entry)", got)
+	}
+	if s2.Runs() != s1.Runs() {
+		t.Errorf("resume counted %d runs, want %d (torn line must not count)", s2.Runs(), s1.Runs())
+	}
+	if s2.FrontierLen() != s1.FrontierLen() {
+		t.Errorf("resume loaded %d frontier entries, want %d (corrupt entry must be dropped)", s2.FrontierLen(), s1.FrontierLen())
+	}
+	if err := s2.ExploreDPOR(5, 0); err != nil {
+		t.Fatalf("exploration after corrupted resume: %v", err)
+	}
+	if s2.Runs() != s1.Runs()+5 {
+		t.Errorf("continued to %d runs, want %d", s2.Runs(), s1.Runs()+5)
+	}
+}
+
+// TestWorkerStatsPersisted: a pool run leaves workers.txt with one row per
+// worker whose run counts sum to the executed budget.
+func TestWorkerStatsPersisted(t *testing.T) {
+	p := Lookup("buggy")
+	dir := t.TempDir()
+	s, err := NewSession(p, dir, testWatchdog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Workers = 4
+	if err := s.ExploreDPOR(100, 0); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.WorkerStats()
+	if len(stats) != 4 {
+		t.Fatalf("got %d worker stats, want 4", len(stats))
+	}
+	total := 0
+	for _, st := range stats {
+		total += st.Runs
+	}
+	if total != 100 {
+		t.Errorf("worker run counts sum to %d, want 100", total)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, workersFile))
+	if err != nil {
+		t.Fatalf("workers.txt not written: %v", err)
+	}
+	want := fmt.Sprintf("worker,runs,new,branched,pruned,elapsed_ms\n")
+	if len(data) <= len(want) {
+		t.Errorf("workers.txt too short: %q", data)
+	}
+}

@@ -1,36 +1,58 @@
 package explore
 
 import (
-	"bufio"
 	"fmt"
-	"os"
-	"path/filepath"
+	"hash/fnv"
 	"sort"
-	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"qithread/internal/core"
-	"qithread/internal/trace"
 )
 
 // Session is one exploration of one program: the fingerprint-pruned state
 // space walked so far, the unexpanded frontier, and the failures found. With
 // a results directory it persists all three, so a later invocation resumes
 // exactly where the budget ran out (the persisted-frontier half of DPOR).
+//
+// A session explores with Workers concurrent workers (see parallel.go), each
+// executing candidate schedules in its own isolated Runtime. Workers <= 1 is
+// the serial search, byte-identical in runs.csv/seen.txt/frontier.txt to the
+// single-threaded explorer this engine replaced — run ids, record order,
+// branch order and repro naming are all preserved, which is what keeps the
+// E20 ground truth pinned.
 type Session struct {
 	P        *Program
 	Dir      string // "" disables persistence
 	Watchdog time.Duration
 	Verbose  func(format string, args ...any) // nil silences progress
+	// Workers is the number of concurrent exploration workers (<= 1: serial).
+	// Set before calling ExploreDPOR/ExplorePCT.
+	Workers int
+	// HB enables happens-before flip pruning (hb.go): turn-choice flips whose
+	// reordering provably commutes are dropped from the frontier instead of
+	// run. Off by default — the fingerprint-only search order is the pinned
+	// PR 8 behaviour.
+	HB bool
 
-	runs     int            // run ids handed out (resume continues the count)
-	seen     map[string]int // fingerprint -> run id that first produced it
+	mu        sync.Mutex // guards all mutable state below
+	runs      int        // run ids handed out (resume continues the count)
+	seen      *seenSet   // fingerprint -> run id that first produced it
 	frontier  [][]core.Choice
+	executed  map[string]bool // prefixes popped (this session) — frontier merge input
 	failures  int
 	repros    []string        // repro file paths emitted this session and before
 	reproSigs map[string]bool // outcome+minimized-prefix signatures already emitted
 	maxDepth  int             // deepest forced prefix run so far
+	pruned    int             // flips dropped by happens-before pruning
+
+	pend      []byte // runs.csv lines recorded but not yet flushed
+	pendRuns  int
+	seenDirty bool
+
+	loadWarnings int // corrupt lines skipped while resuming
+	workerStats  []WorkerStat
 }
 
 // Results-directory layout. Everything is line-oriented text so qistat can
@@ -39,23 +61,135 @@ type Session struct {
 //	runs.csv     one line per run: id,strategy,depth,decisions,outcome,new,fingerprint,err
 //	seen.txt     one fingerprint per line, first-discovery order
 //	frontier.txt one unexpanded forced prefix per line ("-" = empty)
+//	workers.txt  per-worker throughput/prune stats of the last invocation
 //	repro-*.sched  minimized v3 repro schedules, one per distinct failure
+//	.lock        flock target serializing writers across processes
+//
+// runs.csv grows by flock-protected appends; seen.txt, frontier.txt and
+// workers.txt are replaced by atomic temp-file + rename (readers and
+// concurrent writers never observe a torn file). See persist.go.
 const (
 	runsFile     = "runs.csv"
 	seenFile     = "seen.txt"
 	frontierFile = "frontier.txt"
+	workersFile  = "workers.txt"
 	runsHeader   = "run,strategy,depth,decisions,outcome,new,fingerprint,err"
+	// flushEvery bounds how many recorded runs may sit in the write buffer:
+	// persistence is batched (one flock + one write per batch, not per run)
+	// without letting a crash lose more than a batch.
+	flushEvery = 64
 )
 
+// WorkerStat is one worker's contribution to an ExploreDPOR/ExplorePCT call.
+type WorkerStat struct {
+	Runs     int           // runs this worker executed
+	New      int           // runs that discovered a new fingerprint
+	Branched int           // flips this worker's runs added to the frontier
+	Pruned   int           // flips dropped by happens-before pruning
+	Elapsed  time.Duration // wall time inside the search loop
+}
+
+// seenSet is the sharded concurrent fingerprint -> first-run-id map. Shards
+// keep insertions from different workers off one lock; ids still come from
+// the session's run counter, so first-discovery order is well defined.
+const seenShards = 16
+
+type seenShard struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+type seenSet struct {
+	shards [seenShards]seenShard
+}
+
+func newSeenSet() *seenSet {
+	ss := &seenSet{}
+	for i := range ss.shards {
+		ss.shards[i].m = map[string]int{}
+	}
+	return ss
+}
+
+func (ss *seenSet) shard(fp string) *seenShard {
+	h := fnv.New32a()
+	h.Write([]byte(fp))
+	return &ss.shards[h.Sum32()%seenShards]
+}
+
+// insert records fp as first discovered by run id, reporting whether it was
+// absent.
+func (ss *seenSet) insert(fp string, id int) bool {
+	sh := ss.shard(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[fp]; ok {
+		return false
+	}
+	sh.m[fp] = id
+	return true
+}
+
+func (ss *seenSet) has(fp string) bool {
+	sh := ss.shard(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, ok := sh.m[fp]
+	return ok
+}
+
+func (ss *seenSet) at(fp string) (int, bool) {
+	sh := ss.shard(fp)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	id, ok := sh.m[fp]
+	return id, ok
+}
+
+func (ss *seenSet) len() int {
+	n := 0
+	for i := range ss.shards {
+		ss.shards[i].mu.Lock()
+		n += len(ss.shards[i].m)
+		ss.shards[i].mu.Unlock()
+	}
+	return n
+}
+
+// ordered returns all fingerprints sorted by first-discovery run id.
+func (ss *seenSet) ordered() []string {
+	type fpID struct {
+		fp string
+		id int
+	}
+	var all []fpID
+	for i := range ss.shards {
+		ss.shards[i].mu.Lock()
+		for fp, id := range ss.shards[i].m {
+			all = append(all, fpID{fp, id})
+		}
+		ss.shards[i].mu.Unlock()
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	out := make([]string, len(all))
+	for i, e := range all {
+		out[i] = e.fp
+	}
+	return out
+}
+
 // NewSession opens (or resumes) an exploration session. A non-empty dir is
-// created if needed and prior state is loaded from it.
+// created if needed and prior state is loaded from it under the directory
+// lock.
 func NewSession(p *Program, dir string, watchdog time.Duration) (*Session, error) {
-	s := &Session{P: p, Dir: dir, Watchdog: watchdog, seen: map[string]int{}, reproSigs: map[string]bool{}}
+	s := &Session{
+		P: p, Dir: dir, Watchdog: watchdog,
+		seen:      newSeenSet(),
+		executed:  map[string]bool{},
+		reproSigs: map[string]bool{},
+	}
 	if dir == "" {
 		return s, nil
-	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("explore: results dir: %w", err)
 	}
 	if err := s.load(); err != nil {
 		return nil, err
@@ -65,36 +199,72 @@ func NewSession(p *Program, dir string, watchdog time.Duration) (*Session, error
 
 // Runs returns the total number of runs executed (across resumed
 // invocations).
-func (s *Session) Runs() int { return s.runs }
+func (s *Session) Runs() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.runs
+}
 
 // Distinct returns the number of distinct execution fingerprints discovered.
-func (s *Session) Distinct() int { return len(s.seen) }
+func (s *Session) Distinct() int { return s.seen.len() }
 
 // Failures returns the number of failing runs recorded.
-func (s *Session) Failures() int { return s.failures }
+func (s *Session) Failures() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.failures
+}
 
 // Repros returns the repro schedule files emitted (this session and, on
 // resume, before).
-func (s *Session) Repros() []string { return append([]string(nil), s.repros...) }
+func (s *Session) Repros() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]string(nil), s.repros...)
+}
 
 // FrontierLen returns the number of unexpanded forced prefixes.
-func (s *Session) FrontierLen() int { return len(s.frontier) }
+func (s *Session) FrontierLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.frontier)
+}
 
 // MaxDepth returns the deepest forced prefix run so far.
-func (s *Session) MaxDepth() int { return s.maxDepth }
+func (s *Session) MaxDepth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.maxDepth
+}
+
+// Pruned returns the number of flips dropped by happens-before pruning.
+func (s *Session) Pruned() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.pruned
+}
+
+// LoadWarnings returns the number of corrupt results-file lines skipped while
+// resuming (torn writes from a crashed or concurrent invocation).
+func (s *Session) LoadWarnings() int { return s.loadWarnings }
+
+// WorkerStats returns each worker's contribution to the last
+// ExploreDPOR/ExplorePCT call.
+func (s *Session) WorkerStats() []WorkerStat {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]WorkerStat(nil), s.workerStats...)
+}
 
 // Seen reports whether the fingerprint was already discovered.
-func (s *Session) Seen(fp string) bool { _, ok := s.seen[fp]; return ok }
+func (s *Session) Seen(fp string) bool { return s.seen.has(fp) }
 
 // SeenFPs returns the discovered fingerprints in first-discovery order.
-func (s *Session) SeenFPs() []string {
-	out := make([]string, 0, len(s.seen))
-	for fp := range s.seen {
-		out = append(out, fp)
-	}
-	sort.Slice(out, func(i, j int) bool { return s.seen[out[i]] < s.seen[out[j]] })
-	return out
-}
+func (s *Session) SeenFPs() []string { return s.seen.ordered() }
+
+// SeenAt returns the run id that first produced the fingerprint, for
+// runs-to-discovery measurements (EXPERIMENTS.md E21).
+func (s *Session) SeenAt(fp string) (int, bool) { return s.seen.at(fp) }
 
 func (s *Session) logf(format string, args ...any) {
 	if s.Verbose != nil {
@@ -105,10 +275,12 @@ func (s *Session) logf(format string, args ...any) {
 // ExploreDPOR runs the fingerprint-pruned branching search: pop a forced
 // prefix, run it, and — only when the run reached a NEW fingerprint — branch
 // every decision at or past the prefix into its unexplored alternatives.
-// Pruning on fingerprints is what makes this "DPOR-lite": instead of a
-// happens-before independence relation, two prefixes are considered
-// equivalent when they produce the same execution fingerprint, which the
-// runtime already computes for free.
+// Pruning on fingerprints is what makes this "DPOR-lite": instead of running
+// a full persistent-set computation, two prefixes are considered equivalent
+// when they produce the same execution fingerprint, which the runtime already
+// computes for free. With HB enabled, a real happens-before independence
+// relation additionally drops turn flips that provably commute (hb.go) —
+// those never enter the frontier at all.
 //
 // The frontier pops FIFO, which layers the search breadth-first over FLIP
 // SETS: all single-decision perturbations of the baseline run first, then
@@ -120,41 +292,19 @@ func (s *Session) logf(format string, args ...any) {
 // deep branching reaches into the decision log (0 = unbounded); budget
 // bounds the number of exploration runs this invocation (minimization runs
 // are not counted — they are bounded separately per failure).
+//
+// With Workers > 1 the same frontier feeds a pool of workers (parallel.go):
+// the pop order — and therefore which prefix a given run id denotes — becomes
+// timing-dependent, but the search remains breadth-layered and every run is
+// individually deterministic.
 func (s *Session) ExploreDPOR(budget, maxDepth int) error {
+	s.mu.Lock()
 	if s.runs == 0 && len(s.frontier) == 0 {
 		s.frontier = append(s.frontier, nil) // the all-defaults baseline
 	}
-	for budget > 0 && len(s.frontier) > 0 {
-		prefix := s.frontier[0]
-		s.frontier = s.frontier[1:]
-		budget--
-		res := RunForced(s.P, prefix, s.Watchdog)
-		isNew := s.record("dpor", len(prefix), res)
-		if !isNew {
-			continue
-		}
-		if res.Outcome.Failure() {
-			if err := s.minimizeAndEmit(prefix, res); err != nil {
-				return err
-			}
-			continue // a failing path is a leaf; don't branch past a bug
-		}
-		limit := len(res.Choices)
-		if maxDepth > 0 && limit > maxDepth {
-			limit = maxDepth
-		}
-		for i := len(prefix); i < limit; i++ {
-			d := res.Choices[i]
-			for alt := 0; alt < d.N; alt++ {
-				if alt == d.Index {
-					continue
-				}
-				branch := make([]core.Choice, i+1)
-				copy(branch, res.Choices[:i])
-				branch[i] = core.Choice{Kind: d.Kind, N: d.N, Def: d.Def, Index: alt}
-				s.frontier = append(s.frontier, branch)
-			}
-		}
+	s.mu.Unlock()
+	if err := s.runDPORPool(budget, maxDepth); err != nil {
+		return err
 	}
 	return s.save()
 }
@@ -163,39 +313,66 @@ func (s *Session) ExploreDPOR(budget, maxDepth int) error {
 // each a fresh priority assignment with d change points, seeded from the
 // baseline schedule hash XOR the run index — "seeded from the schedule file",
 // so the walk is exactly reproducible and two walks over the same program
-// never resample the same schedules unless the seeds collide.
+// never resample the same schedules unless the seeds collide. Workers > 1
+// distributes the walk indices over the pool; the walks themselves are
+// independent, so only record order varies.
 func (s *Session) ExplorePCT(budget, d int, seed uint64) error {
 	base := RunForced(s.P, nil, s.Watchdog)
-	s.record("pct-base", 0, base)
+	s.mu.Lock()
+	id, _ := s.recordLocked("pct-base", 0, base)
+	s.mu.Unlock()
 	if base.Outcome.Failure() {
-		if err := s.minimizeAndEmit(nil, base); err != nil {
+		if err := s.minimizeAndEmit(nil, base, id); err != nil {
 			return err
 		}
 	}
 	if seed == 0 {
 		seed = base.Hash()
 	}
-	horizon := len(base.Choices)
-	for i := 0; i < budget; i++ {
-		ch := newPCTChooser(seed^uint64(i+1)*0x9e3779b97f4a7c15, d, horizon)
-		res := runOnce(s.P, nil, ch, s.Watchdog)
-		res.Choices = ch.Log()
-		isNew := s.record("pct", d, res)
-		if isNew && res.Outcome.Failure() {
-			// A PCT run is minimized from its own decision log: the log is a
-			// complete forced prefix reproducing the walk without the PRNG.
-			if err := s.minimizeAndEmit(res.Choices, res); err != nil {
-				return err
-			}
-		}
+	if err := s.runPCTPool(budget, d, seed, len(base.Choices)); err != nil {
+		return err
 	}
 	return s.save()
 }
 
-// record classifies one run against the seen set, appends it to runs.csv,
-// and reports whether its fingerprint was new.
-func (s *Session) record(strategy string, depth int, res Result) (isNew bool) {
-	id := s.runs
+// expandLocked branches one newly discovered run into its unexplored flips,
+// appending them to the frontier. It returns how many flips were kept and
+// how many the happens-before pruner dropped. Caller holds mu.
+func (s *Session) expandLocked(prefix []core.Choice, res *Result, maxDepth int) (kept, pruned int) {
+	limit := len(res.Choices)
+	if maxDepth > 0 && limit > maxDepth {
+		limit = maxDepth
+	}
+	var pruner *flipPruner
+	if s.HB {
+		pruner = newFlipPruner(res)
+	}
+	for i := len(prefix); i < limit; i++ {
+		d := res.Choices[i]
+		for alt := 0; alt < d.N; alt++ {
+			if alt == d.Index {
+				continue
+			}
+			if pruner != nil && d.Kind == core.ChooseTurn && pruner.redundant(i, alt) {
+				pruned++
+				continue
+			}
+			branch := make([]core.Choice, i+1)
+			copy(branch, res.Choices[:i])
+			branch[i] = core.Choice{Kind: d.Kind, N: d.N, Def: d.Def, Index: alt}
+			s.frontier = append(s.frontier, branch)
+			kept++
+		}
+	}
+	s.pruned += pruned
+	return kept, pruned
+}
+
+// recordLocked classifies one run against the seen set, buffers its runs.csv
+// line, and returns the run id and whether its fingerprint was new. Caller
+// holds mu; the write buffer is flushed every flushEvery runs.
+func (s *Session) recordLocked(strategy string, depth int, res Result) (id int, isNew bool) {
+	id = s.runs
 	s.runs++
 	if depth > s.maxDepth {
 		s.maxDepth = depth
@@ -203,11 +380,9 @@ func (s *Session) record(strategy string, depth int, res Result) (isNew bool) {
 	if res.Outcome.Failure() {
 		s.failures++
 	}
-	if res.Fingerprint != "" {
-		if _, ok := s.seen[res.Fingerprint]; !ok {
-			s.seen[res.Fingerprint] = id
-			isNew = true
-		}
+	if res.Fingerprint != "" && s.seen.insert(res.Fingerprint, id) {
+		isNew = true
+		s.seenDirty = true
 	}
 	s.logf("run %d [%s] depth=%d decisions=%d outcome=%s new=%v",
 		id, strategy, depth, len(res.Choices), res.Outcome, isNew)
@@ -215,12 +390,13 @@ func (s *Session) record(strategy string, depth int, res Result) (isNew bool) {
 		line := fmt.Sprintf("%d,%s,%d,%d,%s,%v,%s,%s\n",
 			id, strategy, depth, len(res.Choices), res.Outcome, isNew,
 			res.Fingerprint, csvEscape(res.Err))
-		s.appendFile(runsFile, runsHeader+"\n", line)
-		if isNew {
-			s.appendFile(seenFile, "", res.Fingerprint+"\n")
+		s.pend = append(s.pend, line...)
+		s.pendRuns++
+		if s.pendRuns >= flushEvery {
+			s.flushLocked()
 		}
 	}
-	return isNew
+	return id, isNew
 }
 
 // csvEscape flattens an error message onto one comma-free line.
@@ -231,105 +407,6 @@ func csvEscape(v string) string {
 		v = v[:200] + "..."
 	}
 	return v
-}
-
-// appendFile appends to a results file, writing the header first when the
-// file does not exist yet. Persistence failures are fatal to the session —
-// an exploration whose results silently vanish is worse than one that stops.
-func (s *Session) appendFile(name, header, line string) {
-	path := filepath.Join(s.Dir, name)
-	_, statErr := os.Stat(path)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		panic(fmt.Sprintf("explore: results file %s: %v", path, err))
-	}
-	defer f.Close()
-	if statErr != nil && header != "" {
-		if _, err := f.WriteString(header); err != nil {
-			panic(fmt.Sprintf("explore: results file %s: %v", path, err))
-		}
-	}
-	if _, err := f.WriteString(line); err != nil {
-		panic(fmt.Sprintf("explore: results file %s: %v", path, err))
-	}
-}
-
-// save persists the frontier (rewritten whole — it shrinks and grows).
-func (s *Session) save() error {
-	if s.Dir == "" {
-		return nil
-	}
-	var b strings.Builder
-	for _, prefix := range s.frontier {
-		b.WriteString(formatPrefix(prefix))
-		b.WriteByte('\n')
-	}
-	return os.WriteFile(filepath.Join(s.Dir, frontierFile), []byte(b.String()), 0o644)
-}
-
-// load resumes session state from the results directory.
-func (s *Session) load() error {
-	if data, err := os.ReadFile(filepath.Join(s.Dir, seenFile)); err == nil {
-		id := 0
-		for _, line := range strings.Split(string(data), "\n") {
-			if line = strings.TrimSpace(line); line != "" {
-				s.seen[line] = id // discovery order; exact run ids live in runs.csv
-				id++
-			}
-		}
-	}
-	if f, err := os.Open(filepath.Join(s.Dir, runsFile)); err == nil {
-		sc := bufio.NewScanner(f)
-		sc.Buffer(make([]byte, 1<<16), 1<<20)
-		for sc.Scan() {
-			line := strings.TrimSpace(sc.Text())
-			if line == "" || strings.HasPrefix(line, "run,") {
-				continue
-			}
-			s.runs++
-			if cells := strings.Split(line, ","); len(cells) >= 5 {
-				if d, err := strconv.Atoi(cells[2]); err == nil && d > s.maxDepth {
-					s.maxDepth = d
-				}
-				switch cells[4] {
-				case OutcomeAssertFail.String(), OutcomeDeadlock.String(), OutcomePanic.String():
-					s.failures++
-				}
-			}
-		}
-		f.Close()
-		if err := sc.Err(); err != nil {
-			return fmt.Errorf("explore: resuming %s: %w", runsFile, err)
-		}
-	}
-	if data, err := os.ReadFile(filepath.Join(s.Dir, frontierFile)); err == nil {
-		for i, line := range strings.Split(string(data), "\n") {
-			line = strings.TrimSpace(line)
-			if line == "" {
-				continue
-			}
-			prefix, err := parsePrefix(line)
-			if err != nil {
-				return fmt.Errorf("explore: resuming %s line %d: %w", frontierFile, i+1, err)
-			}
-			s.frontier = append(s.frontier, prefix)
-		}
-	}
-	repros, _ := filepath.Glob(filepath.Join(s.Dir, "repro-*.sched"))
-	sort.Strings(repros)
-	s.repros = repros
-	for _, path := range repros {
-		if _, choices, err := LoadRepro(path); err == nil {
-			// Outcome is encoded in the file name: repro-<outcome>-NNN.sched.
-			base := strings.TrimPrefix(filepath.Base(path), "repro-")
-			outcome := base
-			if i := strings.LastIndexByte(base, '-'); i >= 0 {
-				outcome = base[:i]
-			}
-			s.reproSigs[outcome+"|"+formatPrefix(choices)] = true
-		}
-	}
-	return nil
 }
 
 // formatPrefix renders a forced prefix as one frontier line: space-separated
@@ -367,30 +444,33 @@ func parsePrefix(line string) ([]core.Choice, error) {
 // the repro schedule file. Failures that minimize to an already-emitted
 // decision prefix are the SAME bug reached through a longer path; counting
 // them (s.failures) matters, re-emitting them would bury the distinct repros.
-func (s *Session) minimizeAndEmit(prefix []core.Choice, res Result) error {
+// id is the failing run's id (repro files are named after it). The
+// minimization probes run outside the session lock — they are pure re-runs —
+// so parallel workers keep exploring while a failure shrinks.
+func (s *Session) minimizeAndEmit(prefix []core.Choice, res Result, id int) error {
 	min, final, runs := Minimize(s.P, res, s.Watchdog)
 	s.logf("minimized %s: prefix %d -> %d decisions (%d verification runs)",
 		res.Outcome, len(prefix), len(min), runs)
 	sig := final.Outcome.String() + "|" + formatPrefix(final.Choices)
+	s.mu.Lock()
 	if s.reproSigs[sig] {
+		s.mu.Unlock()
 		s.logf("repro: duplicate of an emitted minimized prefix; skipped")
 		return nil
 	}
 	s.reproSigs[sig] = true
+	s.mu.Unlock()
 	if s.Dir == "" {
 		return nil
 	}
-	name := fmt.Sprintf("repro-%s-%03d.sched", final.Outcome, s.runs-1)
-	path := filepath.Join(s.Dir, name)
-	f, err := os.Create(path)
+	name := fmt.Sprintf("repro-%s-%03d.sched", final.Outcome, id)
+	path, err := s.writeRepro(name, final)
 	if err != nil {
-		return fmt.Errorf("explore: repro file: %w", err)
+		return err
 	}
-	defer f.Close()
-	if err := trace.SaveExplored(f, final.Trace, final.Choices); err != nil {
-		return fmt.Errorf("explore: repro file: %w", err)
-	}
+	s.mu.Lock()
 	s.repros = append(s.repros, path)
+	s.mu.Unlock()
 	s.logf("repro: %s (%d events, %d decisions)", path, len(final.Trace), len(final.Choices))
 	return nil
 }
