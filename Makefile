@@ -4,7 +4,7 @@ GO ?= go
 # Performance changes should also refresh the committed baseline with
 # `make bench-json` and include the BENCH_sched.json diff in the review.
 .PHONY: check
-check: build vet race shuffle cpu-matrix soak-smoke explore-smoke
+check: build vet race shuffle cpu-matrix soak-smoke explore-smoke controlplane-smoke
 
 # Scheduler tests at -cpu 1 and 4: the turn lease, the spin-then-park grant
 # path, and OS-thread pinning behave differently with and without real
@@ -72,6 +72,23 @@ explore-smoke:
 		-schedule "$$(ls .explore_smoke/repro-*.sched | head -1)"
 	@rm -rf .explore_smoke
 
+# The control-plane pipeline end to end (EXPERIMENTS.md E22): the detcluster
+# example records a live cluster, replays it, and injects faults
+# deterministically; then qiexplore MUST find the seeded missing-recheck race
+# within the smoke budget, the minimized repro MUST reproduce it 20/20, and
+# the SAME schedule replayed against the fixed program MUST run clean
+# (-expect ok) — the fix proven on the exact interleaving that failed.
+.PHONY: controlplane-smoke
+controlplane-smoke:
+	@rm -rf .controlplane_smoke
+	$(GO) run ./examples/detcluster -smoke
+	$(GO) run ./cmd/qiexplore -program controlplane-race -dir .controlplane_smoke -budget 400 -workers 4 -require-bug
+	$(GO) run ./cmd/qireplay -program controlplane-race -runs 20 \
+		-schedule "$$(ls .controlplane_smoke/repro-*.sched | head -1)"
+	$(GO) run ./cmd/qireplay -program controlplane-fixed -runs 20 -expect ok \
+		-schedule "$$(ls .controlplane_smoke/repro-*.sched | head -1)"
+	@rm -rf .controlplane_smoke
+
 # The parallel engine under the race detector: worker-count invariance, the
 # HB pruner and the flock/atomic-rename persistence paths all run at
 # workers=4 inside these tests.
@@ -90,7 +107,7 @@ bench:
 # does not steal CPU from the benchmarks.
 .PHONY: bench-json
 bench-json:
-	$(GO) test -run '^$$' -bench 'BenchmarkMechanism|BenchmarkPolicyDispatch|BenchmarkBroadcastStorm|BenchmarkTimedWaitChurn|BenchmarkTurnHandoff|BenchmarkDomains|BenchmarkIngress|BenchmarkLogReplay|BenchmarkExplore' \
+	$(GO) test -run '^$$' -bench 'BenchmarkMechanism|BenchmarkPolicyDispatch|BenchmarkBroadcastStorm|BenchmarkTimedWaitChurn|BenchmarkTurnHandoff|BenchmarkDomains|BenchmarkIngress|BenchmarkControlPlane|BenchmarkLogReplay|BenchmarkExplore' \
 		-benchmem -benchtime 300ms -count 3 . > .bench_sched.out
 	$(GO) run ./cmd/qibenchjson < .bench_sched.out > BENCH_sched.json
 	@rm -f .bench_sched.out

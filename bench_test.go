@@ -29,6 +29,9 @@
 //   - BenchmarkIngress            — the ingress-driven server (E17): live
 //     free-running sources admitted through a deterministic gateway, across
 //     admission batch sizes; wall time per full execution.
+//   - BenchmarkControlPlane       — the control-plane workload (E22): a
+//     recorded log reconciled by the controller pool across the
+//     entities × controllers grid; wall time per full execution.
 //
 // Run with: go test -bench=. -benchmem
 package qithread_test
@@ -45,6 +48,7 @@ import (
 	"qithread/internal/programs"
 	"qithread/internal/trace"
 	"qithread/internal/workload"
+	"qithread/internal/workload/controlplane"
 )
 
 // benchParams keeps bench iterations fast; shapes are scale-invariant.
@@ -378,6 +382,37 @@ func BenchmarkIngress(b *testing.B) {
 			}
 			b.ReportMetric(float64(makespan), "vunits")
 		})
+	}
+}
+
+// BenchmarkControlPlane measures the control-plane workload (`qibench
+// -experiment controlplane`): an entity store of state machines reconciled by
+// a controller pool across two shard domains, driven by a recorded ingress
+// log. Each iteration is one complete execution — gateway replay, work-queue
+// scheduling, striped-lock reconciles, resync sweeps — so wall time is the
+// end-to-end cost of converging the store at the given (entities,
+// controllers) point; vunits is the virtual makespan.
+func BenchmarkControlPlane(b *testing.B) {
+	for _, n := range []int{8, 64} {
+		log := controlplane.DemoLog(n, controlplane.Transitions)
+		for _, c := range []int{1, 4} {
+			b.Run(fmt.Sprintf("cluster/entities=%d/controllers=%d", n, c), func(b *testing.B) {
+				app := controlplane.App(controlplane.Config{
+					Entities: n, Controllers: c, Shards: 2,
+					ValidateWork: 32, EventWork: 8, MaxBatch: 8,
+					Log: log,
+				})
+				mode := harness.QiThread()
+				var makespan int64
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					rt := qithread.New(mode.Cfg)
+					app(rt)
+					makespan = rt.VirtualMakespan()
+				}
+				b.ReportMetric(float64(makespan), "vunits")
+			})
+		}
 	}
 }
 

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"qithread/internal/harness"
+)
+
+// runControlplane is experiment E22: the production-shape control-plane
+// workload (internal/workload/controlplane) swept across entity-store sizes,
+// controller-pool widths and scheduler-domain shard counts, with the gateway
+// and scheduler observability snapshots reported per cell. Every cell
+// reconciles the same recorded log, so the counter columns are deterministic;
+// wall time is the only host-dependent column. A replay gate re-runs the
+// scenario input and fails the experiment on any fingerprint divergence.
+func runControlplane(r *harness.Runner, out string) {
+	entities := []int{8, 32, 128}
+	controllers := []int{1, 2, 4}
+	shards := []int{0, 2}
+	fmt.Printf("=== E22 control plane: entities %v x controllers %v x shards %v ===\n",
+		entities, controllers, shards)
+	points := harness.ControlPlaneSweep(harness.QiThread().Cfg, entities, controllers, shards)
+	fmt.Printf("%-9s %-11s %-7s %11s %9s %9s %9s %8s %9s %12s\n",
+		"entities", "controllers", "shards", "transitions", "conflicts", "requeues", "installed", "shed", "max_wait", "wall")
+	for _, pt := range points {
+		fmt.Printf("%-9d %-11d %-7d %11d %9d %9d %9d %8d %9d %12v\n",
+			pt.Entities, pt.Controllers, pt.Shards, pt.Transitions, pt.Conflicts,
+			pt.Requeues, pt.Installed, pt.Shed, pt.MaxWait, pt.Wall)
+		if pt.Anomalies != 0 {
+			fmt.Fprintf(os.Stderr, "qibench: control-plane cell %d/%d/%d corrupted %d entities\n",
+				pt.Entities, pt.Controllers, pt.Shards, pt.Anomalies)
+			os.Exit(1)
+		}
+		if pt.Installed != pt.Entities {
+			fmt.Fprintf(os.Stderr, "qibench: control-plane cell %d/%d/%d installed %d of %d entities\n",
+				pt.Entities, pt.Controllers, pt.Shards, pt.Installed, pt.Entities)
+			os.Exit(1)
+		}
+	}
+	fmt.Print("replay gate: ")
+	if err := harness.ControlPlaneReplayCheck(harness.QiThread().Cfg, 5); err != nil {
+		fmt.Println("FAILED:", err)
+		os.Exit(1)
+	}
+	fmt.Println("5 scenario replays identical")
+
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "qibench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		harness.WriteControlPlaneCSV(f, points)
+	}
+}

@@ -46,7 +46,7 @@ import (
 
 func main() {
 	var (
-		experiment = flag.String("experiment", "fig8", "fig8 | policies | scalability | stability | x264 | counters | domains | ingress | soak | all")
+		experiment = flag.String("experiment", "fig8", "fig8 | policies | scalability | stability | x264 | counters | domains | ingress | controlplane | soak | all")
 		suite      = flag.String("suite", "", "restrict to one suite (splash2x npb parsec phoenix realworld imagemagick stl)")
 		program    = flag.String("program", "", "restrict to one program (Figure 8 label)")
 		scale      = flag.Float64("scale", 0.25, "workload scale factor (1.0 = paper-sized)")
@@ -140,6 +140,8 @@ func main() {
 		runDomains(r, *out)
 	case "ingress":
 		runIngress(r, *out)
+	case "controlplane":
+		runControlplane(r, *out)
 	case "soak":
 		runSoak(*soakEvents)
 	case "all":
@@ -158,6 +160,8 @@ func main() {
 		runDomains(r, "")
 		fmt.Println()
 		runIngress(r, "")
+		fmt.Println()
+		runControlplane(r, "")
 	default:
 		fmt.Fprintf(os.Stderr, "qibench: unknown experiment %q\n", *experiment)
 		os.Exit(1)

@@ -11,14 +11,17 @@
 //
 //	qireplay -record run.qlog [-binary] [-checkpoint-every 64] [-jitter 500us] [-events 256] [-queue 64]
 //	qireplay -replay run.qlog [-runs 20] [-from-checkpoint run.qlog.ckpt00064]
-//	qireplay -schedule repro.sched -program buggy [-runs 20]
+//	qireplay -schedule repro.sched -program buggy [-runs 20] [-expect failure|ok]
 //
 // -schedule replays an explored repro schedule (a v3 file emitted by
 // qiexplore) against its registered program: the schedule's events drive turn
 // order while its decision log drives the wake and admission choices replay
 // cannot express. Every run must reproduce the same outcome, fingerprint and
 // schedule hash; the command exits nonzero if the failure does not reproduce
-// or any run diverges.
+// or any run diverges. -expect ok inverts the outcome requirement — the
+// fix-proof mode: replay a failing schedule against the FIXED program
+// (e.g. controlplane-fixed after exploring controlplane-race) and require
+// the same interleaving to run clean.
 //
 // -binary records the ingress log in the compact binary format (replay
 // auto-detects either format). -checkpoint-every K snapshots the execution at
@@ -64,11 +67,12 @@ func main() {
 		fromCk  = flag.String("from-checkpoint", "", "resume each replay from this checkpoint file (with -replay)")
 		sched   = flag.String("schedule", "", "replay an explored repro schedule (with -program)")
 		program = flag.String("program", "", "registered explore program the schedule belongs to (with -schedule)")
+		expect  = flag.String("expect", "failure", "outcome class replay 0 must produce in -schedule mode: failure | ok")
 	)
 	flag.Parse()
 
 	if *sched != "" {
-		replaySchedule(*sched, *program, *runs, *verbose)
+		replaySchedule(*sched, *program, *runs, *expect, *verbose)
 		return
 	}
 	if (*record == "") == (*replay == "") {
@@ -199,10 +203,17 @@ func main() {
 
 // replaySchedule re-executes an explored repro schedule -runs times and
 // verifies every run reproduces the recorded schedule (hash-identical trace)
-// with one agreed outcome and fingerprint.
-func replaySchedule(path, program string, runs int, verbose bool) {
+// with one agreed outcome and fingerprint. expect selects the outcome class
+// replay 0 must land in: "failure" (the default — the repro must reproduce
+// its bug) or "ok" — the fix-proof mode, replaying a failing schedule
+// against the FIXED program to show the same interleaving now runs clean.
+func replaySchedule(path, program string, runs int, expect string, verbose bool) {
 	if program == "" {
 		fmt.Fprintf(os.Stderr, "qireplay: -schedule requires -program (known: %s)\n", strings.Join(explore.Names(), ", "))
+		os.Exit(2)
+	}
+	if expect != "failure" && expect != "ok" {
+		fmt.Fprintf(os.Stderr, "qireplay: -expect must be failure or ok, got %q\n", expect)
 		os.Exit(2)
 	}
 	p := explore.Lookup(program)
@@ -229,8 +240,12 @@ func replaySchedule(path, program string, runs int, verbose bool) {
 		}
 		if i == 0 {
 			ref = res
-			if !res.Outcome.Failure() {
+			switch {
+			case expect == "failure" && !res.Outcome.Failure():
 				fmt.Fprintf(os.Stderr, "qireplay: replay 0 outcome %s; the repro does not reproduce a failure\n", res.Outcome)
+				fail = true
+			case expect == "ok" && res.Outcome != explore.OutcomeOK:
+				fmt.Fprintf(os.Stderr, "qireplay: replay 0 outcome %s (%q); the schedule still fails against this program\n", res.Outcome, res.Err)
 				fail = true
 			}
 		} else if res.Outcome != ref.Outcome || res.Fingerprint != ref.Fingerprint {

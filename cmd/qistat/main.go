@@ -83,6 +83,10 @@ func main() {
 		summarizeIngress(rows)
 		return
 	}
+	if len(header) >= 14 && header[0] == "entities" && header[1] == "controllers" {
+		summarizeControlPlane(rows)
+		return
+	}
 	col := func(name string) int {
 		for i, h := range header {
 			if h == name {
@@ -209,6 +213,66 @@ func summarizeIngress(rows [][]string) {
 	}
 	if bestBatch > 0 {
 		fmt.Printf("\nbest admission throughput: batch %d at %.0f admitted events/s\n", bestBatch, bestRate)
+	}
+}
+
+// summarizeControlPlane reports a controlplane.csv (entities,controllers,
+// shards,transitions,conflicts,requeues,installed,anomalies,admitted,shed,
+// max_queue,turns,max_waiting,wall_ms): per-cell reconcile throughput with
+// the wait-list depth from the scheduler snapshots, flagging any cell that
+// corrupted an entity or failed to converge, and the best wall time per
+// store size.
+func summarizeControlPlane(rows [][]string) {
+	parseI := func(s string) int64 {
+		v, _ := strconv.ParseInt(s, 10, 64)
+		return v
+	}
+	parseF := func(s string) float64 {
+		v, _ := strconv.ParseFloat(s, 64)
+		return v
+	}
+	fmt.Printf("%-9s %-11s %-7s %11s %9s %9s %9s %9s %10s\n",
+		"entities", "controllers", "shards", "transitions", "conflicts", "requeues", "max_wait", "wall_ms", "trans/ms")
+	type best struct {
+		wall float64
+		row  []string
+	}
+	bests := map[int64]best{}
+	bad := 0
+	for _, row := range rows[1:] {
+		if len(row) < 14 {
+			continue
+		}
+		entities := parseI(row[0])
+		transitions := parseI(row[3])
+		wall := parseF(row[13])
+		rate := 0.0
+		if wall > 0 {
+			rate = float64(transitions) / wall
+		}
+		fmt.Printf("%-9d %-11d %-7d %11d %9d %9d %9d %9.3f %10.0f\n",
+			entities, parseI(row[1]), parseI(row[2]), transitions, parseI(row[4]),
+			parseI(row[5]), parseI(row[12]), wall, rate)
+		if parseI(row[7]) != 0 || parseI(row[6]) != entities {
+			bad++
+		}
+		if b, ok := bests[entities]; !ok || wall < b.wall {
+			bests[entities] = best{wall, row}
+		}
+	}
+	if bad > 0 {
+		fmt.Printf("\nWARNING: %d cell(s) corrupted an entity or failed to install every entity\n", bad)
+	}
+	fmt.Println()
+	for _, row := range rows[1:] {
+		if len(row) < 14 {
+			continue
+		}
+		entities := parseI(row[0])
+		if b, ok := bests[entities]; ok && &b.row[0] == &row[0] {
+			fmt.Printf("best for %d entities: %s controllers x %s shards at %s ms\n",
+				entities, row[1], row[2], row[13])
+		}
 	}
 }
 

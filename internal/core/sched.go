@@ -409,6 +409,9 @@ func (s *Scheduler) Wait(t *Thread, obj uint64, timeout int64) WaitStatus {
 	w.seq = s.waitSeq
 	s.waitListFor(obj).pushBack(w)
 	s.nWaiting++
+	if s.nWaiting > s.stats.MaxWaiting {
+		s.stats.MaxWaiting = s.nWaiting
+	}
 	if w.deadline > 0 {
 		s.timers.push(w)
 		if s.timers.len() > s.stats.MaxTimedWaiters {

@@ -45,6 +45,12 @@ type Stats struct {
 	LeaseHash uint64
 	// MaxLiveThreads is the high-water mark of registered live threads.
 	MaxLiveThreads int
+	// MaxWaiting is the high-water mark of blocked threads across all wait
+	// lists: the deepest the scheduler's wait-list population ever got. A
+	// long-running server whose MaxWaiting approaches its thread count spent
+	// time with nearly everyone parked — the contention shape the
+	// observability snapshot (qithread.SchedulerStats) surfaces.
+	MaxWaiting int
 	// MaxTimedWaiters is the high-water mark of the deadline heap: the most
 	// threads simultaneously blocked with a logical timeout.
 	MaxTimedWaiters int

@@ -1,0 +1,106 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"qithread"
+	"qithread/internal/workload/controlplane"
+)
+
+// ControlPlanePoint is one cell of the control-plane sweep: a fixed recorded
+// log reconciled by a (entities × controllers × shards) configuration, with
+// the observability snapshots (gateway admission counters, scheduler
+// wait-list depths) folded in alongside the workload counters.
+type ControlPlanePoint struct {
+	Entities    int
+	Controllers int
+	Shards      int
+
+	Transitions uint64
+	Conflicts   uint64
+	Requeues    uint64
+	Installed   int
+	Anomalies   uint64
+
+	Admitted int64 // gateway snapshot: events admitted
+	Shed     int64 // gateway snapshot: events shed
+	MaxQueue int   // gateway snapshot: admission queue high-water
+	Turns    int64 // scheduler snapshots: total turns across domains
+	MaxWait  int   // scheduler snapshots: deepest wait list seen
+
+	Wall time.Duration
+}
+
+// ControlPlaneSweep reconciles a recorded log across the configuration grid.
+// The makespans are wall-clock but the counters and snapshots are
+// deterministic: every cell replays the same per-entity event sequence.
+func ControlPlaneSweep(cfg qithread.Config, entities, controllers, shards []int) []ControlPlanePoint {
+	var points []ControlPlanePoint
+	for _, n := range entities {
+		log := controlplane.DemoLog(n, controlplane.Transitions)
+		for _, c := range controllers {
+			for _, s := range shards {
+				wcfg := controlplane.Config{
+					Entities: n, Controllers: c, Shards: s,
+					ValidateWork: 32, EventWork: 8, MaxBatch: 8,
+					Log: log,
+				}
+				start := time.Now()
+				r := controlplane.Run(wcfg, cfg)
+				pt := ControlPlanePoint{
+					Entities: n, Controllers: c, Shards: s,
+					Transitions: r.Transitions, Conflicts: r.Conflicts,
+					Installed: r.Installed, Anomalies: r.Anomalies,
+					Wall: time.Since(start),
+				}
+				for _, e := range r.Entities {
+					pt.Requeues += e.Requeues
+				}
+				for _, gw := range r.Gateways {
+					pt.Admitted += gw.Admitted
+					pt.Shed += gw.Shed
+					if gw.MaxQueue > pt.MaxQueue {
+						pt.MaxQueue = gw.MaxQueue
+					}
+				}
+				for _, sc := range r.Schedulers {
+					pt.Turns += sc.Turns
+					if sc.MaxWaiting > pt.MaxWait {
+						pt.MaxWait = sc.MaxWaiting
+					}
+				}
+				points = append(points, pt)
+			}
+		}
+	}
+	return points
+}
+
+// ControlPlaneReplayCheck replays the seeded-race scenario's fixed input N
+// times and returns an error on any fingerprint divergence — the experiment's
+// determinism gate, mirroring IngressReplayCheck.
+func ControlPlaneReplayCheck(cfg qithread.Config, replays int) error {
+	shape := func(r controlplane.Result) string {
+		return fmt.Sprintf("%v/%x/%x/%x", r.Fingerprint, r.Output, r.AdmitHash, r.ShedHash)
+	}
+	ref := shape(controlplane.Run(controlplane.ScenarioConfig(true, false), cfg))
+	for i := 0; i < replays; i++ {
+		if got := shape(controlplane.Run(controlplane.ScenarioConfig(true, false), cfg)); got != ref {
+			return fmt.Errorf("controlplane replay %d diverged:\n  ref %s\n  got %s", i, ref, got)
+		}
+	}
+	return nil
+}
+
+// WriteControlPlaneCSV writes the sweep as CSV for qistat.
+func WriteControlPlaneCSV(w io.Writer, points []ControlPlanePoint) {
+	fmt.Fprintln(w, "entities,controllers,shards,transitions,conflicts,requeues,installed,anomalies,admitted,shed,max_queue,turns,max_waiting,wall_ms")
+	for _, pt := range points {
+		fmt.Fprintf(w, "%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.3f\n",
+			pt.Entities, pt.Controllers, pt.Shards, pt.Transitions, pt.Conflicts,
+			pt.Requeues, pt.Installed, pt.Anomalies, pt.Admitted, pt.Shed,
+			pt.MaxQueue, pt.Turns, pt.MaxWait, ms(pt.Wall))
+	}
+}

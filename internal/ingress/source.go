@@ -15,6 +15,7 @@ type Port struct {
 	c      *collector
 	id     int
 	closed sync.Once
+	xform  func(data []byte) [][]byte // TransformPort's payload hook
 }
 
 // ID returns the source id events pushed through this port carry.
@@ -25,7 +26,22 @@ func (p *Port) ID() int { return p.id }
 // from outrunning admission. The payload is NOT copied; callers must not
 // reuse the slice.
 func (p *Port) Push(data []byte) {
+	if p.xform != nil {
+		for _, d := range p.xform(data) {
+			p.c.push(p.id, d)
+		}
+		return
+	}
 	p.c.push(p.id, data)
+}
+
+// TransformPort returns a view of p that passes every pushed payload through
+// fn first and stages whatever fn returns — none (drop), one, or several
+// (duplication). The view shares p's collector slot and source id; closing
+// either closes the source. Fault-injection adapters are the intended caller
+// (workload/controlplane.FaultSpec.Wrap).
+func TransformPort(p *Port, fn func(data []byte) [][]byte) *Port {
+	return &Port{c: p.c, id: p.id, xform: fn}
 }
 
 // Close marks the source exhausted. Idempotent; the gateway also closes the

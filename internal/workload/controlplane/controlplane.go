@@ -1,0 +1,538 @@
+package controlplane
+
+import (
+	"strconv"
+	"strings"
+
+	"qithread"
+	"qithread/internal/ingress"
+)
+
+// Config sizes one control-plane run.
+type Config struct {
+	// Entities is the number of entity state machines in the store. Zero
+	// means 4.
+	Entities int
+	// Controllers is the reconciler pool size per shard. Zero means 2.
+	Controllers int
+	// Shards partitions the entity store across that many controller domains
+	// (entity id modulo Shards), with reconcile tasks crossing from the
+	// gateway domain over sequenced XPipes. Zero runs the controllers in the
+	// gateway domain itself — the single-domain shape the explore scenarios
+	// use to keep their schedule spaces small.
+	Shards int
+	// Stripes is the number of lock stripes guarding each shard's slice of
+	// the store. Zero means 4; the explore scenarios use one stripe per
+	// entity so only same-entity reconciles contend.
+	Stripes int
+	// ValidateWork is the compute a controller spends validating a
+	// transition between snapshotting an entity and applying the result —
+	// the window the seeded race needs. Zero means 24.
+	ValidateWork int64
+	// EventWork is the parse compute per admitted event. Zero means 8.
+	EventWork int64
+	// MaxBatch and QueueCap configure the ingress gateway (see
+	// qithread.GatewayConfig). Zero means 8 and the gateway default.
+	MaxBatch int
+	QueueCap int
+	// SeededRace plants the production-shape missing-recheck bug: the
+	// controller applies the transition it computed from its snapshot
+	// WITHOUT re-checking the entity's generation under the lock. Two
+	// controllers reconciling the same entity concurrently then double-apply
+	// one transition, breaking the Steps == State invariant. The fix (the
+	// default path) re-checks the generation and drops the stale apply as a
+	// conflict — a data-only difference, so a racy repro schedule replays
+	// structurally unchanged against the fixed program.
+	SeededRace bool
+	// Log replays a recorded ingress log instead of running live sources.
+	Log *ingress.Log
+	// Faults, when non-nil, transforms Log before replay (drop / delay /
+	// duplicate events); see FaultSpec. Requires Log.
+	Faults *FaultSpec
+	// Sources feed the gateway in live mode (ignored when Log is set).
+	Sources []ingress.Source
+}
+
+func (cfg Config) withDefaults() Config {
+	if cfg.Entities <= 0 {
+		cfg.Entities = 4
+	}
+	if cfg.Controllers <= 0 {
+		cfg.Controllers = 2
+	}
+	if cfg.Stripes <= 0 {
+		cfg.Stripes = 4
+	}
+	if cfg.ValidateWork <= 0 {
+		cfg.ValidateWork = 24
+	}
+	if cfg.EventWork <= 0 {
+		cfg.EventWork = 8
+	}
+	if cfg.MaxBatch <= 0 {
+		cfg.MaxBatch = 8
+	}
+	return cfg
+}
+
+// task is one queued reconcile: revisit entity ID. Resync marks timer-driven
+// sweep revisits (counted as Requeues on the entity).
+type task struct {
+	id     int
+	resync bool
+}
+
+// summary aggregates one shard's outcome after its controllers quiesce.
+type summary struct {
+	transitions uint64
+	conflicts   uint64
+	skips       uint64
+	anomalies   uint64
+	installed   uint64
+	stateHash   uint64
+	entities    []Entity
+}
+
+// Result is one control-plane run's full outcome: the packed checksum, the
+// per-counter breakdown, the final entity table, and the determinism
+// observables (fingerprint, ingress log, admission hashes, stats snapshots).
+type Result struct {
+	// Output is the packed checksum; see Checksum.
+	Output uint64
+	// Transitions counts applied state transitions across all controllers.
+	Transitions uint64
+	// Conflicts counts stale applies dropped by the generation re-check
+	// (always zero with SeededRace, which skips the check).
+	Conflicts uint64
+	// Skips counts reconciles of already-final entities.
+	Skips uint64
+	// Anomalies counts entities whose Steps/State invariant broke — the
+	// seeded race's observable. Zero in every correct execution.
+	Anomalies uint64
+	// Installed counts entities that reached the final state.
+	Installed int
+	// Entities is the final entity table in id order.
+	Entities []Entity
+	// Fingerprint, Log, AdmitHash and ShedHash are the determinism
+	// observables of the run.
+	Fingerprint qithread.Fingerprint
+	Log         *qithread.IngressLog
+	AdmitHash   uint64
+	ShedHash    uint64
+	// Gateways and Schedulers are the observability snapshots.
+	Gateways   []qithread.GatewayStat
+	Schedulers []qithread.SchedulerStat
+}
+
+// Checksum packs a run's outcome into the single uint64 the explore registry
+// checks: anomalies in the high bits (so any nonzero anomaly count survives
+// packing), then conflicts, transitions, and a 24-bit hash of the final
+// entity table.
+func Checksum(anomalies, conflicts, transitions, stateHash uint64) uint64 {
+	return (anomalies&0xffff)<<48 | (conflicts&0xff)<<40 | (transitions&0xffff)<<24 | stateHash&0xffffff
+}
+
+// Anomalies unpacks the anomaly count from a packed checksum.
+func Anomalies(out uint64) uint64 { return out >> 48 }
+
+// group is one shard's slice of the entity store plus its reconcile queue:
+// entities, stripe mutexes, the work queue its controllers drain, and the
+// per-run counters.
+type group struct {
+	cfg      Config
+	entities []*Entity        // owned entities, local index order
+	stripes  []*qithread.Mutex // stripe k guards entities with local index % len(stripes) == k
+	qm       *qithread.Mutex
+	qcv      *qithread.Cond
+	queue    []task
+	done     bool
+}
+
+// newGroup builds a shard's store slice: the entities whose id % mod == k
+// (mod 1, k 0 selects everything), with Stripes lock stripes.
+func newGroup(rt *qithread.Runtime, t *qithread.Thread, cfg Config, k, mod int, label string) *group {
+	g := &group{cfg: cfg}
+	for id := 0; id < cfg.Entities; id++ {
+		if id%mod == k {
+			g.entities = append(g.entities, &Entity{ID: id})
+		}
+	}
+	ns := cfg.Stripes
+	if ns > len(g.entities) {
+		ns = len(g.entities)
+	}
+	if ns < 1 {
+		ns = 1
+	}
+	for s := 0; s < ns; s++ {
+		g.stripes = append(g.stripes, rt.NewMutex(t, label+"stripe"+strconv.Itoa(s)))
+	}
+	g.qm = rt.NewMutex(t, label+"queue")
+	g.qcv = rt.NewCond(t, label+"work")
+	return g
+}
+
+// stripe returns the mutex guarding the entity at local index i.
+func (g *group) stripe(i int) *qithread.Mutex {
+	return g.stripes[i%len(g.stripes)]
+}
+
+// localIndex maps an entity id to its index in the shard's slice.
+func (g *group) localIndex(id int) int {
+	for i, e := range g.entities {
+		if e.ID == id {
+			return i
+		}
+	}
+	panic("controlplane: entity " + strconv.Itoa(id) + " not owned by this shard")
+}
+
+// enqueue appends a task and signals one waiting controller.
+func (g *group) enqueue(t *qithread.Thread, tk task) {
+	g.qm.Lock(t)
+	g.queue = append(g.queue, tk)
+	g.qm.Unlock(t)
+	g.qcv.Signal(t)
+}
+
+// expand turns one admitted event into reconcile tasks for this shard: an
+// advance targets one entity, a tick sweeps every non-final owned entity (the
+// deterministic resync timer's requeue path).
+func (g *group) expand(t *qithread.Thread, tk task) {
+	if tk.id >= 0 {
+		g.enqueue(t, tk)
+		return
+	}
+	for i, e := range g.entities {
+		m := g.stripe(i)
+		m.Lock(t)
+		final := e.State == Installed
+		m.Unlock(t)
+		if !final {
+			g.enqueue(t, task{id: e.ID, resync: true})
+		}
+	}
+}
+
+// close marks the queue complete and wakes every controller.
+func (g *group) close(t *qithread.Thread) {
+	g.qm.Lock(t)
+	g.done = true
+	g.qm.Unlock(t)
+	g.qcv.Broadcast(t)
+}
+
+// reconcile is one controller pass over one entity: snapshot under the stripe
+// lock, validate outside it, re-take the lock and apply. The seeded race is
+// the apply path that trusts the snapshot; the fix re-checks the generation.
+func (g *group) reconcile(w *qithread.Thread, tk task, c *counters) {
+	i := g.localIndex(tk.id)
+	e := g.entities[i]
+	m := g.stripe(i)
+
+	m.Lock(w)
+	if tk.resync {
+		e.Requeues++
+	}
+	snapState, snapGen := e.State, e.Generation
+	m.Unlock(w)
+
+	if snapState == Installed {
+		c.skips++
+		return
+	}
+	// Validation: the guard computation a real controller performs against
+	// the snapshot (preflight checks, quota, image availability) before
+	// committing the transition.
+	w.WorkSeeded(uint64(tk.id)*0x9e3779b97f4a7c15+snapGen, g.cfg.ValidateWork)
+
+	m.Lock(w)
+	if g.cfg.SeededRace {
+		// BUG (missing re-check): applies the transition computed from the
+		// snapshot without verifying the entity is still at snapGen. A
+		// concurrent reconcile that applied first makes this a stale
+		// double-apply: Steps advances, State does not.
+		e.State = snapState.next()
+		e.Steps++
+		e.Generation++
+		c.transitions++
+	} else if e.Generation != snapGen {
+		// The fix: the snapshot went stale while validating — drop the
+		// apply as a conflict; a resync sweep revisits the entity.
+		c.conflicts++
+	} else {
+		e.State = e.State.next()
+		e.Steps++
+		e.Generation++
+		c.transitions++
+	}
+	m.Unlock(w)
+}
+
+// counters is one controller's private accumulator (no extra sync ops on the
+// reconcile path).
+type counters struct {
+	transitions uint64
+	conflicts   uint64
+	skips       uint64
+}
+
+// runControllers starts the shard's controller pool; each controller drains
+// the queue until close. The returned join function joins the pool and folds
+// the counters.
+func (g *group) runControllers(t *qithread.Thread, name string) func() (transitions, conflicts, skips uint64) {
+	n := g.cfg.Controllers
+	parts := make([]counters, n)
+	kids := make([]*qithread.Thread, n)
+	for i := 0; i < n; i++ {
+		if i+1 < n {
+			t.KeepTurn()
+		}
+		i := i
+		kids[i] = t.Create(name+strconv.Itoa(i), func(w *qithread.Thread) {
+			c := &parts[i]
+			for {
+				g.qm.Lock(w)
+				for len(g.queue) == 0 && !g.done {
+					g.qcv.Wait(w, g.qm)
+				}
+				if len(g.queue) == 0 && g.done {
+					g.qm.Unlock(w)
+					return
+				}
+				tk := g.queue[0]
+				g.queue = g.queue[1:]
+				g.qm.Unlock(w)
+				g.reconcile(w, tk, c)
+			}
+		})
+	}
+	return func() (transitions, conflicts, skips uint64) {
+		for _, k := range kids {
+			t.Join(k)
+		}
+		for i := range parts {
+			transitions += parts[i].transitions
+			conflicts += parts[i].conflicts
+			skips += parts[i].skips
+		}
+		return
+	}
+}
+
+// summarize folds the quiesced shard into its summary: counter totals, the
+// invariant check per entity, and the FNV hash of the final entity table.
+func (g *group) summarize(transitions, conflicts, skips uint64) summary {
+	s := summary{transitions: transitions, conflicts: conflicts, skips: skips}
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	fold := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	for _, e := range g.entities {
+		if e.invariantError() != nil {
+			s.anomalies++
+		}
+		if e.State == Installed {
+			s.installed++
+		}
+		fold(uint64(e.ID))
+		fold(uint64(e.State))
+		fold(e.Steps)
+		fold(e.Generation)
+		fold(e.Requeues)
+		s.entities = append(s.entities, *e)
+	}
+	s.stateHash = h
+	return s
+}
+
+// parseEvent decodes an admitted payload into a task: "advance <id>" targets
+// one entity, "tick <n>" is a resync sweep (id -1). Unknown payloads are
+// dropped (id -2) — a fault spec may deliver garbage; a control plane logs
+// and ignores it.
+func parseEvent(data []byte, entities int) task {
+	f := strings.Fields(string(data))
+	if len(f) == 2 && f[0] == "advance" {
+		if id, err := strconv.Atoi(f[1]); err == nil && id >= 0 && id < entities {
+			return task{id: id}
+		}
+	}
+	if len(f) == 2 && f[0] == "tick" {
+		return task{id: -1}
+	}
+	return task{id: -2}
+}
+
+// App builds the control-plane workload as a runnable app (the workload.App
+// contract): run it on a runtime, get the packed checksum. Use Run for the
+// full Result.
+func App(cfg Config) func(rt *qithread.Runtime) uint64 {
+	return func(rt *qithread.Runtime) uint64 {
+		return run(rt, cfg, nil)
+	}
+}
+
+// Run executes one control-plane run on a fresh runtime built from rtcfg and
+// returns the full Result, including the recorded ingress log (live mode) and
+// the observability snapshots.
+func Run(cfg Config, rtcfg qithread.Config) Result {
+	var res Result
+	rt := qithread.New(rtcfg)
+	res.Output = run(rt, cfg, &res)
+	res.Fingerprint = rt.Fingerprint()
+	res.Gateways = rt.GatewayStats()
+	res.Schedulers = rt.SchedulerStats()
+	return res
+}
+
+// run executes the workload on the given runtime. With capture non-nil it
+// also fills the Result's counters, entity table and ingress observables.
+func run(rt *qithread.Runtime, cfg Config, capture *Result) uint64 {
+	cfg = cfg.withDefaults()
+	replay := cfg.Log
+	if replay != nil && cfg.Faults != nil {
+		replay = cfg.Faults.Apply(replay)
+	}
+	gcfg := qithread.GatewayConfig{MaxBatch: cfg.MaxBatch, QueueCap: cfg.QueueCap, Replay: replay}
+
+	var total summary
+	var gw *qithread.Gateway
+	if cfg.Shards <= 0 {
+		rt.Run(func(main *qithread.Thread) {
+			gw = rt.Domain(0).NewGateway("cluster", gcfg)
+			for _, s := range cfg.Sources {
+				gw.AddSource(s)
+			}
+			g := newGroup(rt, main, cfg, 0, 1, "")
+			join := g.runControllers(main, "controller")
+			buf := make([]qithread.IngressEvent, cfg.MaxBatch)
+			for {
+				n, ok := gw.Admit(main, buf)
+				for i := 0; i < n; i++ {
+					ev := buf[i]
+					main.WorkSeeded(uint64(ev.Seq)+1, cfg.EventWork)
+					if tk := parseEvent(ev.Data, cfg.Entities); tk.id >= -1 {
+						g.expand(main, tk)
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			g.close(main)
+			total = g.summarize(join())
+		})
+	} else {
+		nd := cfg.Shards
+		rt.Run(func(main *qithread.Thread) {
+			gw = rt.Domain(0).NewGateway("cluster", gcfg)
+			for _, s := range cfg.Sources {
+				gw.AddSource(s)
+			}
+			shards := make([]*qithread.Domain, nd)
+			tasks := make([]*qithread.XPipe, nd)
+			results := make([]*qithread.XPipe, nd)
+			for k := 0; k < nd; k++ {
+				shards[k] = rt.NewDomain("shard" + strconv.Itoa(k))
+			}
+			for k := 0; k < nd; k++ {
+				tasks[k] = rt.NewXPipe("task"+strconv.Itoa(k), rt.Domain(0), shards[k], cfg.MaxBatch)
+				results[k] = rt.NewXPipe("summary"+strconv.Itoa(k), shards[k], rt.Domain(0), 1)
+			}
+			for k := 0; k < nd; k++ {
+				k := k
+				shards[k].Start("reconciler", func(e *qithread.Thread) {
+					g := newGroup(rt, e, cfg, k, nd, "s"+strconv.Itoa(k))
+					join := g.runControllers(e, "controller")
+					buf := make([]any, cfg.MaxBatch)
+					for {
+						n, ok := tasks[k].RecvUpTo(e, buf)
+						for i := 0; i < n; i++ {
+							g.expand(e, buf[i].(task))
+						}
+						if !ok {
+							break
+						}
+					}
+					g.close(e)
+					results[k].Send(e, g.summarize(join()))
+				})
+			}
+			for k := 0; k < nd; k++ {
+				shards[k].Launch()
+			}
+
+			pending := make([][]any, nd)
+			buf := make([]qithread.IngressEvent, cfg.MaxBatch)
+			for {
+				n, ok := gw.Admit(main, buf)
+				for i := 0; i < n; i++ {
+					ev := buf[i]
+					main.WorkSeeded(uint64(ev.Seq)+1, cfg.EventWork)
+					tk := parseEvent(ev.Data, cfg.Entities)
+					switch {
+					case tk.id >= 0:
+						pending[tk.id%nd] = append(pending[tk.id%nd], tk)
+					case tk.id == -1:
+						// Resync tick: every shard sweeps its slice.
+						for k := 0; k < nd; k++ {
+							pending[k] = append(pending[k], tk)
+						}
+					}
+				}
+				for k := 0; k < nd; k++ {
+					if len(pending[k]) > 0 {
+						tasks[k].SendAll(main, pending[k])
+						pending[k] = pending[k][:0]
+					}
+				}
+				if !ok {
+					break
+				}
+			}
+			for k := 0; k < nd; k++ {
+				tasks[k].Close(main)
+			}
+			// Collect shard summaries in shard order.
+			merged := make([]Entity, cfg.Entities)
+			for k := 0; k < nd; k++ {
+				v, ok := results[k].Recv(main)
+				if !ok {
+					panic("controlplane: shard summary pipe drained early")
+				}
+				s := v.(summary)
+				total.transitions += s.transitions
+				total.conflicts += s.conflicts
+				total.skips += s.skips
+				total.anomalies += s.anomalies
+				total.installed += s.installed
+				// Shard-order folding keeps the combined hash deterministic.
+				total.stateHash = total.stateHash*1099511628211 ^ s.stateHash
+				for _, e := range s.entities {
+					merged[e.ID] = e
+				}
+			}
+			total.entities = merged
+		})
+	}
+
+	if capture != nil {
+		capture.Transitions = total.transitions
+		capture.Conflicts = total.conflicts
+		capture.Skips = total.skips
+		capture.Anomalies = total.anomalies
+		capture.Installed = int(total.installed)
+		capture.Entities = total.entities
+		capture.Log = gw.Log()
+		capture.AdmitHash, capture.ShedHash = gw.Hashes()
+	}
+	return Checksum(total.anomalies, total.conflicts, total.transitions, total.stateHash)
+}

@@ -1,0 +1,162 @@
+package controlplane
+
+import (
+	"fmt"
+	"testing"
+
+	"qithread"
+	"qithread/internal/ingress"
+)
+
+func rrConfig(set qithread.Policy) qithread.Config {
+	return qithread.Config{Mode: qithread.RoundRobin, Policies: set, Record: true}
+}
+
+// fingerprintOf condenses a run for equality checks.
+func fingerprintOf(r Result) string {
+	return fmt.Sprintf("%v out=%x admit=%016x shed=%016x", r.Fingerprint, r.Output, r.AdmitHash, r.ShedHash)
+}
+
+// TestScenarioHealthyDefault: the clean scenario under the default schedule
+// drives both entities through the full lifecycle with no anomalies.
+func TestScenarioHealthyDefault(t *testing.T) {
+	r := Run(ScenarioConfig(true, false), rrConfig(qithread.BoostBlocked))
+	if r.Anomalies != 0 {
+		t.Fatalf("healthy scenario produced %d anomalies: %+v", r.Anomalies, r.Entities)
+	}
+	if r.Installed != 2 {
+		t.Fatalf("healthy scenario installed %d of 2 entities: %+v", r.Installed, r.Entities)
+	}
+	if r.Transitions != uint64(2*Transitions) {
+		t.Fatalf("healthy scenario applied %d transitions, want %d", r.Transitions, 2*Transitions)
+	}
+	if err := Check(r.Output); err != nil {
+		t.Fatalf("healthy scenario failed its own oracle: %v", err)
+	}
+}
+
+// TestScenarioRaceHiddenByDefault: the seeded-race scenario PASSES under its
+// default schedule — the duplicate nudge is reconciled serially, so the
+// missing re-check never fires. The bug is a pure scheduling question; only
+// exploration (internal/explore) exposes it.
+func TestScenarioRaceHiddenByDefault(t *testing.T) {
+	r := Run(ScenarioConfig(false, true), rrConfig(qithread.BoostBlocked))
+	if r.Anomalies != 0 {
+		t.Fatalf("seeded race fired under the default schedule (%d anomalies): the scenario must hide it\n%+v",
+			r.Anomalies, r.Entities)
+	}
+	if err := Check(r.Output); err != nil {
+		t.Fatalf("default schedule failed the oracle: %v", err)
+	}
+}
+
+// TestScenarioDeterminism: 20 runs of each scenario produce byte-identical
+// fingerprints — the workload is a pure function of (log, config).
+func TestScenarioDeterminism(t *testing.T) {
+	for _, tc := range []struct {
+		name             string
+		healthy, seeded  bool
+	}{
+		{"healthy", true, false},
+		{"race", false, true},
+		{"fixed-on-race-input", false, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ref := fingerprintOf(Run(ScenarioConfig(tc.healthy, tc.seeded), rrConfig(qithread.BoostBlocked)))
+			for i := 1; i < 20; i++ {
+				got := fingerprintOf(Run(ScenarioConfig(tc.healthy, tc.seeded), rrConfig(qithread.BoostBlocked)))
+				if got != ref {
+					t.Fatalf("run %d diverged:\n  ref: %s\n  got: %s", i, ref, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedDeterminism: the multi-domain engine (entities sharded across
+// controller domains, tasks crossing XPipes) replays a recorded log to
+// identical fingerprints, and timer ticks sweep unfinished entities to
+// completion.
+func TestShardedDeterminism(t *testing.T) {
+	log := DemoLog(16, 3)
+	cfg := Config{
+		Entities: 16, Controllers: 2, Shards: 2, Stripes: 4,
+		ValidateWork: 16, EventWork: 4, MaxBatch: 8,
+		Log: log,
+	}
+	ref := Run(cfg, rrConfig(qithread.AllPolicies))
+	if ref.Anomalies != 0 {
+		t.Fatalf("sharded run produced %d anomalies", ref.Anomalies)
+	}
+	if ref.Installed != 16 {
+		t.Fatalf("sharded run installed %d of 16 entities\n%+v", ref.Installed, ref.Entities)
+	}
+	want := fingerprintOf(ref)
+	for i := 1; i < 20; i++ {
+		got := fingerprintOf(Run(cfg, rrConfig(qithread.AllPolicies)))
+		if got != want {
+			t.Fatalf("sharded replay %d diverged:\n  ref: %s\n  got: %s", i, want, got)
+		}
+	}
+}
+
+// TestResyncTickSweeps: a log whose advances stop early still installs every
+// entity, because tick events sweep non-final entities back onto the queue —
+// the deterministic requeue timers of the control plane.
+func TestResyncTickSweeps(t *testing.T) {
+	log := &ingress.Log{Batches: []ingress.Batch{
+		{Epoch: 1, Events: []ingress.Event{advance(0), advance(1)}},
+		{Epoch: 2, Events: []ingress.Event{{Source: 1, Data: []byte("tick 0")}}},
+		{Epoch: 3, Events: []ingress.Event{{Source: 1, Data: []byte("tick 1")}}},
+	}}
+	cfg := Config{
+		Entities: 2, Controllers: 2, Stripes: 2,
+		ValidateWork: 8, EventWork: 4, MaxBatch: 2,
+		Log: log,
+	}
+	r := Run(cfg, rrConfig(qithread.AllPolicies))
+	if r.Installed != 2 {
+		t.Fatalf("resync sweeps installed %d of 2 entities\n%+v", r.Installed, r.Entities)
+	}
+	var requeues uint64
+	for _, e := range r.Entities {
+		requeues += e.Requeues
+	}
+	if requeues == 0 {
+		t.Fatal("no requeues recorded; ticks did not sweep")
+	}
+}
+
+// TestObservabilitySnapshots: the run surfaces gateway and scheduler
+// snapshots with plausible counters.
+func TestObservabilitySnapshots(t *testing.T) {
+	cfg := Config{
+		Entities: 8, Controllers: 2, Shards: 2, Stripes: 2,
+		ValidateWork: 8, EventWork: 4, MaxBatch: 4,
+		Log: DemoLog(8, 3),
+	}
+	r := Run(cfg, rrConfig(qithread.AllPolicies))
+	if len(r.Gateways) != 1 {
+		t.Fatalf("want 1 gateway snapshot, got %d", len(r.Gateways))
+	}
+	gw := r.Gateways[0]
+	if gw.Name != "cluster" || gw.Domain != 0 {
+		t.Fatalf("gateway snapshot misattributed: %+v", gw)
+	}
+	if gw.Admitted == 0 || gw.Epoch == 0 {
+		t.Fatalf("gateway snapshot empty: %+v", gw)
+	}
+	if len(r.Schedulers) != 3 { // gateway domain + 2 shards
+		t.Fatalf("want 3 scheduler snapshots, got %d", len(r.Schedulers))
+	}
+	for _, s := range r.Schedulers {
+		if s.Turns == 0 || s.Ops == 0 {
+			t.Fatalf("scheduler snapshot for domain %d empty: %+v", s.Domain, s)
+		}
+	}
+	// Controllers block on the work queue, so the wait-list high-water of
+	// the shard domains must be nonzero.
+	if r.Schedulers[1].MaxWaiting == 0 && r.Schedulers[2].MaxWaiting == 0 {
+		t.Fatalf("no wait-list depth recorded in shard domains: %+v", r.Schedulers)
+	}
+}
